@@ -1,0 +1,100 @@
+// Command emergesim regenerates the paper's evaluation (Section IV): every
+// panel of Figures 6, 7 and 8, as ASCII tables or CSV.
+//
+// Usage:
+//
+//	emergesim [flags] fig6a|fig6b|fig6c|fig6d|fig7|fig8|all
+//
+// Examples:
+//
+//	emergesim -trials 1000 -step 0.02 all        # full-resolution, all figures
+//	emergesim -alpha 5 fig7                      # one churn panel
+//	emergesim -csv fig8 > fig8.csv               # machine-readable series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"selfemerge/internal/bench"
+)
+
+func main() {
+	var (
+		trials    = flag.Int("trials", 1000, "Monte Carlo trials per data point (paper: 1000)")
+		step      = flag.Float64("step", 0.02, "malicious-rate grid step")
+		seed      = flag.Uint64("seed", 2017, "base RNG seed")
+		alpha     = flag.Float64("alpha", 3, "churn severity T/tlife for fig7")
+		csv       = flag.Bool("csv", false, "emit CSV instead of a table")
+		predicted = flag.Bool("predicted", false, "include closed-form curves next to measured ones (fig6)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: emergesim [flags] fig6a|fig6b|fig6c|fig6d|fig7|fig8|all")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	opts := bench.Options{
+		Trials:           *trials,
+		PStep:            *step,
+		Seed:             *seed,
+		IncludePredicted: *predicted,
+	}
+	emit := func(fig bench.Figure, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "emergesim: %v\n", err)
+			os.Exit(1)
+		}
+		if *csv {
+			if err := fig.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "emergesim: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		if err := fig.WriteTable(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "emergesim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	fig6 := func(network int, wantRes bool) {
+		res, cost, err := bench.Figure6(network, opts)
+		if wantRes {
+			emit(res, err)
+		} else {
+			emit(cost, err)
+		}
+	}
+
+	switch flag.Arg(0) {
+	case "fig6a":
+		fig6(10000, true)
+	case "fig6b":
+		fig6(10000, false)
+	case "fig6c":
+		fig6(100, true)
+	case "fig6d":
+		fig6(100, false)
+	case "fig7":
+		emit(bench.Figure7(*alpha, opts))
+	case "fig8":
+		emit(bench.Figure8(opts))
+	case "all":
+		res, cost, err := bench.Figure6(10000, opts)
+		emit(res, err)
+		emit(cost, err)
+		res, cost, err = bench.Figure6(100, opts)
+		emit(res, err)
+		emit(cost, err)
+		for _, a := range []float64{1, 2, 3, 5} {
+			emit(bench.Figure7(a, opts))
+		}
+		emit(bench.Figure8(opts))
+	default:
+		fmt.Fprintf(os.Stderr, "emergesim: unknown figure %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+}

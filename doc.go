@@ -1,0 +1,33 @@
+// Package selfemerge is a Go implementation of timed-release self-emerging
+// data over distributed hash tables, reproducing Li & Palanisamy,
+// "Timed-release of Self-emerging Data using Distributed Hash Tables"
+// (ICDCS 2017).
+//
+// A sender encrypts a message, parks the ciphertext in an always-available
+// cloud store, and routes the decryption key through a Kademlia DHT along
+// pseudo-random multi-hop holder paths so that the key is unavailable to
+// everyone — including the receiver — before the release time tr, and
+// reappears automatically at tr. Four routing schemes trade attack
+// resilience against churn resilience and node cost:
+//
+//   - SchemeCentral: one holder keeps the key for the whole emerging period.
+//   - SchemeDisjoint: k node-disjoint onion paths of l holders (Section III-B).
+//   - SchemeJoint: node-joint multipath routing, maximizing path multiplicity
+//     (Section III-C).
+//   - SchemeKeyShare: onion layer keys delivered just-in-time as Shamir
+//     shares (Section III-D, Algorithm 1) — the churn-resilient scheme.
+//
+// The package offers an in-process network (simulated time, thousands of
+// nodes) for experimentation and testing; the same DHT and protocol code
+// runs over real UDP sockets via cmd/dhtnode. The paper's full evaluation
+// (Figures 6, 7 and 8) regenerates via cmd/emergesim and the benchmarks in
+// bench_test.go.
+//
+// Quick start:
+//
+//	net, _ := selfemerge.NewNetwork(selfemerge.NetworkConfig{Nodes: 200})
+//	msg, _ := net.Send([]byte("attack at dawn"), 24*time.Hour,
+//	    selfemerge.WithScheme(selfemerge.SchemeJoint))
+//	net.RunUntil(msg.Release())       // advance simulated time
+//	plaintext, at, ok := net.Emerged(msg)
+package selfemerge

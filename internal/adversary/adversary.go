@@ -1,0 +1,276 @@
+// Package adversary implements the attack machinery of Section II-B: a
+// collector aggregating everything Sybil-controlled holders observe and an
+// inference engine that tries to reconstruct the protected secret from it
+// before the release time (the release-ahead attack). The drop attack is
+// enacted by the holders themselves (protocol.HostConfig.Drop); this
+// package records what the adversary could decrypt and when.
+package adversary
+
+import (
+	"sync"
+	"time"
+
+	"selfemerge/internal/crypto/onion"
+	"selfemerge/internal/crypto/seal"
+	"selfemerge/internal/crypto/shamir"
+	"selfemerge/internal/dht"
+	"selfemerge/internal/protocol"
+)
+
+// Collector aggregates packets reported by malicious holders and attempts
+// secret reconstruction after every new observation. Safe for concurrent
+// use.
+type Collector struct {
+	mu       sync.Mutex
+	missions map[protocol.MissionID]*intel
+}
+
+type slotRef struct {
+	column int
+	slot   int
+}
+
+type intel struct {
+	colKeys    map[int]seal.Key
+	colShares  map[int][]shamir.Share
+	slotKeys   map[slotRef]seal.Key
+	slotShares map[slotRef][]shamir.Share
+	mainOnions map[int][]byte
+	slotOnions map[slotRef][]byte
+
+	secret      []byte
+	recoveredAt time.Time
+	packets     int
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector {
+	return &Collector{missions: make(map[protocol.MissionID]*intel)}
+}
+
+var _ protocol.Reporter = (*Collector)(nil)
+
+// Report ingests one observed packet and re-runs inference.
+func (c *Collector) Report(now time.Time, _ dht.ID, pkt protocol.Packet) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	in := c.intel(pkt.Mission)
+	in.packets++
+	col := int(pkt.Column)
+	switch pkt.Kind {
+	case protocol.PkCentral:
+		// The central holder sees the secret outright.
+		in.note(pkt.Data, now)
+	case protocol.PkSecret:
+		// Legitimate release passing through a malicious relay.
+		in.note(pkt.Data, now)
+	case protocol.PkKeyGrant:
+		if key, err := seal.KeyFromBytes(pkt.Data); err == nil {
+			if pkt.X == keyGrantSlot {
+				in.slotKeys[slotRef{col, int(pkt.Slot)}] = key
+			} else {
+				in.colKeys[col] = key
+			}
+		}
+	case protocol.PkMainOnion:
+		if _, ok := in.mainOnions[col]; !ok {
+			in.mainOnions[col] = pkt.Data
+		}
+	case protocol.PkSlotOnion:
+		ref := slotRef{col, int(pkt.Slot)}
+		if _, ok := in.slotOnions[ref]; !ok {
+			in.slotOnions[ref] = pkt.Data
+		}
+	case protocol.PkColShare:
+		if x, data, err := protocol.ParseShare(pkt.Data); err == nil {
+			in.addColShare(col, shamir.Share{X: x, Data: data})
+		}
+	case protocol.PkSlotShare:
+		if x, data, err := protocol.ParseShare(pkt.Data); err == nil {
+			in.addSlotShare(slotRef{col, int(pkt.Slot)}, shamir.Share{X: x, Data: data})
+		}
+	}
+	c.infer(in, now)
+}
+
+// Recovered reports whether (and when) the adversary reconstructed the
+// mission secret.
+func (c *Collector) Recovered(mission protocol.MissionID) (time.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	in, ok := c.missions[mission]
+	if !ok || in.secret == nil {
+		return time.Time{}, false
+	}
+	return in.recoveredAt, true
+}
+
+// Secret returns the reconstructed secret, if any.
+func (c *Collector) Secret(mission protocol.MissionID) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	in, ok := c.missions[mission]
+	if !ok || in.secret == nil {
+		return nil, false
+	}
+	out := make([]byte, len(in.secret))
+	copy(out, in.secret)
+	return out, true
+}
+
+// Packets returns how many observations were collected for a mission.
+func (c *Collector) Packets(mission protocol.MissionID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	in, ok := c.missions[mission]
+	if !ok {
+		return 0
+	}
+	return in.packets
+}
+
+func (c *Collector) intel(id protocol.MissionID) *intel {
+	in, ok := c.missions[id]
+	if !ok {
+		in = &intel{
+			colKeys:    make(map[int]seal.Key),
+			colShares:  make(map[int][]shamir.Share),
+			slotKeys:   make(map[slotRef]seal.Key),
+			slotShares: make(map[slotRef][]shamir.Share),
+			mainOnions: make(map[int][]byte),
+			slotOnions: make(map[slotRef][]byte),
+		}
+		c.missions[id] = in
+	}
+	return in
+}
+
+func (in *intel) note(secret []byte, now time.Time) {
+	if in.secret != nil {
+		return
+	}
+	in.secret = append([]byte(nil), secret...)
+	in.recoveredAt = now
+}
+
+func (in *intel) addColShare(col int, s shamir.Share) {
+	for _, have := range in.colShares[col] {
+		if have.X == s.X {
+			return
+		}
+	}
+	in.colShares[col] = append(in.colShares[col], s)
+}
+
+func (in *intel) addSlotShare(ref slotRef, s shamir.Share) {
+	for _, have := range in.slotShares[ref] {
+		if have.X == s.X {
+			return
+		}
+	}
+	in.slotShares[ref] = append(in.slotShares[ref], s)
+}
+
+// infer runs decrypt-to-fixpoint: recover keys from shares, peel every
+// onion a key opens, harvest shares and inner onions from peeled layers,
+// repeat until nothing new — then check whether the secret fell out.
+func (c *Collector) infer(in *intel, now time.Time) {
+	if in.secret != nil {
+		return
+	}
+	for progress := true; progress; {
+		progress = false
+		// Peel main onions.
+		for col, sealed := range in.mainOnions {
+			key, ok := in.columnKey(col)
+			if !ok {
+				continue
+			}
+			layer, err := onion.Peel(key, sealed)
+			if err != nil {
+				continue
+			}
+			delete(in.mainOnions, col)
+			progress = true
+			if layer.Payload != nil {
+				in.note(layer.Payload, now)
+				return
+			}
+			if layer.Rest != nil {
+				if _, have := in.mainOnions[col+1]; !have {
+					in.mainOnions[col+1] = layer.Rest
+				}
+			}
+		}
+		// Peel slot onions and harvest the shares inside.
+		for ref, sealed := range in.slotOnions {
+			key, ok := in.slotKey(ref)
+			if !ok {
+				continue
+			}
+			layer, err := onion.Peel(key, sealed)
+			if err != nil {
+				continue
+			}
+			delete(in.slotOnions, ref)
+			progress = true
+			next := ref.column + 1
+			for _, blob := range layer.Shares {
+				kind, slot, x, data, err := protocol.ParseShareTag(blob)
+				if err != nil {
+					continue
+				}
+				switch kind {
+				case protocol.ShareKindColumn:
+					in.addColShare(next, shamir.Share{X: x, Data: data})
+				case protocol.ShareKindSlot:
+					in.addSlotShare(slotRef{next, slot}, shamir.Share{X: x, Data: data})
+				}
+			}
+			if layer.Rest != nil {
+				nref := slotRef{next, ref.slot}
+				if _, have := in.slotOnions[nref]; !have {
+					in.slotOnions[nref] = layer.Rest
+				}
+			}
+		}
+	}
+}
+
+// columnKey returns the column key if directly known or recoverable from
+// the collected shares. Interpolation through all shares yields the true
+// key exactly when the threshold is met; the onion's authenticated layer
+// is the verification oracle, so a garbage interpolation merely fails the
+// next peel.
+func (in *intel) columnKey(col int) (seal.Key, bool) {
+	if key, ok := in.colKeys[col]; ok {
+		return key, true
+	}
+	return keyFromShares(in.colShares[col])
+}
+
+func (in *intel) slotKey(ref slotRef) (seal.Key, bool) {
+	if key, ok := in.slotKeys[ref]; ok {
+		return key, true
+	}
+	return keyFromShares(in.slotShares[ref])
+}
+
+func keyFromShares(shares []shamir.Share) (seal.Key, bool) {
+	if len(shares) == 0 {
+		return seal.Key{}, false
+	}
+	raw, err := shamir.Combine(shares, len(shares))
+	if err != nil {
+		return seal.Key{}, false
+	}
+	key, err := seal.KeyFromBytes(raw)
+	if err != nil {
+		return seal.Key{}, false
+	}
+	return key, true
+}
+
+// keyGrantSlot mirrors protocol's unexported discriminator (kept in sync
+// via protocol.KeyGrantSlotMarker).
+const keyGrantSlot = protocol.KeyGrantSlotMarker

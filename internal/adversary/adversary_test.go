@@ -1,0 +1,196 @@
+package adversary
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"selfemerge/internal/crypto/onion"
+	"selfemerge/internal/crypto/seal"
+	"selfemerge/internal/crypto/shamir"
+	"selfemerge/internal/dht"
+	"selfemerge/internal/protocol"
+)
+
+// buildChain constructs a 3-layer main onion and returns (wrapped, keys,
+// secret).
+func buildChain(t *testing.T) ([]byte, []seal.Key, []byte) {
+	t.Helper()
+	secret := []byte("the emerging secret")
+	keys := make([]seal.Key, 3)
+	for i := range keys {
+		k, err := seal.NewKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = k
+	}
+	hop := dht.IDFromKey([]byte("next"))
+	layers := []onion.Layer{
+		{NextHops: [][]byte{hop[:]}},
+		{NextHops: [][]byte{hop[:]}},
+		{NextHops: [][]byte{hop[:]}, Payload: secret},
+	}
+	wrapped, err := onion.Build(layers, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wrapped, keys, secret
+}
+
+func report(c *Collector, at time.Time, pkt protocol.Packet) {
+	c.Report(at, dht.ID{}, pkt)
+}
+
+func grant(mission protocol.MissionID, col int, key seal.Key) protocol.Packet {
+	return protocol.Packet{Mission: mission, Kind: protocol.PkKeyGrant, Column: uint16(col), Data: key.Bytes()}
+}
+
+func TestReleaseAheadNeedsEveryColumn(t *testing.T) {
+	// The Figure 2(b) K3 case: keys for head and tail but a gap in the
+	// middle stops reconstruction; filling the gap releases the secret.
+	wrapped, keys, secret := buildChain(t)
+	c := NewCollector()
+	var mission protocol.MissionID
+	mission[0] = 1
+	now := time.Unix(0, 0)
+
+	report(c, now, protocol.Packet{Mission: mission, Kind: protocol.PkMainOnion, Column: 1, Data: wrapped})
+	report(c, now, grant(mission, 1, keys[0]))
+	report(c, now, grant(mission, 3, keys[2]))
+	if _, ok := c.Recovered(mission); ok {
+		t.Fatal("recovered with a column gap: onion continuity broken")
+	}
+
+	// The missing middle key closes the gap.
+	later := now.Add(time.Minute)
+	report(c, later, grant(mission, 2, keys[1]))
+	at, ok := c.Recovered(mission)
+	if !ok {
+		t.Fatal("not recovered despite holding every layer key and the onion")
+	}
+	if !at.Equal(later) {
+		t.Errorf("recoveredAt = %v, want %v", at, later)
+	}
+	got, _ := c.Secret(mission)
+	if !bytes.Equal(got, secret) {
+		t.Errorf("reconstructed %q", got)
+	}
+}
+
+func TestReleaseAheadNeedsTheOnionToo(t *testing.T) {
+	_, keys, _ := buildChain(t)
+	c := NewCollector()
+	var mission protocol.MissionID
+	now := time.Unix(0, 0)
+	for i, k := range keys {
+		report(c, now, grant(mission, i+1, k))
+	}
+	if _, ok := c.Recovered(mission); ok {
+		t.Fatal("recovered from keys alone, without any onion")
+	}
+}
+
+func TestCentralPacketIsImmediateCompromise(t *testing.T) {
+	c := NewCollector()
+	var mission protocol.MissionID
+	now := time.Unix(100, 0)
+	report(c, now, protocol.Packet{Mission: mission, Kind: protocol.PkCentral, Data: []byte("s")})
+	at, ok := c.Recovered(mission)
+	if !ok || !at.Equal(now) {
+		t.Fatalf("central packet: recovered=%v at=%v", ok, at)
+	}
+}
+
+func TestColumnKeyFromShares(t *testing.T) {
+	// m=2 of n=4: one share is not enough, two are.
+	key, err := seal.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares, err := shamir.Split(key.Bytes(), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("inner")
+	hop := dht.IDFromKey([]byte("h"))
+	wrapped, err := onion.Build([]onion.Layer{{NextHops: [][]byte{hop[:]}, Payload: secret}}, []seal.Key{key})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCollector()
+	var mission protocol.MissionID
+	now := time.Unix(0, 0)
+	report(c, now, protocol.Packet{Mission: mission, Kind: protocol.PkMainOnion, Column: 1, Data: wrapped})
+	shareBlob := func(s shamir.Share) []byte {
+		return append([]byte{s.X}, s.Data...)
+	}
+	report(c, now, protocol.Packet{Mission: mission, Kind: protocol.PkColShare, Column: 1, Data: shareBlob(shares[0])})
+	if _, ok := c.Recovered(mission); ok {
+		t.Fatal("recovered below threshold")
+	}
+	report(c, now.Add(time.Second), protocol.Packet{Mission: mission, Kind: protocol.PkColShare, Column: 1, Data: shareBlob(shares[2])})
+	if _, ok := c.Recovered(mission); !ok {
+		t.Fatal("not recovered at threshold")
+	}
+}
+
+func TestDuplicateSharesDoNotFakeThreshold(t *testing.T) {
+	key, err := seal.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares, err := shamir.Split(key.Bytes(), 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hop := dht.IDFromKey([]byte("h"))
+	wrapped, err := onion.Build([]onion.Layer{{NextHops: [][]byte{hop[:]}, Payload: []byte("s")}}, []seal.Key{key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCollector()
+	var mission protocol.MissionID
+	now := time.Unix(0, 0)
+	report(c, now, protocol.Packet{Mission: mission, Kind: protocol.PkMainOnion, Column: 1, Data: wrapped})
+	blob := append([]byte{shares[0].X}, shares[0].Data...)
+	for i := 0; i < 5; i++ {
+		report(c, now, protocol.Packet{Mission: mission, Kind: protocol.PkColShare, Column: 1, Data: blob})
+	}
+	if _, ok := c.Recovered(mission); ok {
+		t.Fatal("recovered from one share reported five times")
+	}
+	if got := c.Packets(mission); got != 6 {
+		t.Errorf("Packets = %d", got)
+	}
+}
+
+func TestSecretCopyIsolated(t *testing.T) {
+	c := NewCollector()
+	var mission protocol.MissionID
+	report(c, time.Unix(0, 0), protocol.Packet{Mission: mission, Kind: protocol.PkSecret, Data: []byte("abc")})
+	got, ok := c.Secret(mission)
+	if !ok {
+		t.Fatal("missing secret")
+	}
+	got[0] = 'X'
+	again, _ := c.Secret(mission)
+	if again[0] == 'X' {
+		t.Error("Secret returned aliased memory")
+	}
+}
+
+func TestUnknownMissionQueries(t *testing.T) {
+	c := NewCollector()
+	var mission protocol.MissionID
+	if _, ok := c.Recovered(mission); ok {
+		t.Error("unknown mission recovered")
+	}
+	if _, ok := c.Secret(mission); ok {
+		t.Error("unknown mission has secret")
+	}
+	if c.Packets(mission) != 0 {
+		t.Error("unknown mission has packets")
+	}
+}

@@ -1,0 +1,157 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// KeyShareInput carries the parameters of Algorithm 1 ("Key share routing
+// scheme"). K and L come from planning the underlying node-joint multipath
+// topology; N caps how many DHT nodes may be consumed by the share-routing
+// layer; T is the emerging period; Lambda the mean node lifetime of the
+// exponential churn model; P the malicious-node rate.
+type KeyShareInput struct {
+	K      int     // onion path replication factor (node-joint layer)
+	L      int     // path length / number of holder columns
+	N      int     // total nodes available to construct the share paths
+	T      float64 // expected emerging time (same unit as Lambda)
+	Lambda float64 // average node lifetime (exponential churn)
+	P      float64 // node malicious rate
+}
+
+// ColumnPlan records the Shamir threshold chosen for one holder column
+// together with the cumulative attack success probabilities the recurrence
+// assigns to that column.
+type ColumnPlan struct {
+	Column int     // 1-based column index along the paths
+	M      int     // threshold: shares required to recover the column key
+	N      int     // total shares issued for the column key
+	Pr     float64 // cumulative release-ahead success probability at this column
+	Pd     float64 // cumulative drop success probability at this column
+}
+
+// KeySharePlan is the output of Algorithm 1: the per-column thresholds and
+// the end-to-end resiliences of the key share routing scheme.
+type KeySharePlan struct {
+	Input   KeyShareInput
+	Columns []ColumnPlan // l entries; Columns[0] is the direct-delivery first column
+	SharesN int          // n = floor(N/l), shares per column
+	Dead    int          // d = floor(pdead*n), expected shares lost per holding period
+	PDead   float64      // per-holding-period death probability 1-exp(-T/(lambda*l))
+	Result  Resilience
+}
+
+// PlanKeyShare runs Algorithm 1 as printed in the paper.
+//
+// Reading of the printed algorithm (the ICDCS text is OCR-damaged around the
+// binomial sums; EXPERIMENTS.md discusses the interpretation):
+//
+//	n = floor(N/l)                       // line 1: uniform node budget per column
+//	pdead = 1 - exp(-T/(lambda*l))       // line 2: exponential decay over th = T/l
+//	d = floor(pdead*n)                   // line 3: expected dead shares per column
+//	pr = pd = p                          // line 4: column 1 keys are delivered directly
+//	for column = 2..l:                   // line 7
+//	    choose m in [1,n] minimizing
+//	        |P[Bin(n,p) >= m] - P[Bin(n-d,p) >= n-d-m+1]|   // line 8
+//	    pr' = 1-(1-pr)(1-P[Bin(n,p) >= m])                  // line 9
+//	    pd' = 1-(1-pd)(1-P[Bin(n-d,p) >= n-d-m+1])          // lines 10-11
+//	Rr = 1 - prod_cols (1-(1-Pr_col)^k)                     // lines 14-15, 18
+//	Rd = prod_cols (1-Pd_col^k)                             // line 16
+//
+// The release-ahead branch asks whether the adversary can gather m of the n
+// shares of a column key (so it can decrypt that onion layer at ts); the
+// drop branch asks whether, of the n-d shares that survive churn, the
+// adversary controls enough (more than n-d-m) that fewer than m honest
+// shares remain deliverable. Choosing m to equalize the two success rates is
+// the paper's "no bias" rule.
+func PlanKeyShare(in KeyShareInput) (KeySharePlan, error) {
+	if err := in.validate(); err != nil {
+		return KeySharePlan{}, err
+	}
+	n := in.N / in.L
+	if n < 1 {
+		return KeySharePlan{}, fmt.Errorf("analytic: node budget N=%d too small for %d columns", in.N, in.L)
+	}
+	pdead := 1 - math.Exp(-in.T/(in.Lambda*float64(in.L)))
+	d := int(pdead * float64(n))
+	if d >= n {
+		d = n - 1 // keep at least one live share so thresholds remain meaningful
+	}
+
+	plan := KeySharePlan{
+		Input:   in,
+		SharesN: n,
+		Dead:    d,
+		PDead:   pdead,
+		Columns: make([]ColumnPlan, 0, in.L),
+	}
+
+	// Column 1: the sender hands the first onion keys directly to the first
+	// holders, so compromise probability is just p per holder.
+	pr, pd := in.P, in.P
+	plan.Columns = append(plan.Columns, ColumnPlan{Column: 1, M: 1, N: 1, Pr: pr, Pd: pd})
+
+	// Line 8's minimization depends only on (n, d, p), which are identical
+	// for every column, so the threshold and the per-column attack tails are
+	// computed once.
+	m, release, drop := chooseThreshold(n, d, in.P)
+	for column := 2; column <= in.L; column++ {
+		pr = 1 - (1-pr)*(1-release)
+		pd = 1 - (1-pd)*(1-drop)
+		plan.Columns = append(plan.Columns, ColumnPlan{Column: column, M: m, N: n, Pr: pr, Pd: pd})
+	}
+
+	rrProd, rd := 1.0, 1.0
+	for _, col := range plan.Columns {
+		rrProd *= 1 - math.Pow(1-col.Pr, float64(in.K))
+		rd *= 1 - math.Pow(col.Pd, float64(in.K))
+	}
+	plan.Result = Resilience{ReleaseAhead: 1 - rrProd, Drop: rd}
+	return plan, nil
+}
+
+// chooseThreshold implements line 8 of Algorithm 1: pick the m in [1, n]
+// that minimizes the absolute difference between the release-ahead and drop
+// success probabilities for one column, balancing the two attacks. It
+// returns the threshold together with both per-column success probabilities.
+func chooseThreshold(n, d int, p float64) (m int, release, drop float64) {
+	releaseTail := TailTable(n, p)
+	dropTail := TailTable(n-d, p)
+	tailAt := func(t []float64, idx int) float64 {
+		switch {
+		case idx < 0:
+			return 1
+		case idx >= len(t):
+			return 0
+		default:
+			return t[idx]
+		}
+	}
+	bestM := 1
+	bestDif := math.Inf(1)
+	for cand := 1; cand <= n; cand++ {
+		rel := tailAt(releaseTail, cand)
+		dr := tailAt(dropTail, n-d-cand+1)
+		if dif := math.Abs(rel - dr); dif < bestDif {
+			bestDif = dif
+			bestM = cand
+		}
+	}
+	return bestM, tailAt(releaseTail, bestM), tailAt(dropTail, n-d-bestM+1)
+}
+
+func (in KeyShareInput) validate() error {
+	if in.K < 1 || in.L < 1 {
+		return fmt.Errorf("analytic: key share plan requires k,l >= 1 (got k=%d l=%d)", in.K, in.L)
+	}
+	if in.N < in.L {
+		return fmt.Errorf("analytic: key share plan requires N >= l (got N=%d l=%d)", in.N, in.L)
+	}
+	if in.T <= 0 || in.Lambda <= 0 {
+		return fmt.Errorf("analytic: key share plan requires positive T and Lambda (got T=%v lambda=%v)", in.T, in.Lambda)
+	}
+	if in.P < 0 || in.P > 1 || math.IsNaN(in.P) {
+		return fmt.Errorf("analytic: malicious rate p=%v outside [0,1]", in.P)
+	}
+	return nil
+}

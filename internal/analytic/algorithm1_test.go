@@ -1,0 +1,140 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func validInput() KeyShareInput {
+	return KeyShareInput{K: 2, L: 5, N: 1000, T: 3, Lambda: 1, P: 0.2}
+}
+
+func TestPlanKeyShareBasics(t *testing.T) {
+	in := validInput()
+	plan, err := PlanKeyShare(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SharesN != in.N/in.L {
+		t.Errorf("SharesN = %d, want %d", plan.SharesN, in.N/in.L)
+	}
+	wantPDead := 1 - math.Exp(-in.T/(in.Lambda*float64(in.L)))
+	if math.Abs(plan.PDead-wantPDead) > 1e-12 {
+		t.Errorf("PDead = %v, want %v", plan.PDead, wantPDead)
+	}
+	if len(plan.Columns) != in.L {
+		t.Fatalf("got %d column plans, want %d", len(plan.Columns), in.L)
+	}
+	if plan.Columns[0].Pr != in.P || plan.Columns[0].Pd != in.P {
+		t.Errorf("column 1 must start at pr=pd=p, got %+v", plan.Columns[0])
+	}
+	for i, col := range plan.Columns {
+		if col.Column != i+1 {
+			t.Errorf("column %d mislabeled as %d", i+1, col.Column)
+		}
+		if i > 0 {
+			if col.M < 1 || col.M > col.N {
+				t.Errorf("column %d threshold m=%d outside [1,%d]", col.Column, col.M, col.N)
+			}
+			if col.N != plan.SharesN {
+				t.Errorf("column %d has n=%d, want %d", col.Column, col.N, plan.SharesN)
+			}
+		}
+	}
+	if plan.Result.ReleaseAhead < 0 || plan.Result.ReleaseAhead > 1 ||
+		plan.Result.Drop < 0 || plan.Result.Drop > 1 {
+		t.Errorf("resilience out of range: %+v", plan.Result)
+	}
+}
+
+func TestPlanKeySharePrPdMonotoneAlongColumns(t *testing.T) {
+	// "The farther away from the beginning a column is, the larger pr and pd
+	// it will have" (Section III-D).
+	plan, err := PlanKeyShare(validInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(plan.Columns); i++ {
+		if plan.Columns[i].Pr < plan.Columns[i-1].Pr-1e-12 {
+			t.Errorf("Pr decreased at column %d", i+1)
+		}
+		if plan.Columns[i].Pd < plan.Columns[i-1].Pd-1e-12 {
+			t.Errorf("Pd decreased at column %d", i+1)
+		}
+	}
+}
+
+func TestPlanKeyShareChurnResilienceVsMultipath(t *testing.T) {
+	// The headline claim (Figure 7): under heavy churn (T = 5*lambda) and
+	// moderate adversaries, key share routing retains high resilience while
+	// pre-assigned keys decay. We verify the plan's resilience stays high.
+	in := KeyShareInput{K: 3, L: 10, N: 10000, T: 5, Lambda: 1, P: 0.2}
+	plan, err := PlanKeyShare(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min := plan.Result.Min(); min < 0.9 {
+		t.Errorf("share-scheme resilience %v under churn, want >= 0.9", min)
+	}
+}
+
+func TestPlanKeyShareMoreNodesNeverHurt(t *testing.T) {
+	base := validInput()
+	prev := -1.0
+	for _, n := range []int{100, 1000, 5000, 10000} {
+		in := base
+		in.N = n
+		plan, err := PlanKeyShare(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := plan.Result.Min()
+		if got < prev-0.02 { // small tolerance: integer thresholds are not perfectly monotone
+			t.Errorf("resilience dropped from %v to %v when N grew to %d", prev, got, n)
+		}
+		prev = got
+	}
+}
+
+func TestPlanKeyShareValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*KeyShareInput)
+	}{
+		{"k zero", func(in *KeyShareInput) { in.K = 0 }},
+		{"l zero", func(in *KeyShareInput) { in.L = 0 }},
+		{"N below l", func(in *KeyShareInput) { in.N = 2; in.L = 5 }},
+		{"non-positive T", func(in *KeyShareInput) { in.T = 0 }},
+		{"non-positive lambda", func(in *KeyShareInput) { in.Lambda = -1 }},
+		{"p out of range", func(in *KeyShareInput) { in.P = 1.5 }},
+	}
+	for _, tc := range tests {
+		in := validInput()
+		tc.mutate(&in)
+		if _, err := PlanKeyShare(in); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestChooseThresholdBalances(t *testing.T) {
+	// The chosen m should make release and drop success rates close; any
+	// neighbouring m must not be strictly better.
+	n, d, p := 50, 10, 0.25
+	m, release, drop := chooseThreshold(n, d, p)
+	dif := func(m int) float64 {
+		return math.Abs(BinomialTail(n, p, m) - BinomialTail(n-d, p, n-d-m+1))
+	}
+	best := dif(m)
+	for _, alt := range []int{m - 1, m + 1} {
+		if alt >= 1 && alt <= n && dif(alt) < best-1e-15 {
+			t.Errorf("m=%d has dif %v but m=%d gives %v", m, best, alt, dif(alt))
+		}
+	}
+	if math.Abs(release-BinomialTail(n, p, m)) > 1e-9 {
+		t.Errorf("returned release %v != tail %v", release, BinomialTail(n, p, m))
+	}
+	if math.Abs(drop-BinomialTail(n-d, p, n-d-m+1)) > 1e-9 {
+		t.Errorf("returned drop %v != tail %v", drop, BinomialTail(n-d, p, n-d-m+1))
+	}
+}

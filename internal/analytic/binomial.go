@@ -1,0 +1,141 @@
+// Package analytic implements the closed-form security analysis from the
+// paper: the attack-resilience equations (1), (2) and (3) for the
+// centralized, node-disjoint and node-joint multipath routing schemes,
+// Lemma 1, and Algorithm 1 (the per-column (m, n) share-threshold selection
+// and resilience recurrences of the key share routing scheme).
+//
+// Everything here is deterministic mathematics; the Monte Carlo counterparts
+// live in internal/mc and are cross-validated against this package in tests.
+package analytic
+
+import "math"
+
+// BinomialPMF returns P[X = i] for X ~ Binomial(n, p), computed in log space
+// so that it remains finite for the large n (thousands of shares per column)
+// that Algorithm 1 can request.
+func BinomialPMF(n int, p float64, i int) float64 {
+	if i < 0 || i > n || n < 0 {
+		return 0
+	}
+	switch {
+	case p <= 0:
+		if i == 0 {
+			return 1
+		}
+		return 0
+	case p >= 1:
+		if i == n {
+			return 1
+		}
+		return 0
+	}
+	return math.Exp(logBinomialPMF(n, p, i))
+}
+
+func logBinomialPMF(n int, p float64, i int) float64 {
+	lg, _ := math.Lgamma(float64(n + 1))
+	lgi, _ := math.Lgamma(float64(i + 1))
+	lgni, _ := math.Lgamma(float64(n - i + 1))
+	return lg - lgi - lgni + float64(i)*math.Log(p) + float64(n-i)*math.Log(1-p)
+}
+
+// BinomialTail returns P[X >= m] for X ~ Binomial(n, p). This is the
+// quantity that appears throughout Algorithm 1: the probability that the
+// adversary controls at least m of the n share holders in a column.
+//
+// The sum is accumulated in log space with a running maximum shift, so it is
+// numerically stable for n in the tens of thousands.
+func BinomialTail(n int, p float64, m int) float64 {
+	if n < 0 {
+		return 0
+	}
+	if m <= 0 {
+		return 1
+	}
+	if m > n {
+		return 0
+	}
+	switch {
+	case p <= 0:
+		return 0 // m >= 1 here, and X is identically 0
+	case p >= 1:
+		return 1 // X is identically n >= m
+	}
+	// Sum the smaller tail for accuracy, then complement if needed.
+	mean := float64(n) * p
+	if float64(m) > mean {
+		return sumPMFRange(n, p, m, n)
+	}
+	return 1 - sumPMFRange(n, p, 0, m-1)
+}
+
+// TailTable returns T with T[m] = P[X >= m] for X ~ Binomial(n, p) and
+// m = 0..n+1 (T[n+1] = 0). Building the whole table costs O(n), after which
+// threshold scans are O(1) per lookup — Algorithm 1 evaluates both attack
+// tails for every candidate threshold, so this avoids an O(n^2) blowup.
+func TailTable(n int, p float64) []float64 {
+	t := make([]float64, n+2)
+	if n < 0 {
+		return t
+	}
+	switch {
+	case p <= 0:
+		for m := 0; m <= 0; m++ {
+			t[m] = 1
+		}
+		return t
+	case p >= 1:
+		for m := 0; m <= n; m++ {
+			t[m] = 1
+		}
+		return t
+	}
+	// Backward cumulative sum of the pmf in shifted log space.
+	logs := make([]float64, n+1)
+	maxLog := math.Inf(-1)
+	for i := 0; i <= n; i++ {
+		logs[i] = logBinomialPMF(n, p, i)
+		if logs[i] > maxLog {
+			maxLog = logs[i]
+		}
+	}
+	sum := 0.0
+	for m := n; m >= 0; m-- {
+		sum += math.Exp(logs[m] - maxLog)
+		v := sum * math.Exp(maxLog)
+		if v > 1 {
+			v = 1
+		}
+		t[m] = v
+	}
+	t[0] = 1 // P[X >= 0] is exactly 1; the log-space sum rounds just below it
+	return t
+}
+
+// sumPMFRange returns sum_{i=lo}^{hi} P[X=i] using log-space accumulation.
+func sumPMFRange(n int, p float64, lo, hi int) float64 {
+	if lo > hi {
+		return 0
+	}
+	logs := make([]float64, 0, hi-lo+1)
+	maxLog := math.Inf(-1)
+	for i := lo; i <= hi; i++ {
+		l := logBinomialPMF(n, p, i)
+		logs = append(logs, l)
+		if l > maxLog {
+			maxLog = l
+		}
+	}
+	if math.IsInf(maxLog, -1) {
+		return 0
+	}
+	var sum float64
+	for _, l := range logs {
+		sum += math.Exp(l - maxLog)
+	}
+	v := sum * math.Exp(maxLog)
+	if v > 1 {
+		v = 1
+	}
+	return v
+}

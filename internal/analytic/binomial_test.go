@@ -1,0 +1,119 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// naiveTail computes P[X >= m] by direct summation of C(n,i)p^i(1-p)^(n-i)
+// using float multiplication; valid for small n.
+func naiveTail(n int, p float64, m int) float64 {
+	sum := 0.0
+	for i := m; i <= n; i++ {
+		c := 1.0
+		for j := 0; j < i; j++ {
+			c = c * float64(n-j) / float64(j+1)
+		}
+		sum += c * math.Pow(p, float64(i)) * math.Pow(1-p, float64(n-i))
+	}
+	return sum
+}
+
+func TestBinomialTailSmallCases(t *testing.T) {
+	tests := []struct {
+		n int
+		p float64
+		m int
+	}{
+		{1, 0.3, 1}, {2, 0.5, 1}, {5, 0.2, 3}, {10, 0.7, 7},
+		{20, 0.1, 1}, {20, 0.9, 20}, {15, 0.45, 8},
+	}
+	for _, tc := range tests {
+		got := BinomialTail(tc.n, tc.p, tc.m)
+		want := naiveTail(tc.n, tc.p, tc.m)
+		if math.Abs(got-want) > 1e-10 {
+			t.Errorf("BinomialTail(%d,%v,%d) = %v, want %v", tc.n, tc.p, tc.m, got, want)
+		}
+	}
+}
+
+func TestBinomialTailEdges(t *testing.T) {
+	if got := BinomialTail(10, 0.3, 0); got != 1 {
+		t.Errorf("m=0: got %v, want 1", got)
+	}
+	if got := BinomialTail(10, 0.3, 11); got != 0 {
+		t.Errorf("m>n: got %v, want 0", got)
+	}
+	if got := BinomialTail(10, 0, 1); got != 0 {
+		t.Errorf("p=0: got %v, want 0", got)
+	}
+	if got := BinomialTail(10, 1, 10); got != 1 {
+		t.Errorf("p=1 m=n: got %v, want 1", got)
+	}
+	if got := BinomialTail(0, 0.5, 0); got != 1 {
+		t.Errorf("n=0 m=0: got %v, want 1", got)
+	}
+}
+
+func TestBinomialTailLargeNStable(t *testing.T) {
+	// Must not overflow/underflow to NaN for very large n.
+	for _, n := range []int{1000, 10000, 50000} {
+		for _, p := range []float64{0.01, 0.3, 0.5, 0.99} {
+			for _, mFrac := range []float64{0.1, 0.5, 0.9} {
+				m := int(mFrac * float64(n))
+				got := BinomialTail(n, p, m)
+				if math.IsNaN(got) || got < 0 || got > 1 {
+					t.Fatalf("BinomialTail(%d,%v,%d) = %v out of [0,1]", n, p, m, got)
+				}
+			}
+		}
+	}
+	// Central limit sanity: P[X >= mean] ~ 0.5 for large n.
+	got := BinomialTail(10000, 0.3, 3000)
+	if math.Abs(got-0.5) > 0.02 {
+		t.Errorf("P[Bin(10000,0.3) >= 3000] = %v, want ~0.5", got)
+	}
+}
+
+func TestBinomialTailMonotonicInM(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		n := int(seed%30) + 1
+		p := float64(seed%97) / 96.0
+		prev := 1.1
+		for m := 0; m <= n+1; m++ {
+			cur := BinomialTail(n, p, m)
+			if cur > prev+1e-12 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	for _, n := range []int{1, 5, 40} {
+		for _, p := range []float64{0.1, 0.5, 0.93} {
+			sum := 0.0
+			for i := 0; i <= n; i++ {
+				sum += BinomialPMF(n, p, i)
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("sum of pmf(n=%d,p=%v) = %v", n, p, sum)
+			}
+		}
+	}
+}
+
+func TestBinomialPMFOutOfRange(t *testing.T) {
+	if got := BinomialPMF(5, 0.5, -1); got != 0 {
+		t.Errorf("i=-1: got %v", got)
+	}
+	if got := BinomialPMF(5, 0.5, 6); got != 0 {
+		t.Errorf("i>n: got %v", got)
+	}
+}

@@ -1,0 +1,89 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Resilience bundles the two attack-resilience probabilities the paper
+// tracks for every scheme: Rr, the probability that a release-ahead attack
+// fails (the adversary cannot restore the secret key at start time ts), and
+// Rd, the probability that a drop attack fails (the key is still released at
+// tr despite malicious holders discarding packages).
+type Resilience struct {
+	ReleaseAhead float64 // Rr
+	Drop         float64 // Rd
+}
+
+// Min returns min(Rr, Rd), the figure-of-merit the evaluation plots as R
+// when parameters are planned so that Rr ≈ Rd.
+func (r Resilience) Min() float64 {
+	return math.Min(r.ReleaseAhead, r.Drop)
+}
+
+// validateP panics on a malicious-node rate outside [0, 1]; the rate is a
+// probability and every public function in this package shares the check.
+func validateP(p float64) {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("analytic: malicious rate p=%v outside [0,1]", p))
+	}
+}
+
+// Central returns the resilience of the centralized scheme: a single DHT
+// node stores the key for the whole emerging period, so both attacks succeed
+// exactly when that node is malicious (Section III-A).
+func Central(p float64) Resilience {
+	validateP(p)
+	return Resilience{ReleaseAhead: 1 - p, Drop: 1 - p}
+}
+
+// DisjointRr evaluates Equation (1): the release-ahead resilience of k
+// replicated node-disjoint onion paths with l holders each. The adversary
+// must hold at least one replica of every onion-layer key, i.e. compromise
+// at least one of the k holders in every one of the l columns.
+func DisjointRr(p float64, k, l int) float64 {
+	validateP(p)
+	validateShape(k, l)
+	return 1 - math.Pow(1-math.Pow(1-p, float64(k)), float64(l))
+}
+
+// DisjointRd evaluates Equation (2): the drop resilience of the node-disjoint
+// scheme. To drop the key the adversary must cut all k paths, and a path is
+// cut when any one of its l holders is malicious.
+func DisjointRd(p float64, k, l int) float64 {
+	validateP(p)
+	validateShape(k, l)
+	return 1 - math.Pow(1-math.Pow(1-p, float64(l)), float64(k))
+}
+
+// Disjoint returns both resiliences of the node-disjoint multipath scheme.
+func Disjoint(p float64, k, l int) Resilience {
+	return Resilience{ReleaseAhead: DisjointRr(p, k, l), Drop: DisjointRd(p, k, l)}
+}
+
+// JointRr returns the release-ahead resilience of the node-joint multipath
+// scheme. Connecting every column-j holder to every column-(j+1) holder does
+// not change the key replication structure, so Rr is Equation (1) unchanged.
+func JointRr(p float64, k, l int) float64 {
+	return DisjointRr(p, k, l)
+}
+
+// JointRd evaluates Equation (3): the drop resilience of the node-joint
+// scheme. The onion survives a column unless all k of its holders are
+// malicious, and must survive all l columns.
+func JointRd(p float64, k, l int) float64 {
+	validateP(p)
+	validateShape(k, l)
+	return math.Pow(1-math.Pow(p, float64(k)), float64(l))
+}
+
+// Joint returns both resiliences of the node-joint multipath scheme.
+func Joint(p float64, k, l int) Resilience {
+	return Resilience{ReleaseAhead: JointRr(p, k, l), Drop: JointRd(p, k, l)}
+}
+
+func validateShape(k, l int) {
+	if k < 1 || l < 1 {
+		panic(fmt.Sprintf("analytic: path shape k=%d l=%d must be >= 1", k, l))
+	}
+}

@@ -1,0 +1,149 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCentralResilience(t *testing.T) {
+	for _, p := range []float64{0, 0.1, 0.5, 1} {
+		r := Central(p)
+		if r.ReleaseAhead != 1-p || r.Drop != 1-p {
+			t.Errorf("Central(%v) = %+v", p, r)
+		}
+	}
+}
+
+func TestDisjointMatchesHandComputation(t *testing.T) {
+	// k=2, l=3, p=0.2 (the running example of Section III-B).
+	const p, k, l = 0.2, 2, 3
+	wantRr := 1 - math.Pow(1-math.Pow(1-p, k), l) // Eq. (1)
+	wantRd := 1 - math.Pow(1-math.Pow(1-p, l), k) // Eq. (2)
+	got := Disjoint(p, k, l)
+	if math.Abs(got.ReleaseAhead-wantRr) > 1e-15 {
+		t.Errorf("Rr = %v, want %v", got.ReleaseAhead, wantRr)
+	}
+	if math.Abs(got.Drop-wantRd) > 1e-15 {
+		t.Errorf("Rd = %v, want %v", got.Drop, wantRd)
+	}
+}
+
+func TestJointRdMatchesEq3(t *testing.T) {
+	tests := []struct {
+		p    float64
+		k, l int
+		want float64
+	}{
+		{0.2, 2, 3, math.Pow(1-0.04, 3)},
+		{0.5, 1, 1, 0.5},
+		{0.3, 4, 10, math.Pow(1-math.Pow(0.3, 4), 10)},
+	}
+	for _, tc := range tests {
+		if got := JointRd(tc.p, tc.k, tc.l); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("JointRd(%v,%d,%d) = %v, want %v", tc.p, tc.k, tc.l, got, tc.want)
+		}
+	}
+}
+
+func TestSchemesDegenerateToCentral(t *testing.T) {
+	// With k=1 paths of length l=1, every multipath scheme is the
+	// centralized scheme.
+	for _, p := range []float64{0, 0.25, 0.5, 0.9} {
+		want := Central(p)
+		if got := Disjoint(p, 1, 1); got != want {
+			t.Errorf("Disjoint(%v,1,1) = %+v, want %+v", p, got, want)
+		}
+		if got := Joint(p, 1, 1); got != want {
+			t.Errorf("Joint(%v,1,1) = %+v, want %+v", p, got, want)
+		}
+	}
+}
+
+func TestJointDominatesDisjointOnDrop(t *testing.T) {
+	// Section III-C: node-joint routing can only improve drop resilience
+	// while leaving release-ahead resilience unchanged.
+	err := quick.Check(func(seed uint64) bool {
+		p := float64(seed%101) / 100.0
+		k := int(seed/101%6) + 1
+		l := int(seed/707%8) + 1
+		if JointRr(p, k, l) != DisjointRr(p, k, l) {
+			return false
+		}
+		return JointRd(p, k, l) >= DisjointRd(p, k, l)-1e-12
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLemma1(t *testing.T) {
+	// Lemma 1: for the node-joint scheme, Rr + Rd > 1 whenever p < 0.5.
+	err := quick.Check(func(seed uint64) bool {
+		p := float64(seed%50) / 100.0 // p in [0, 0.49]
+		k := int(seed/50%8) + 1
+		l := int(seed/400%10) + 1
+		r := Joint(p, k, l)
+		return r.ReleaseAhead+r.Drop > 1-1e-12
+	}, &quick.Config{MaxCount: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResilienceInUnitInterval(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		p := float64(seed%101) / 100.0
+		k := int(seed/101%10) + 1
+		l := int(seed/1010%10) + 1
+		for _, v := range []float64{
+			DisjointRr(p, k, l), DisjointRd(p, k, l), JointRd(p, k, l),
+		} {
+			if v < -1e-12 || v > 1+1e-12 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResilienceMonotoneInP(t *testing.T) {
+	// More malicious nodes can never help the defender.
+	const k, l = 3, 4
+	prevRr, prevRd, prevJd := 1.0, 1.0, 1.0
+	for p := 0.0; p <= 1.0; p += 0.01 {
+		rr, rd, jd := DisjointRr(p, k, l), DisjointRd(p, k, l), JointRd(p, k, l)
+		if rr > prevRr+1e-12 || rd > prevRd+1e-12 || jd > prevJd+1e-12 {
+			t.Fatalf("resilience increased with p at p=%v", p)
+		}
+		prevRr, prevRd, prevJd = rr, rd, jd
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"negative p": func() { Central(-0.1) },
+		"p above 1":  func() { Central(1.1) },
+		"k zero":     func() { DisjointRr(0.5, 0, 3) },
+		"l zero":     func() { JointRd(0.5, 3, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMinHelper(t *testing.T) {
+	r := Resilience{ReleaseAhead: 0.7, Drop: 0.9}
+	if r.Min() != 0.7 {
+		t.Errorf("Min = %v", r.Min())
+	}
+}

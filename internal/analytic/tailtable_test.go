@@ -1,0 +1,38 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTailTableMatchesBinomialTail(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 40, 200} {
+		for _, p := range []float64{0, 0.1, 0.5, 0.93, 1} {
+			table := TailTable(n, p)
+			if len(table) != n+2 {
+				t.Fatalf("n=%d: table len %d", n, len(table))
+			}
+			for m := 0; m <= n+1; m++ {
+				want := BinomialTail(n, p, m)
+				if math.Abs(table[m]-want) > 1e-9 {
+					t.Errorf("TailTable(%d,%v)[%d] = %v, want %v", n, p, m, table[m], want)
+				}
+			}
+		}
+	}
+}
+
+func TestTailTableMonotone(t *testing.T) {
+	table := TailTable(500, 0.37)
+	for m := 1; m < len(table); m++ {
+		if table[m] > table[m-1]+1e-12 {
+			t.Fatalf("table not monotone at m=%d: %v > %v", m, table[m], table[m-1])
+		}
+	}
+	if table[0] != 1 {
+		t.Errorf("T[0] = %v, want 1", table[0])
+	}
+	if table[len(table)-1] != 0 {
+		t.Errorf("T[n+1] = %v, want 0", table[len(table)-1])
+	}
+}

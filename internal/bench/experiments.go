@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+
+	"selfemerge/internal/core"
+	"selfemerge/internal/mc"
+)
+
+// Options tunes the experiment sweeps. The zero value reproduces the paper's
+// setup: 1000 trials per point, malicious rate swept from 0 to 0.5.
+type Options struct {
+	Trials  int     // Monte Carlo trials per point; default 1000
+	Seed    uint64  // base RNG seed
+	PStep   float64 // malicious-rate grid step; default 0.02
+	PMax    float64 // sweep upper bound; default 0.5
+	Workers int     // default GOMAXPROCS
+	// IncludePredicted appends the closed-form (Equations (1)-(3),
+	// Algorithm 1) curves next to the measured ones, labelled "<scheme>/eq".
+	IncludePredicted bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Trials == 0 {
+		o.Trials = 1000
+	}
+	if o.PStep == 0 {
+		o.PStep = 0.02
+	}
+	if o.PMax == 0 {
+		o.PMax = 0.5
+	}
+	return o
+}
+
+func (o Options) grid() []float64 {
+	var ps []float64
+	// Build on integer steps to avoid floating-point drift in the grid.
+	steps := int(o.PMax/o.PStep + 0.5)
+	for i := 0; i <= steps; i++ {
+		ps = append(ps, float64(i)*o.PStep)
+	}
+	return ps
+}
+
+func (o Options) mcOptions(pointIndex int) mc.Options {
+	return mc.Options{
+		Trials:  o.Trials,
+		Seed:    o.Seed + uint64(pointIndex)*0x9e3779b97f4a7c15,
+		Workers: o.Workers,
+	}
+}
+
+// Figure6 reproduces Figure 6: attack resilience (panel a/c) and required
+// nodes C (panel b/d) versus malicious rate p for the centralized,
+// node-disjoint and node-joint schemes, in a DHT of the given network size
+// (10,000 for panels a-b, 100 for panels c-d). No churn.
+func Figure6(network int, opts Options) (resilience, cost Figure, err error) {
+	opts = opts.withDefaults()
+	grid := opts.grid()
+	schemes := []core.Scheme{core.SchemeCentral, core.SchemeDisjoint, core.SchemeJoint}
+
+	resilience = Figure{
+		ID:     fmt.Sprintf("fig6-resilience-%d", network),
+		Title:  fmt.Sprintf("attack resilience, %d nodes", network),
+		XLabel: "p",
+		YLabel: "R",
+	}
+	cost = Figure{
+		ID:     fmt.Sprintf("fig6-cost-%d", network),
+		Title:  fmt.Sprintf("required nodes, %d nodes", network),
+		XLabel: "p",
+		YLabel: "C",
+	}
+
+	for _, scheme := range schemes {
+		measured := Series{Label: scheme.String()}
+		costs := Series{Label: scheme.String()}
+		predicted := Series{Label: scheme.String() + "/eq"}
+		for i, p := range grid {
+			plan, planErr := planFor(scheme, p, network, 0, 0)
+			if planErr != nil {
+				return Figure{}, Figure{}, planErr
+			}
+			env := mc.Env{Population: network, Malicious: malCount(p, network)}
+			res, estErr := mc.Estimate(plan, env, opts.mcOptions(i))
+			if estErr != nil {
+				return Figure{}, Figure{}, estErr
+			}
+			measured.Points = append(measured.Points, Point{X: p, Y: res.MinR()})
+			costs.Points = append(costs.Points, Point{X: p, Y: float64(plan.NodesRequired())})
+			predicted.Points = append(predicted.Points, Point{X: p, Y: plan.Predicted.Min()})
+		}
+		resilience.Series = append(resilience.Series, measured)
+		cost.Series = append(cost.Series, costs)
+		if opts.IncludePredicted {
+			resilience.Series = append(resilience.Series, predicted)
+		}
+	}
+	return resilience, cost, nil
+}
+
+// Figure7 reproduces one panel of Figure 7: combined resilience R versus p
+// under churn, with the emerging period T equal to alpha mean node
+// lifetimes, for all four schemes in a 10,000-node DHT.
+func Figure7(alpha float64, opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	const network = 10000
+	grid := opts.grid()
+	fig := Figure{
+		ID:     fmt.Sprintf("fig7-alpha%g", alpha),
+		Title:  fmt.Sprintf("churn resilience, alpha = %g", alpha),
+		XLabel: "p",
+		YLabel: "R",
+	}
+	schemes := []core.Scheme{core.SchemeCentral, core.SchemeDisjoint, core.SchemeJoint, core.SchemeKeyShare}
+	for _, scheme := range schemes {
+		series := Series{Label: scheme.String()}
+		for i, p := range grid {
+			plan, err := planFor(scheme, p, network, alpha, 1)
+			if err != nil {
+				return Figure{}, err
+			}
+			env := mc.Env{Population: network, Malicious: malCount(p, network), Alpha: alpha}
+			res, err := mc.Estimate(plan, env, opts.mcOptions(i))
+			if err != nil {
+				return Figure{}, err
+			}
+			series.Points = append(series.Points, Point{X: p, Y: res.R()})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// Figure8 reproduces Figure 8: combined resilience of the key share routing
+// scheme at alpha = 3 versus p, when only 100 / 1000 / 5000 / 10000 of the
+// 10,000 DHT nodes are available to construct the share-routing paths.
+func Figure8(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	const network = 10000
+	const alpha = 3.0
+	grid := opts.grid()
+	fig := Figure{
+		ID:     "fig8",
+		Title:  "key share routing cost (alpha = 3)",
+		XLabel: "p",
+		YLabel: "R",
+	}
+	for _, available := range []int{100, 1000, 5000, 10000} {
+		series := Series{Label: fmt.Sprintf("%d", available)}
+		for i, p := range grid {
+			plan, err := core.PlanKeyShare(p, alpha, 1, core.PlannerConfig{Budget: available})
+			if err != nil {
+				return Figure{}, err
+			}
+			env := mc.Env{Population: network, Malicious: malCount(p, network), Alpha: alpha}
+			res, err := mc.Estimate(plan, env, opts.mcOptions(i))
+			if err != nil {
+				return Figure{}, err
+			}
+			series.Points = append(series.Points, Point{X: p, Y: res.R()})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// planFor sizes scheme for malicious rate p under a node budget; alpha and
+// lifetime are used only by the key share scheme's Algorithm 1.
+func planFor(scheme core.Scheme, p float64, budget int, alpha, lifetime float64) (core.Plan, error) {
+	switch scheme {
+	case core.SchemeCentral:
+		return core.PlanCentral(p), nil
+	case core.SchemeDisjoint, core.SchemeJoint:
+		return core.PlanMultipath(scheme, p, core.PlannerConfig{Budget: budget})
+	case core.SchemeKeyShare:
+		if alpha <= 0 {
+			alpha = 1
+		}
+		if lifetime <= 0 {
+			lifetime = 1
+		}
+		return core.PlanKeyShare(p, alpha, lifetime, core.PlannerConfig{Budget: budget})
+	default:
+		return core.Plan{}, fmt.Errorf("bench: unknown scheme %v", scheme)
+	}
+}
+
+func malCount(p float64, network int) int {
+	return int(p * float64(network))
+}

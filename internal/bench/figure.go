@@ -1,0 +1,120 @@
+// Package bench regenerates every figure of the paper's evaluation
+// (Section IV): the attack-resilience and node-cost sweeps of Figure 6, the
+// churn-resilience sweeps of Figure 7, and the key-share cost sweep of
+// Figure 8. Each generator returns a Figure — labelled series over the
+// malicious-rate axis — that can be rendered as CSV or an ASCII table, and
+// is exercised by the bench_test.go benchmarks at the repository root.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a reproduction of one paper figure panel.
+type Figure struct {
+	ID     string // e.g. "fig6a"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// WriteCSV renders the figure as CSV with a shared x column. All series must
+// be sampled on the same x grid (the generators in this package guarantee
+// it).
+func (f Figure) WriteCSV(w io.Writer) error {
+	labels := make([]string, 0, len(f.Series)+1)
+	labels = append(labels, f.XLabel)
+	for _, s := range f.Series {
+		labels = append(labels, s.Label)
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", strings.Join(labels, ",")); err != nil {
+		return err
+	}
+	if len(f.Series) == 0 {
+		return nil
+	}
+	for i, pt := range f.Series[0].Points {
+		row := make([]string, 0, len(f.Series)+1)
+		row = append(row, fmt.Sprintf("%.4g", pt.X))
+		for _, s := range f.Series {
+			if i >= len(s.Points) || s.Points[i].X != pt.X {
+				return fmt.Errorf("bench: series %q not aligned with %q at row %d", s.Label, f.Series[0].Label, i)
+			}
+			row = append(row, fmt.Sprintf("%.6g", s.Points[i].Y))
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTable renders the figure as a fixed-width ASCII table with a title,
+// the human-friendly form printed by cmd/emergesim.
+func (f Figure) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	header := fmt.Sprintf("%8s", f.XLabel)
+	for _, s := range f.Series {
+		header += fmt.Sprintf(" %12s", s.Label)
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if len(f.Series) == 0 {
+		return nil
+	}
+	for i, pt := range f.Series[0].Points {
+		row := fmt.Sprintf("%8.3f", pt.X)
+		for _, s := range f.Series {
+			if i >= len(s.Points) {
+				return fmt.Errorf("bench: series %q shorter than %q", s.Label, f.Series[0].Label)
+			}
+			row += fmt.Sprintf(" %12.4f", s.Points[i].Y)
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SeriesByLabel returns the series with the given label.
+func (f Figure) SeriesByLabel(label string) (Series, bool) {
+	for _, s := range f.Series {
+		if s.Label == label {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+// ValueAt returns the y value of the series at the x closest to want.
+func (s Series) ValueAt(want float64) float64 {
+	best := math.Inf(1)
+	var y float64
+	for _, pt := range s.Points {
+		if d := math.Abs(pt.X - want); d < best {
+			best = d
+			y = pt.Y
+		}
+	}
+	return y
+}

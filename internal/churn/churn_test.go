@@ -1,0 +1,88 @@
+package churn
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"selfemerge/internal/sim"
+	"selfemerge/internal/stats"
+)
+
+func TestSampleLifetimeMean(t *testing.T) {
+	s := sim.NewSimulator()
+	p := New(s, Config{MeanLifetime: time.Hour, Seed: 1})
+	var sum stats.Summary
+	for i := 0; i < 50000; i++ {
+		sum.Add(float64(p.SampleLifetime()))
+	}
+	want := float64(time.Hour)
+	if math.Abs(sum.Mean()-want) > 0.03*want {
+		t.Errorf("mean lifetime = %v, want ~%v", time.Duration(sum.Mean()), time.Hour)
+	}
+}
+
+func TestScheduleDeathFires(t *testing.T) {
+	s := sim.NewSimulator()
+	p := New(s, Config{MeanLifetime: time.Hour, Seed: 2})
+	died := false
+	timer, life := p.ScheduleDeath(func() { died = true })
+	if timer == nil || life <= 0 {
+		t.Fatal("no timer scheduled")
+	}
+	s.Run()
+	if !died {
+		t.Fatal("death never fired")
+	}
+}
+
+func TestScheduleDeathDisabled(t *testing.T) {
+	s := sim.NewSimulator()
+	p := New(s, Config{})
+	timer, life := p.ScheduleDeath(func() { t.Error("death fired with churn disabled") })
+	if timer != nil || life != 0 {
+		t.Fatal("expected nil timer")
+	}
+	s.Run()
+}
+
+func TestScheduleDeathCancel(t *testing.T) {
+	s := sim.NewSimulator()
+	p := New(s, Config{MeanLifetime: time.Hour, Seed: 3})
+	timer, _ := p.ScheduleDeath(func() { t.Error("cancelled death fired") })
+	timer.Stop()
+	s.Run()
+}
+
+func TestManageAvailabilityFlaps(t *testing.T) {
+	s := sim.NewSimulator()
+	p := New(s, Config{MeanUptime: time.Hour, MeanDowntime: 10 * time.Minute, Seed: 4})
+	transitions := 0
+	down := false
+	stop := p.ManageAvailability(func(d bool) {
+		if d == down {
+			t.Fatal("non-alternating availability transition")
+		}
+		down = d
+		transitions++
+	})
+	s.RunUntil(s.Now().Add(24 * time.Hour))
+	if transitions < 5 {
+		t.Fatalf("only %d transitions in 24h", transitions)
+	}
+	stop()
+	before := transitions
+	s.RunUntil(s.Now().Add(24 * time.Hour))
+	// One already-queued transition may fire; no sustained flapping.
+	if transitions > before+1 {
+		t.Fatalf("flapping continued after stop: %d -> %d", before, transitions)
+	}
+}
+
+func TestManageAvailabilityDisabled(t *testing.T) {
+	s := sim.NewSimulator()
+	p := New(s, Config{})
+	stop := p.ManageAvailability(func(bool) { t.Error("transition with flapping disabled") })
+	s.RunUntil(s.Now().Add(time.Hour))
+	stop()
+}

@@ -1,0 +1,73 @@
+package cloud
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPutGetPublic(t *testing.T) {
+	s := NewStore()
+	s.Put("exam", []byte("ciphertext"))
+	got, err := s.Get("exam", "anyone")
+	if err != nil || !bytes.Equal(got, []byte("ciphertext")) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+}
+
+func TestACL(t *testing.T) {
+	s := NewStore()
+	s.Put("ballots", []byte("x"), "bob", "carol")
+	if _, err := s.Get("ballots", "bob"); err != nil {
+		t.Errorf("authorized reader denied: %v", err)
+	}
+	if _, err := s.Get("ballots", "mallory"); err != ErrForbidden {
+		t.Errorf("unauthorized read: %v", err)
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Get("missing", "x"); err != ErrNotFound {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestOverwriteAndDelete(t *testing.T) {
+	s := NewStore()
+	s.Put("k", []byte("v1"))
+	s.Put("k", []byte("v2"))
+	got, err := s.Get("k", "")
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("overwrite: %q %v", got, err)
+	}
+	s.Delete("k")
+	if _, err := s.Get("k", ""); err != ErrNotFound {
+		t.Errorf("after delete: %v", err)
+	}
+	s.Delete("k") // idempotent
+	if s.Len() != 0 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := NewStore()
+	s.Put("k", []byte("orig"))
+	got, _ := s.Get("k", "")
+	got[0] = 'X'
+	again, _ := s.Get("k", "")
+	if string(again) != "orig" {
+		t.Error("Get returned aliased memory")
+	}
+}
+
+func TestPutCopiesInput(t *testing.T) {
+	s := NewStore()
+	buf := []byte("orig")
+	s.Put("k", buf)
+	buf[0] = 'X'
+	got, _ := s.Get("k", "")
+	if string(got) != "orig" {
+		t.Error("Put aliased caller memory")
+	}
+}

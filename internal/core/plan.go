@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"selfemerge/internal/analytic"
+)
+
+// Plan is a fully-sized routing scheme: which scheme to run, the path shape
+// (k replicated paths of l holder columns), and — for the key share scheme —
+// the per-column Shamir thresholds. A Plan is what the sender needs to build
+// a Topology, generate packages and dispatch them into the DHT.
+type Plan struct {
+	Scheme Scheme
+	K      int // replication factor: number of (main) paths
+	L      int // path length: number of holder columns
+
+	// ShareN is the number of share carriers per column (key share scheme
+	// only); ShareM[j] is the Shamir threshold protecting the column j+1 key
+	// for j in [0, L-1). ShareM[0] corresponds to column 2: the first
+	// column's keys are delivered directly and have no threshold.
+	ShareN int
+	ShareM []int
+
+	// Predicted holds the closed-form no-churn resilience of the plan
+	// (Equations (1)-(3), or Algorithm 1 for the key share scheme).
+	Predicted analytic.Resilience
+}
+
+// NodesRequired returns the number of distinct DHT nodes the plan consumes —
+// the quantity plotted as C in Figure 6(b)/(d).
+func (p Plan) NodesRequired() int {
+	switch p.Scheme {
+	case SchemeCentral:
+		return 1
+	case SchemeDisjoint, SchemeJoint:
+		return p.K * p.L
+	case SchemeKeyShare:
+		// Resources are assigned uniformly along the paths (Algorithm 1
+		// line 1): every column, terminal included, holds ShareN carriers.
+		return p.ShareN * p.L
+	default:
+		return 0
+	}
+}
+
+// HoldPeriod returns th = T/l, the per-hop holding period that makes the
+// whole route take exactly the emerging period T.
+func (p Plan) HoldPeriod(emergingPeriod time.Duration) time.Duration {
+	if p.L <= 0 {
+		return emergingPeriod
+	}
+	return emergingPeriod / time.Duration(p.L)
+}
+
+// Validate checks structural invariants.
+func (p Plan) Validate() error {
+	if !p.Scheme.Valid() {
+		return fmt.Errorf("core: invalid scheme %d", int(p.Scheme))
+	}
+	if p.Scheme == SchemeCentral {
+		if p.K != 1 || p.L != 1 {
+			return fmt.Errorf("core: central plan must be 1x1, got %dx%d", p.K, p.L)
+		}
+		return nil
+	}
+	if p.K < 1 || p.L < 1 {
+		return fmt.Errorf("core: plan shape %dx%d invalid", p.K, p.L)
+	}
+	if p.Scheme == SchemeKeyShare {
+		if p.ShareN < p.K {
+			return fmt.Errorf("core: share plan has n=%d < k=%d", p.ShareN, p.K)
+		}
+		if len(p.ShareM) != p.L-1 {
+			return fmt.Errorf("core: share plan has %d thresholds, want %d", len(p.ShareM), p.L-1)
+		}
+		for i, m := range p.ShareM {
+			if m < 1 || m > p.ShareN {
+				return fmt.Errorf("core: threshold m[%d]=%d outside [1,%d]", i, m, p.ShareN)
+			}
+		}
+	}
+	return nil
+}
+
+// PlannerConfig bounds the planner's search. The zero value is completed by
+// defaults that cover the paper's sweeps.
+type PlannerConfig struct {
+	// Budget is the maximum number of DHT nodes the plan may consume (the
+	// "available nodes" N of Figures 6 and 8).
+	Budget int
+	// TargetR is the resilience the sender asks for. The planner returns the
+	// cheapest shape whose min(Rr, Rd) meets the target; when no shape within
+	// Budget meets it, the planner returns the best-achievable (max-min)
+	// shape — this is what bends the curves of Figure 6(a) downward and
+	// drives the node cost of Figure 6(b) toward the budget as p grows.
+	// Default 0.999.
+	TargetR float64
+	// MaxK caps the replication factor search. Default 64: Rr decays in k,
+	// so optima stay far below this.
+	MaxK int
+	// MaxL caps the path length search. Default: the node budget.
+	MaxL int
+	// ShareMaxK and ShareMaxL cap the key share scheme's own shape search
+	// (defaults 12 and 8). Long share paths are counter-productive: every
+	// extra column both divides the share budget (n = N/l) and adds one
+	// more Shamir threshold that must hold, so the search stays small; the
+	// paper's examples use l = 3.
+	ShareMaxK int
+	ShareMaxL int
+}
+
+func (c PlannerConfig) withDefaults() PlannerConfig {
+	if c.TargetR == 0 {
+		c.TargetR = 0.999
+	}
+	if c.MaxK == 0 {
+		c.MaxK = 64
+	}
+	if c.MaxL == 0 {
+		c.MaxL = c.Budget
+	}
+	if c.ShareMaxK == 0 {
+		c.ShareMaxK = 12
+	}
+	if c.ShareMaxL == 0 {
+		c.ShareMaxL = 8
+	}
+	return c
+}
+
+// PlanCentral returns the trivial single-node plan.
+func PlanCentral(p float64) Plan {
+	return Plan{Scheme: SchemeCentral, K: 1, L: 1, Predicted: analytic.Central(p)}
+}
+
+// PlanMultipath sizes a node-disjoint or node-joint multipath scheme for
+// malicious rate p: the cheapest (k, l) whose min(Rr, Rd) reaches
+// cfg.TargetR, or the max-min shape within budget when the target is
+// unreachable (Section III-B: "the sender can apply equations 1 and 2 to
+// calculate k and l ... for her expected attack resilience").
+func PlanMultipath(scheme Scheme, p float64, cfg PlannerConfig) (Plan, error) {
+	if scheme != SchemeDisjoint && scheme != SchemeJoint {
+		return Plan{}, fmt.Errorf("core: PlanMultipath does not size %v", scheme)
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Budget < 1 {
+		return Plan{}, fmt.Errorf("core: node budget %d must be >= 1", cfg.Budget)
+	}
+
+	var (
+		// Cheapest shape meeting the target.
+		hit     Plan
+		hitCost int
+		// Best-achievable fallback.
+		best      = Plan{Scheme: scheme, K: 1, L: 1, Predicted: resilienceOf(scheme, p, 1, 1)}
+		bestScore = best.Predicted.Min()
+		bestCost  = 1
+	)
+	for l := 1; l <= cfg.MaxL; l++ {
+		maxK := cfg.Budget / l
+		if maxK > cfg.MaxK {
+			maxK = cfg.MaxK
+		}
+		for k := 1; k <= maxK; k++ {
+			r := resilienceOf(scheme, p, k, l)
+			score := r.Min()
+			cost := k * l
+			if score >= cfg.TargetR && (hitCost == 0 || cost < hitCost) {
+				hit = Plan{Scheme: scheme, K: k, L: l, Predicted: r}
+				hitCost = cost
+			}
+			if score > bestScore+1e-12 || (score > bestScore-1e-12 && cost < bestCost) {
+				best = Plan{Scheme: scheme, K: k, L: l, Predicted: r}
+				bestScore = score
+				bestCost = cost
+			}
+		}
+	}
+	if hitCost != 0 {
+		return hit, nil
+	}
+	return best, nil
+}
+
+func resilienceOf(scheme Scheme, p float64, k, l int) analytic.Resilience {
+	if scheme == SchemeJoint {
+		return analytic.Joint(p, k, l)
+	}
+	return analytic.Disjoint(p, k, l)
+}
+
+// PlanKeyShare sizes the key share routing scheme for the given emerging
+// period and mean node lifetime (any common unit; only the ratio alpha =
+// T/lifetime matters). For every candidate shape (k paths, l columns) within
+// cfg's share-search bounds it runs Algorithm 1 to pick the per-column
+// Shamir thresholds and predict Rr/Rd, corrects the drop prediction for the
+// entry column (the main onion enters on only k holders, each of which must
+// survive one holding period — a churn term Algorithm 1's recurrence leaves
+// out), and keeps the max-min shape.
+//
+// Unlike the multipath planner there is no cheapest-cost notion: Algorithm 1
+// line 1 always spreads the full node budget uniformly along the columns
+// (n = floor(N/l)), matching Figure 8 where the budget itself is the
+// independent variable.
+func PlanKeyShare(p float64, emergingPeriod, meanLifetime float64, cfg PlannerConfig) (Plan, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Budget < 2 {
+		return Plan{}, fmt.Errorf("core: budget %d cannot host a share topology", cfg.Budget)
+	}
+	if emergingPeriod <= 0 || meanLifetime <= 0 {
+		return Plan{}, fmt.Errorf("core: emerging period %v and lifetime %v must be positive", emergingPeriod, meanLifetime)
+	}
+
+	var (
+		best      Plan
+		bestScore = -1.0
+	)
+	maxL := cfg.ShareMaxL
+	if maxL > cfg.Budget/2 {
+		maxL = cfg.Budget / 2
+	}
+	for l := 2; l <= maxL; l++ {
+		n := cfg.Budget / l
+		if n < 1 {
+			break
+		}
+		maxK := cfg.ShareMaxK
+		if maxK > n {
+			maxK = n
+		}
+		for k := 1; k <= maxK; k++ {
+			ks, err := analytic.PlanKeyShare(analytic.KeyShareInput{
+				K:      k,
+				L:      l,
+				N:      cfg.Budget,
+				T:      emergingPeriod,
+				Lambda: meanLifetime,
+				P:      p,
+			})
+			if err != nil {
+				return Plan{}, fmt.Errorf("core: sizing share thresholds: %w", err)
+			}
+			// Entry correction: the main onion must clear column 1, which
+			// requires one of the k main holders to be honest and survive
+			// the first holding period.
+			perHolderLoss := p + (1-p)*ks.PDead
+			entry := 1 - math.Pow(perHolderLoss, float64(k))
+			adjusted := analytic.Resilience{
+				ReleaseAhead: ks.Result.ReleaseAhead,
+				Drop:         ks.Result.Drop * entry,
+			}
+			score := adjusted.Min()
+			if score > bestScore+1e-12 {
+				thresholds := make([]int, 0, l-1)
+				for _, col := range ks.Columns[1:] {
+					thresholds = append(thresholds, col.M)
+				}
+				best = Plan{
+					Scheme:    SchemeKeyShare,
+					K:         k,
+					L:         l,
+					ShareN:    ks.SharesN,
+					ShareM:    thresholds,
+					Predicted: adjusted,
+				}
+				bestScore = score
+			}
+		}
+	}
+	if bestScore < 0 {
+		return Plan{}, fmt.Errorf("core: no feasible share topology within budget %d", cfg.Budget)
+	}
+	if err := best.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return best, nil
+}

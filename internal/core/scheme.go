@@ -1,0 +1,59 @@
+// Package core implements the paper's primary contribution: the four
+// self-emerging key routing schemes (centralized, node-disjoint multipath,
+// node-joint multipath, and key share routing), the planner that sizes a
+// scheme's path structure (k paths of l holders, per-column Shamir
+// thresholds) for a target adversary, and the concrete holder topologies the
+// protocol and simulators execute.
+package core
+
+import "fmt"
+
+// Scheme identifies one of the four self-emerging key routing schemes of
+// Section III.
+type Scheme int
+
+const (
+	// SchemeCentral stores the key on a single DHT node for the whole
+	// emerging period (Section III-A). Baseline.
+	SchemeCentral Scheme = iota + 1
+	// SchemeDisjoint routes k replicated onions along node-disjoint paths of
+	// l holders with pre-assigned layer keys (Section III-B).
+	SchemeDisjoint
+	// SchemeJoint additionally forwards every column-j package to every
+	// column-(j+1) holder, maximizing path multiplicity (Section III-C).
+	SchemeJoint
+	// SchemeKeyShare delivers onion layer keys just-in-time as Shamir shares
+	// routed alongside the onions (Section III-D, Algorithm 1).
+	SchemeKeyShare
+)
+
+// String returns the scheme label used across the paper's figures.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeCentral:
+		return "central"
+	case SchemeDisjoint:
+		return "disjoint"
+	case SchemeJoint:
+		return "joint"
+	case SchemeKeyShare:
+		return "share"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Valid reports whether s names a known scheme.
+func (s Scheme) Valid() bool {
+	return s >= SchemeCentral && s <= SchemeKeyShare
+}
+
+// ParseScheme converts a figure label back into a Scheme.
+func ParseScheme(label string) (Scheme, error) {
+	for _, s := range []Scheme{SchemeCentral, SchemeDisjoint, SchemeJoint, SchemeKeyShare} {
+		if s.String() == label {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown scheme %q", label)
+}

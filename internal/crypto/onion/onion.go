@@ -1,0 +1,190 @@
+// Package onion builds and peels the layered packages the self-emerging key
+// routing schemes transmit (Section III). Each layer is sealed with one
+// layer key K_j; peeling reveals the next-hop addresses, any key-share
+// payloads to scatter to the next holders, and the remaining (still sealed)
+// inner onion. The innermost layer carries the protected secret.
+//
+// The package is transport- and DHT-agnostic: next hops and shares are
+// opaque byte strings supplied by the protocol layer.
+package onion
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"selfemerge/internal/crypto/seal"
+)
+
+// Layer describes the plaintext of one onion layer.
+type Layer struct {
+	// NextHops are opaque addresses of the holders the remaining onion (and
+	// shares) must be forwarded to. Empty for the innermost layer.
+	NextHops [][]byte
+	// Shares are opaque key-share payloads revealed at this layer, to be
+	// scattered one-per-next-column-holder by the key share routing scheme.
+	Shares [][]byte
+	// Payload is the protected secret, present only at the innermost layer.
+	Payload []byte
+	// Rest is the still-sealed inner onion to forward; nil at the innermost
+	// layer. Populated by Peel, ignored by Build.
+	Rest []byte
+}
+
+var (
+	// ErrMalformed is returned when a peeled plaintext cannot be decoded.
+	ErrMalformed = errors.New("onion: malformed layer")
+	// ErrNoLayers is returned by Build when no layers are supplied.
+	ErrNoLayers = errors.New("onion: at least one layer required")
+)
+
+const maxSection = 1 << 24 // sanity cap on any encoded field length
+
+// Build wraps the given layers (outermost first) under the corresponding
+// keys (keys[0] seals layers[0]). The innermost layer is layers[len-1].
+// Build returns the fully wrapped onion ciphertext.
+func Build(layers []Layer, keys []seal.Key) ([]byte, error) {
+	if len(layers) == 0 {
+		return nil, ErrNoLayers
+	}
+	if len(layers) != len(keys) {
+		return nil, fmt.Errorf("onion: %d layers but %d keys", len(layers), len(keys))
+	}
+	var inner []byte
+	for i := len(layers) - 1; i >= 0; i-- {
+		layer := layers[i]
+		layer.Rest = inner
+		plain, err := encodeLayer(layer)
+		if err != nil {
+			return nil, err
+		}
+		sealed, err := seal.Encrypt(keys[i], plain, nil)
+		if err != nil {
+			return nil, fmt.Errorf("onion: sealing layer %d: %w", i, err)
+		}
+		inner = sealed
+	}
+	return inner, nil
+}
+
+// Peel removes the outermost layer of the onion with key, returning the
+// revealed layer. Layer.Rest holds the remaining onion (nil at the
+// innermost layer).
+func Peel(key seal.Key, wrapped []byte) (Layer, error) {
+	plain, err := seal.Decrypt(key, wrapped, nil)
+	if err != nil {
+		return Layer{}, fmt.Errorf("onion: %w", err)
+	}
+	return decodeLayer(plain)
+}
+
+func encodeLayer(l Layer) ([]byte, error) {
+	size := 4 + 4 + 4 + len(l.Payload) + 4 + len(l.Rest)
+	for _, h := range l.NextHops {
+		size += 4 + len(h)
+	}
+	for _, s := range l.Shares {
+		size += 4 + len(s)
+	}
+	buf := make([]byte, 0, size)
+	var err error
+	appendList := func(list [][]byte) {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(list)))
+		for _, item := range list {
+			if len(item) > maxSection {
+				err = fmt.Errorf("onion: section of %d bytes exceeds limit", len(item))
+				return
+			}
+			buf = binary.BigEndian.AppendUint32(buf, uint32(len(item)))
+			buf = append(buf, item...)
+		}
+	}
+	appendList(l.NextHops)
+	if err != nil {
+		return nil, err
+	}
+	appendList(l.Shares)
+	if err != nil {
+		return nil, err
+	}
+	appendList([][]byte{l.Payload, l.Rest})
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func decodeLayer(plain []byte) (Layer, error) {
+	r := reader{buf: plain}
+	hops, err := r.list()
+	if err != nil {
+		return Layer{}, err
+	}
+	shares, err := r.list()
+	if err != nil {
+		return Layer{}, err
+	}
+	tail, err := r.list()
+	if err != nil {
+		return Layer{}, err
+	}
+	if len(tail) != 2 || r.remaining() != 0 {
+		return Layer{}, ErrMalformed
+	}
+	l := Layer{NextHops: hops, Shares: shares}
+	if len(tail[0]) > 0 {
+		l.Payload = tail[0]
+	}
+	if len(tail[1]) > 0 {
+		l.Rest = tail[1]
+	}
+	return l, nil
+}
+
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+func (r *reader) uint32() (uint32, error) {
+	if r.remaining() < 4 {
+		return 0, ErrMalformed
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || n > maxSection || r.remaining() < n {
+		return nil, ErrMalformed
+	}
+	out := r.buf[r.off : r.off+n]
+	r.off += n
+	return out, nil
+}
+
+func (r *reader) list() ([][]byte, error) {
+	count, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if int(count) > maxSection {
+		return nil, ErrMalformed
+	}
+	out := make([][]byte, 0, count)
+	for i := 0; i < int(count); i++ {
+		n, err := r.uint32()
+		if err != nil {
+			return nil, err
+		}
+		item, err := r.bytes(int(n))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, item)
+	}
+	return out, nil
+}

@@ -1,0 +1,103 @@
+// Package seal provides the authenticated encryption used throughout the
+// self-emerging data protocol: AES-256-GCM with random nonces. Onion layers,
+// cloud payloads and the secret key envelope are all sealed with this
+// package.
+package seal
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// KeySize is the size of a sealing key in bytes (AES-256).
+const KeySize = 32
+
+// ErrKeySize is returned when a key is not KeySize bytes long.
+var ErrKeySize = errors.New("seal: key must be 32 bytes")
+
+// ErrDecrypt is returned when authentication fails or the ciphertext is
+// malformed. Callers must treat it as "wrong key or tampered data" without
+// distinguishing the two.
+var ErrDecrypt = errors.New("seal: message authentication failed")
+
+// Key is a symmetric sealing key.
+type Key [KeySize]byte
+
+// NewKey generates a fresh random key from crypto/rand.
+func NewKey() (Key, error) {
+	var k Key
+	if _, err := io.ReadFull(rand.Reader, k[:]); err != nil {
+		return Key{}, fmt.Errorf("seal: generating key: %w", err)
+	}
+	return k, nil
+}
+
+// KeyFromBytes copies a 32-byte slice into a Key.
+func KeyFromBytes(b []byte) (Key, error) {
+	var k Key
+	if len(b) != KeySize {
+		return Key{}, ErrKeySize
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// Bytes returns the key material as a fresh slice.
+func (k Key) Bytes() []byte {
+	out := make([]byte, KeySize)
+	copy(out, k[:])
+	return out
+}
+
+// Encrypt seals plaintext under k with optional additional authenticated
+// data. The returned ciphertext embeds the nonce prefix.
+func Encrypt(k Key, plaintext, aad []byte) ([]byte, error) {
+	aead, err := newAEAD(k)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, fmt.Errorf("seal: generating nonce: %w", err)
+	}
+	return aead.Seal(nonce, nonce, plaintext, aad), nil
+}
+
+// Decrypt opens a ciphertext produced by Encrypt. It returns ErrDecrypt for
+// any authentication failure.
+func Decrypt(k Key, ciphertext, aad []byte) ([]byte, error) {
+	aead, err := newAEAD(k)
+	if err != nil {
+		return nil, err
+	}
+	if len(ciphertext) < aead.NonceSize() {
+		return nil, ErrDecrypt
+	}
+	nonce, box := ciphertext[:aead.NonceSize()], ciphertext[aead.NonceSize():]
+	plaintext, err := aead.Open(nil, nonce, box, aad)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return plaintext, nil
+}
+
+// Overhead is the ciphertext expansion of one Encrypt call (nonce + GCM tag).
+func Overhead() int {
+	return 12 + 16
+}
+
+func newAEAD(k Key) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(k[:])
+	if err != nil {
+		return nil, fmt.Errorf("seal: creating cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("seal: creating GCM: %w", err)
+	}
+	return aead, nil
+}

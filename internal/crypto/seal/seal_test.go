@@ -1,0 +1,142 @@
+package seal
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	key, err := NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, msg := range [][]byte{[]byte("x"), []byte("hello self-emerging world"), make([]byte, 4096)} {
+		ct, err := Encrypt(key, msg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := Decrypt(key, ct, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(pt, msg) {
+			t.Errorf("round trip mismatch for %d-byte message", len(msg))
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	key, err := NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = quick.Check(func(msg, aad []byte) bool {
+		if len(msg) == 0 {
+			msg = []byte{0}
+		}
+		ct, err := Encrypt(key, msg, aad)
+		if err != nil {
+			return false
+		}
+		pt, err := Decrypt(key, ct, aad)
+		return err == nil && bytes.Equal(pt, msg)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWrongKeyFails(t *testing.T) {
+	k1, _ := NewKey()
+	k2, _ := NewKey()
+	ct, err := Encrypt(k1, []byte("secret"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decrypt(k2, ct, nil); err != ErrDecrypt {
+		t.Errorf("wrong key: err = %v, want ErrDecrypt", err)
+	}
+}
+
+func TestWrongAADFails(t *testing.T) {
+	k, _ := NewKey()
+	ct, err := Encrypt(k, []byte("secret"), []byte("context-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decrypt(k, ct, []byte("context-b")); err != ErrDecrypt {
+		t.Errorf("wrong aad: err = %v, want ErrDecrypt", err)
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	k, _ := NewKey()
+	ct, err := Encrypt(k, []byte("secret"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []int{0, len(ct) / 2, len(ct) - 1} {
+		mangled := append([]byte(nil), ct...)
+		mangled[idx] ^= 0x01
+		if _, err := Decrypt(k, mangled, nil); err != ErrDecrypt {
+			t.Errorf("tamper at %d: err = %v, want ErrDecrypt", idx, err)
+		}
+	}
+}
+
+func TestTruncatedCiphertext(t *testing.T) {
+	k, _ := NewKey()
+	if _, err := Decrypt(k, []byte{1, 2, 3}, nil); err != ErrDecrypt {
+		t.Errorf("short ciphertext: err = %v, want ErrDecrypt", err)
+	}
+	if _, err := Decrypt(k, nil, nil); err != ErrDecrypt {
+		t.Errorf("nil ciphertext: err = %v, want ErrDecrypt", err)
+	}
+}
+
+func TestNoncesDiffer(t *testing.T) {
+	k, _ := NewKey()
+	a, _ := Encrypt(k, []byte("same message"), nil)
+	b, _ := Encrypt(k, []byte("same message"), nil)
+	if bytes.Equal(a, b) {
+		t.Error("two encryptions of the same message are identical (nonce reuse?)")
+	}
+}
+
+func TestKeyFromBytes(t *testing.T) {
+	raw := bytes.Repeat([]byte{7}, KeySize)
+	k, err := KeyFromBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(k.Bytes(), raw) {
+		t.Error("Bytes() mismatch")
+	}
+	if _, err := KeyFromBytes(raw[:31]); err != ErrKeySize {
+		t.Errorf("short key err = %v", err)
+	}
+	// Bytes must be a copy.
+	b := k.Bytes()
+	b[0] = 99
+	if k.Bytes()[0] == 99 {
+		t.Error("Bytes() returned aliased memory")
+	}
+}
+
+func TestOverheadMatchesReality(t *testing.T) {
+	k, _ := NewKey()
+	msg := []byte("12345")
+	ct, _ := Encrypt(k, msg, nil)
+	if got := len(ct) - len(msg); got != Overhead() {
+		t.Errorf("overhead = %d, Overhead() = %d", got, Overhead())
+	}
+}
+
+func TestKeysAreRandom(t *testing.T) {
+	a, _ := NewKey()
+	b, _ := NewKey()
+	if a == b {
+		t.Error("two generated keys are identical")
+	}
+}

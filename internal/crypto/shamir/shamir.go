@@ -1,0 +1,155 @@
+// Package shamir implements Shamir's (m, n) threshold secret sharing over
+// GF(2^8), the mechanism the key share routing scheme (Section III-D) uses
+// to deliver onion layer keys just-in-time: a key split into n shares can be
+// recovered from any m of them, tolerating up to n-m shares lost to churn or
+// withheld by malicious holders, while m-1 shares reveal nothing.
+//
+// Each byte of the secret is shared independently with a random polynomial
+// of degree m-1; share j carries the polynomial evaluations at x = j. The
+// field is GF(2^8) with the AES reduction polynomial x^8+x^4+x^3+x+1.
+package shamir
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Share is one fragment of a split secret. X identifies the evaluation
+// point (1..n); Data holds one byte per secret byte.
+type Share struct {
+	X    byte
+	Data []byte
+}
+
+var (
+	// ErrThreshold is returned for invalid (m, n) parameters.
+	ErrThreshold = errors.New("shamir: need 1 <= m <= n <= 255")
+	// ErrTooFewShares is returned when fewer than m shares are combined.
+	ErrTooFewShares = errors.New("shamir: not enough shares to reconstruct")
+	// ErrShareMismatch is returned when shares disagree on length or carry
+	// duplicate evaluation points.
+	ErrShareMismatch = errors.New("shamir: inconsistent shares")
+)
+
+// Split shares secret into n shares with reconstruction threshold m.
+// The secret may be any non-empty byte string.
+func Split(secret []byte, m, n int) ([]Share, error) {
+	if m < 1 || n < m || n > 255 {
+		return nil, ErrThreshold
+	}
+	if len(secret) == 0 {
+		return nil, errors.New("shamir: empty secret")
+	}
+	shares := make([]Share, n)
+	for j := range shares {
+		shares[j] = Share{X: byte(j + 1), Data: make([]byte, len(secret))}
+	}
+	coeffs := make([]byte, m-1)
+	for i, b := range secret {
+		if _, err := io.ReadFull(rand.Reader, coeffs); err != nil {
+			return nil, fmt.Errorf("shamir: sampling polynomial: %w", err)
+		}
+		for j := range shares {
+			shares[j].Data[i] = evalPoly(b, coeffs, shares[j].X)
+		}
+	}
+	return shares, nil
+}
+
+// Combine reconstructs the secret from at least m distinct shares produced
+// by Split with threshold m. Extra shares are fine; they are not verified
+// against each other (Shamir sharing is not authenticated — the protocol
+// seals shares inside authenticated onion layers instead).
+func Combine(shares []Share, m int) ([]byte, error) {
+	if m < 1 {
+		return nil, ErrThreshold
+	}
+	if len(shares) < m {
+		return nil, ErrTooFewShares
+	}
+	use := shares[:m]
+	length := len(use[0].Data)
+	seen := make(map[byte]bool, m)
+	for _, s := range use {
+		if len(s.Data) != length {
+			return nil, ErrShareMismatch
+		}
+		if s.X == 0 || seen[s.X] {
+			return nil, ErrShareMismatch
+		}
+		seen[s.X] = true
+	}
+	if length == 0 {
+		return nil, ErrShareMismatch
+	}
+
+	// Lagrange interpolation at x = 0, per byte position. The basis factors
+	// depend only on the share x-coordinates, so compute them once.
+	basis := make([]byte, m)
+	for j := range use {
+		num, den := byte(1), byte(1)
+		for i := range use {
+			if i == j {
+				continue
+			}
+			num = mul(num, use[i].X)          // (0 - x_i) == x_i in GF(2^8)
+			den = mul(den, use[j].X^use[i].X) // (x_j - x_i)
+		}
+		basis[j] = mul(num, inv(den))
+	}
+	secret := make([]byte, length)
+	for pos := 0; pos < length; pos++ {
+		var acc byte
+		for j := range use {
+			acc ^= mul(use[j].Data[pos], basis[j])
+		}
+		secret[pos] = acc
+	}
+	return secret, nil
+}
+
+// evalPoly evaluates secret + c1*x + c2*x^2 + ... at x using Horner's rule.
+func evalPoly(secret byte, coeffs []byte, x byte) byte {
+	acc := byte(0)
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc = mul(acc, x) ^ coeffs[i]
+	}
+	return mul(acc, x) ^ secret
+}
+
+// mul multiplies in GF(2^8) modulo x^8+x^4+x^3+x+1 (0x11b).
+func mul(a, b byte) byte {
+	var p byte
+	for b > 0 {
+		if b&1 == 1 {
+			p ^= a
+		}
+		carry := a & 0x80
+		a <<= 1
+		if carry != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// inv returns the multiplicative inverse in GF(2^8); inv(0) is 0 by
+// convention (never reached by Combine, which rejects duplicate points).
+func inv(a byte) byte {
+	if a == 0 {
+		return 0
+	}
+	// a^254 = a^-1 in GF(2^8) by Fermat's little theorem for GF(2^8)*.
+	result := byte(1)
+	base := a
+	for exp := 254; exp > 0; exp >>= 1 {
+		if exp&1 == 1 {
+			result = mul(result, base)
+		}
+		base = mul(base, base)
+	}
+	return result
+}

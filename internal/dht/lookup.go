@@ -1,0 +1,241 @@
+package dht
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Lookup performs an iterative FIND_NODE for target and calls cb with the
+// up-to-K closest contacts found. cb runs on the clock's dispatch context.
+func (n *Node) Lookup(target ID, cb func([]Contact)) {
+	n.newLookup(target, false, func(contacts []Contact, _ []byte, _ bool) {
+		cb(contacts)
+	})
+}
+
+// Get performs an iterative FIND_VALUE for key. cb receives the value if
+// any replica held it.
+func (n *Node) Get(key ID, cb func(value []byte, ok bool)) {
+	n.newLookup(key, true, func(_ []Contact, value []byte, found bool) {
+		cb(value, found)
+	})
+}
+
+// Store replicates value at the cfg.Replicate closest nodes to key. cb
+// (optional) receives the number of acknowledged replicas.
+func (n *Node) Store(key ID, value []byte, ttl time.Duration, cb func(acked int)) {
+	n.Lookup(key, func(closest []Contact) {
+		if len(closest) > n.cfg.Replicate {
+			closest = closest[:n.cfg.Replicate]
+		}
+		// The local node may itself be among the closest.
+		if len(closest) == 0 {
+			n.storeLocal(key, value, ttl)
+			if cb != nil {
+				n.cfg.Clock.AfterFunc(0, func() { cb(1) })
+			}
+			return
+		}
+		var (
+			mu    sync.Mutex
+			acked int
+			left  = len(closest)
+		)
+		for _, c := range closest {
+			n.request(c, Message{Kind: KindStore, Key: key, Value: value, TTL: ttl}, func(_ Message, err error) {
+				mu.Lock()
+				if err == nil {
+					acked++
+				}
+				left--
+				finished := left == 0
+				total := acked
+				mu.Unlock()
+				if finished && cb != nil {
+					cb(total)
+				}
+			})
+		}
+	})
+}
+
+// SendToOwner routes an application payload to the node currently owning
+// key (the closest node found by lookup). done (optional) receives the
+// owner contact, or an error if the network is empty.
+func (n *Node) SendToOwner(key ID, payload []byte, done func(Contact, error)) {
+	n.SendToOwners(key, payload, 1, done)
+}
+
+// SendToOwners routes an application payload to the replicas closest nodes
+// to key. Iterative lookups from different vantage points can disagree on
+// the single closest node when routing tables are incomplete, so protocols
+// that must land related packets on the same holder send to a small replica
+// set and deduplicate at the receiver — the standard Kademlia practice.
+// done (optional) receives the closest owner.
+func (n *Node) SendToOwners(key ID, payload []byte, replicas int, done func(Contact, error)) {
+	if replicas < 1 {
+		replicas = 1
+	}
+	n.Lookup(key, func(closest []Contact) {
+		if len(closest) == 0 {
+			if done != nil {
+				done(Contact{}, ErrLookupFailed)
+			}
+			return
+		}
+		if len(closest) > replicas {
+			closest = closest[:replicas]
+		}
+		err := n.SendApp(closest[0], payload)
+		for _, c := range closest[1:] {
+			_ = n.SendApp(c, payload)
+		}
+		if done != nil {
+			done(closest[0], err)
+		}
+	})
+}
+
+// ErrLookupFailed is reported when a lookup yields no contacts at all.
+var ErrLookupFailed = lookupError("dht: lookup found no contacts")
+
+type lookupError string
+
+func (e lookupError) Error() string { return string(e) }
+
+// lookupState drives one iterative lookup.
+type lookupState struct {
+	node     *Node
+	target   ID
+	wantVal  bool
+	finishCb func([]Contact, []byte, bool)
+
+	mu        sync.Mutex
+	shortlist []Contact
+	seen      map[ID]bool
+	queried   map[ID]bool
+	inflight  int
+	finished  bool
+}
+
+func (n *Node) newLookup(target ID, wantValue bool, cb func([]Contact, []byte, bool)) {
+	ls := &lookupState{
+		node:     n,
+		target:   target,
+		wantVal:  wantValue,
+		finishCb: cb,
+		seen:     map[ID]bool{n.cfg.ID: true},
+		queried:  map[ID]bool{n.cfg.ID: true},
+	}
+	// Local value short-circuit.
+	if wantValue {
+		if v, ok := n.loadLocal(target); ok {
+			n.cfg.Clock.AfterFunc(0, func() { cb(nil, v, true) })
+			return
+		}
+	}
+	for _, c := range n.table.Closest(target, n.cfg.K) {
+		ls.seen[c.ID] = true
+		ls.shortlist = append(ls.shortlist, c)
+	}
+	ls.step()
+}
+
+// step issues queries up to the alpha limit and detects termination.
+func (ls *lookupState) step() {
+	ls.mu.Lock()
+	if ls.finished {
+		ls.mu.Unlock()
+		return
+	}
+	ls.sortShortlist()
+	var toQuery []Contact
+	for _, c := range ls.closestUnqueried() {
+		if ls.inflight+len(toQuery) >= ls.node.cfg.Alpha {
+			break
+		}
+		toQuery = append(toQuery, c)
+	}
+	if len(toQuery) == 0 && ls.inflight == 0 {
+		ls.finished = true
+		result := ls.closestK()
+		ls.mu.Unlock()
+		ls.finishCb(result, nil, false)
+		return
+	}
+	for _, c := range toQuery {
+		ls.queried[c.ID] = true
+		ls.inflight++
+	}
+	ls.mu.Unlock()
+
+	kind := KindFindNode
+	if ls.wantVal {
+		kind = KindFindValue
+	}
+	for _, c := range toQuery {
+		contact := c
+		ls.node.request(contact, Message{Kind: kind, Target: ls.target, Key: ls.target}, func(resp Message, err error) {
+			ls.onResponse(contact, resp, err)
+		})
+	}
+}
+
+func (ls *lookupState) onResponse(from Contact, resp Message, err error) {
+	ls.mu.Lock()
+	ls.inflight--
+	if ls.finished {
+		ls.mu.Unlock()
+		return
+	}
+	if err == nil {
+		if ls.wantVal && resp.Found {
+			ls.finished = true
+			value := resp.Value
+			ls.mu.Unlock()
+			ls.finishCb(nil, value, true)
+			return
+		}
+		for _, c := range resp.Contacts {
+			if !ls.seen[c.ID] {
+				ls.seen[c.ID] = true
+				ls.shortlist = append(ls.shortlist, c)
+			}
+		}
+	}
+	ls.mu.Unlock()
+	ls.step()
+}
+
+// closestUnqueried returns unqueried candidates within the K closest known,
+// the standard Kademlia termination window. Callers hold ls.mu.
+func (ls *lookupState) closestUnqueried() []Contact {
+	window := ls.shortlist
+	if len(window) > ls.node.cfg.K {
+		window = window[:ls.node.cfg.K]
+	}
+	var out []Contact
+	for _, c := range window {
+		if !ls.queried[c.ID] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// closestK returns the final result set. Callers hold ls.mu.
+func (ls *lookupState) closestK() []Contact {
+	out := make([]Contact, len(ls.shortlist))
+	copy(out, ls.shortlist)
+	if len(out) > ls.node.cfg.K {
+		out = out[:ls.node.cfg.K]
+	}
+	return out
+}
+
+func (ls *lookupState) sortShortlist() {
+	sort.Slice(ls.shortlist, func(i, j int) bool {
+		return ls.target.CloserTo(ls.shortlist[i].ID, ls.shortlist[j].ID)
+	})
+}

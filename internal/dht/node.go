@@ -1,0 +1,321 @@
+package dht
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"selfemerge/internal/sim"
+	"selfemerge/internal/transport"
+)
+
+// Config configures a DHT node.
+type Config struct {
+	// ID is the node's identifier. Required.
+	ID ID
+	// Endpoint is the transport attachment. Required; the node installs its
+	// own handler.
+	Endpoint transport.Endpoint
+	// Clock drives timeouts and TTL expiry. Required (sim or real).
+	Clock sim.Clock
+	// K is the bucket size and lookup width (default 20).
+	K int
+	// Alpha is the lookup parallelism (default 3).
+	Alpha int
+	// Replicate is how many closest nodes receive each stored value
+	// (default 3).
+	Replicate int
+	// RPCTimeout bounds each request/response exchange (default 500ms).
+	RPCTimeout time.Duration
+	// StaleAfter is the bucket-eviction staleness threshold (default 10m).
+	StaleAfter time.Duration
+	// OnApp receives application payloads (the self-emerging protocol
+	// messages). Optional.
+	OnApp func(from Contact, payload []byte)
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 20
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 3
+	}
+	if c.Replicate == 0 {
+		c.Replicate = 3
+	}
+	if c.RPCTimeout == 0 {
+		c.RPCTimeout = 500 * time.Millisecond
+	}
+	if c.StaleAfter == 0 {
+		c.StaleAfter = 10 * time.Minute
+	}
+	return c
+}
+
+// ErrTimeout is passed to RPC callbacks when the peer does not answer
+// within RPCTimeout.
+var ErrTimeout = errors.New("dht: rpc timeout")
+
+// ErrClosed is returned for operations on a closed node.
+var ErrClosed = errors.New("dht: node closed")
+
+// Node is one Kademlia participant.
+type Node struct {
+	cfg   Config
+	table *Table
+
+	mu      sync.Mutex
+	pending map[uint64]*pendingRPC
+	rpcSeq  uint64
+	values  map[ID]storedValue
+	closed  bool
+}
+
+type pendingRPC struct {
+	cb    func(Message, error)
+	timer sim.Timer
+	to    ID
+}
+
+type storedValue struct {
+	data      []byte
+	expiresAt time.Time
+}
+
+// NewNode creates a node and installs its transport handler. The node is
+// immediately live; call Bootstrap to join an existing network.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Endpoint == nil {
+		return nil, errors.New("dht: config requires an endpoint")
+	}
+	if cfg.Clock == nil {
+		return nil, errors.New("dht: config requires a clock")
+	}
+	if cfg.ID.IsZero() {
+		return nil, errors.New("dht: config requires a non-zero ID")
+	}
+	cfg = cfg.withDefaults()
+	n := &Node{
+		cfg:     cfg,
+		table:   NewTable(cfg.ID, cfg.K, cfg.StaleAfter, func() time.Time { return cfg.Clock.Now() }),
+		pending: make(map[uint64]*pendingRPC),
+		values:  make(map[ID]storedValue),
+	}
+	cfg.Endpoint.SetHandler(n.handle)
+	return n, nil
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() ID { return n.cfg.ID }
+
+// Contact returns the node's own contact record.
+func (n *Node) Contact() Contact {
+	return Contact{ID: n.cfg.ID, Addr: n.cfg.Endpoint.Addr()}
+}
+
+// Table exposes the routing table (read-mostly; used by tests and churn
+// instrumentation).
+func (n *Node) Table() *Table { return n.table }
+
+// Close detaches the node from the network and fails all pending RPCs.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	pending := n.pending
+	n.pending = make(map[uint64]*pendingRPC)
+	n.mu.Unlock()
+	for _, p := range pending {
+		p.timer.Stop()
+		p := p
+		n.cfg.Clock.AfterFunc(0, func() { p.cb(Message{}, ErrClosed) })
+	}
+	return n.cfg.Endpoint.Close()
+}
+
+// handle is the transport inbound entry point.
+func (n *Node) handle(from transport.Addr, data []byte) {
+	msg, err := DecodeMessage(data)
+	if err != nil {
+		return // malformed datagram: drop, like any UDP service
+	}
+	if msg.From.ID == n.cfg.ID {
+		return // ignore self-echo
+	}
+	// Trust the socket-level source address over the claimed one.
+	msg.From.Addr = from
+	n.table.Observe(msg.From)
+
+	switch msg.Kind {
+	case KindPing:
+		n.reply(msg.From, Message{Kind: KindPong, RPCID: msg.RPCID})
+	case KindFindNode:
+		n.reply(msg.From, Message{
+			Kind:     KindFindNodeResp,
+			RPCID:    msg.RPCID,
+			Contacts: n.table.Closest(msg.Target, n.cfg.K),
+		})
+	case KindStore:
+		n.storeLocal(msg.Key, msg.Value, msg.TTL)
+		n.reply(msg.From, Message{Kind: KindStoreAck, RPCID: msg.RPCID, Key: msg.Key})
+	case KindFindValue:
+		if value, ok := n.loadLocal(msg.Key); ok {
+			n.reply(msg.From, Message{Kind: KindFindValueResp, RPCID: msg.RPCID, Key: msg.Key, Found: true, Value: value})
+			return
+		}
+		n.reply(msg.From, Message{
+			Kind:     KindFindValueResp,
+			RPCID:    msg.RPCID,
+			Key:      msg.Key,
+			Contacts: n.table.Closest(msg.Key, n.cfg.K),
+		})
+	case KindApp:
+		if n.cfg.OnApp != nil {
+			n.cfg.OnApp(msg.From, msg.App)
+		}
+	case KindPong, KindFindNodeResp, KindStoreAck, KindFindValueResp:
+		n.settle(msg)
+	}
+}
+
+// reply sends a response message (no pending bookkeeping).
+func (n *Node) reply(to Contact, m Message) {
+	m.From = n.Contact()
+	data, err := m.Encode()
+	if err != nil {
+		return
+	}
+	_ = n.cfg.Endpoint.Send(to.Addr, data)
+}
+
+// request sends m to the peer and arranges for cb to run with the response
+// or ErrTimeout. cb runs on the clock's dispatch context.
+func (n *Node) request(to Contact, m Message, cb func(Message, error)) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		n.cfg.Clock.AfterFunc(0, func() { cb(Message{}, ErrClosed) })
+		return
+	}
+	n.rpcSeq++
+	id := n.rpcSeq
+	m.RPCID = id
+	p := &pendingRPC{cb: cb, to: to.ID}
+	p.timer = n.cfg.Clock.AfterFunc(n.cfg.RPCTimeout, func() {
+		n.mu.Lock()
+		_, still := n.pending[id]
+		delete(n.pending, id)
+		n.mu.Unlock()
+		if still {
+			// Unresponsive: penalize in the routing table.
+			n.table.Remove(to.ID)
+			cb(Message{}, ErrTimeout)
+		}
+	})
+	n.pending[id] = p
+	n.mu.Unlock()
+
+	m.From = n.Contact()
+	data, err := m.Encode()
+	if err != nil {
+		n.mu.Lock()
+		delete(n.pending, id)
+		n.mu.Unlock()
+		p.timer.Stop()
+		n.cfg.Clock.AfterFunc(0, func() { cb(Message{}, err) })
+		return
+	}
+	_ = n.cfg.Endpoint.Send(to.Addr, data)
+}
+
+// settle matches a response to its pending request.
+func (n *Node) settle(msg Message) {
+	n.mu.Lock()
+	p, ok := n.pending[msg.RPCID]
+	if ok && p.to != msg.From.ID {
+		ok = false // response forged or misrouted; keep waiting
+	}
+	if ok {
+		delete(n.pending, msg.RPCID)
+	}
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	p.timer.Stop()
+	p.cb(msg, nil)
+}
+
+// Ping checks a peer's liveness.
+func (n *Node) Ping(to Contact, cb func(error)) {
+	n.request(to, Message{Kind: KindPing}, func(_ Message, err error) { cb(err) })
+}
+
+// SendApp delivers an opaque application payload directly to a known
+// contact (fire-and-forget, like all DHT datagrams).
+func (n *Node) SendApp(to Contact, payload []byte) error {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	m := Message{Kind: KindApp, From: n.Contact(), App: payload}
+	data, err := m.Encode()
+	if err != nil {
+		return fmt.Errorf("dht: encoding app message: %w", err)
+	}
+	return n.cfg.Endpoint.Send(to.Addr, data)
+}
+
+// Bootstrap seeds the routing table and performs a self-lookup to populate
+// nearby buckets. done (optional) receives the number of contacts known
+// afterwards.
+func (n *Node) Bootstrap(seeds []Contact, done func(contacts int)) {
+	for _, s := range seeds {
+		if s.ID != n.cfg.ID {
+			n.table.Observe(s)
+		}
+	}
+	n.Lookup(n.cfg.ID, func([]Contact) {
+		if done != nil {
+			done(n.table.Len())
+		}
+	})
+}
+
+// storeLocal records a value with its TTL.
+func (n *Node) storeLocal(key ID, value []byte, ttl time.Duration) {
+	if len(value) == 0 {
+		return
+	}
+	data := make([]byte, len(value))
+	copy(data, value)
+	expiry := time.Time{}
+	if ttl > 0 {
+		expiry = n.cfg.Clock.Now().Add(ttl)
+	}
+	n.mu.Lock()
+	n.values[key] = storedValue{data: data, expiresAt: expiry}
+	n.mu.Unlock()
+}
+
+// loadLocal returns a stored value if present and unexpired.
+func (n *Node) loadLocal(key ID) ([]byte, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v, ok := n.values[key]
+	if !ok {
+		return nil, false
+	}
+	if !v.expiresAt.IsZero() && n.cfg.Clock.Now().After(v.expiresAt) {
+		delete(n.values, key)
+		return nil, false
+	}
+	return v.data, true
+}

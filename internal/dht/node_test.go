@@ -1,0 +1,277 @@
+package dht
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"selfemerge/internal/sim"
+	"selfemerge/internal/stats"
+	"selfemerge/internal/transport"
+	"selfemerge/internal/transport/simnet"
+)
+
+// cluster is a simnet DHT network for tests.
+type cluster struct {
+	sim   *sim.Simulator
+	net   *simnet.Network
+	nodes []*Node
+	rng   *stats.RNG
+}
+
+// newCluster boots n nodes, all bootstrapped through node 0, and runs the
+// simulator to quiescence.
+func newCluster(t *testing.T, n int, _ func(self *Node, from Contact, payload []byte)) *cluster {
+	t.Helper()
+	c := &cluster{
+		sim: sim.NewSimulator(),
+		rng: stats.NewRNG(1234),
+	}
+	c.net = simnet.New(c.sim, simnet.Config{BaseLatency: 5 * time.Millisecond, Seed: 99})
+	for i := 0; i < n; i++ {
+		addr := transport.Addr(fmt.Sprintf("node-%d", i))
+		ep := c.net.Endpoint(addr)
+		node, err := NewNode(Config{
+			ID:       RandomID(c.rng),
+			Endpoint: ep,
+			Clock:    c.sim,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.nodes = append(c.nodes, node)
+	}
+	seed := []Contact{c.nodes[0].Contact()}
+	for _, node := range c.nodes[1:] {
+		node.Bootstrap(seed, nil)
+	}
+	c.sim.Run()
+	return c
+}
+
+func TestClusterBootstrap(t *testing.T) {
+	c := newCluster(t, 40, nil)
+	for i, node := range c.nodes {
+		if node.Table().Len() < 10 {
+			t.Errorf("node %d knows only %d contacts", i, node.Table().Len())
+		}
+	}
+}
+
+func TestLookupFindsGloballyClosest(t *testing.T) {
+	c := newCluster(t, 60, nil)
+	target := IDFromKey([]byte("lookup-target"))
+
+	// Ground truth: sort all node IDs by distance to target.
+	ids := make([]ID, len(c.nodes))
+	for i, n := range c.nodes {
+		ids[i] = n.ID()
+	}
+	sort.Slice(ids, func(i, j int) bool { return target.CloserTo(ids[i], ids[j]) })
+
+	var got []Contact
+	c.nodes[7].Lookup(target, func(res []Contact) { got = res })
+	c.sim.Run()
+
+	if len(got) == 0 {
+		t.Fatal("lookup returned nothing")
+	}
+	// The first few results must be the true closest nodes.
+	for i := 0; i < 3 && i < len(got); i++ {
+		if got[i].ID != ids[i] {
+			t.Errorf("result[%d] = %s, want %s", i, got[i].ID.Short(), ids[i].Short())
+		}
+	}
+}
+
+func TestStoreAndGet(t *testing.T) {
+	c := newCluster(t, 50, nil)
+	key := IDFromKey([]byte("stored-key"))
+	value := []byte("self-emerging ciphertext")
+
+	var acked int
+	c.nodes[3].Store(key, value, time.Hour, func(n int) { acked = n })
+	c.sim.Run()
+	if acked == 0 {
+		t.Fatal("store acked by no replicas")
+	}
+
+	var got []byte
+	var ok bool
+	c.nodes[44].Get(key, func(v []byte, found bool) { got, ok = v, found })
+	c.sim.Run()
+	if !ok || string(got) != string(value) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	c := newCluster(t, 30, nil)
+	var ok bool
+	ran := false
+	c.nodes[5].Get(IDFromKey([]byte("never-stored")), func(_ []byte, found bool) { ok, ran = found, true })
+	c.sim.Run()
+	if !ran {
+		t.Fatal("callback never ran")
+	}
+	if ok {
+		t.Fatal("found a value that was never stored")
+	}
+}
+
+func TestStoreTTLExpires(t *testing.T) {
+	c := newCluster(t, 30, nil)
+	key := IDFromKey([]byte("ttl-key"))
+	c.nodes[0].Store(key, []byte("v"), time.Minute, nil)
+	c.sim.Run()
+
+	var okBefore, okAfter bool
+	c.nodes[9].Get(key, func(_ []byte, found bool) { okBefore = found })
+	c.sim.Run()
+	c.sim.RunFor(2 * time.Minute)
+	c.nodes[9].Get(key, func(_ []byte, found bool) { okAfter = found })
+	c.sim.Run()
+	if !okBefore {
+		t.Fatal("value missing before TTL")
+	}
+	if okAfter {
+		t.Fatal("value alive after TTL")
+	}
+}
+
+func TestSendToOwnerRoutesToClosest(t *testing.T) {
+	received := make(map[ID][]byte)
+	var receivers []*Node
+	c := &cluster{sim: sim.NewSimulator(), rng: stats.NewRNG(7)}
+	c.net = simnet.New(c.sim, simnet.Config{BaseLatency: time.Millisecond, Seed: 1})
+	for i := 0; i < 40; i++ {
+		addr := transport.Addr(fmt.Sprintf("node-%d", i))
+		ep := c.net.Endpoint(addr)
+		id := RandomID(c.rng)
+		node, err := NewNode(Config{
+			ID:       id,
+			Endpoint: ep,
+			Clock:    c.sim,
+			OnApp: func(from Contact, payload []byte) {
+				received[id] = payload
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.nodes = append(c.nodes, node)
+		receivers = append(receivers, node)
+	}
+	seed := []Contact{c.nodes[0].Contact()}
+	for _, node := range c.nodes[1:] {
+		node.Bootstrap(seed, nil)
+	}
+	c.sim.Run()
+
+	key := IDFromKey([]byte("owner-routing"))
+	var owner Contact
+	c.nodes[11].SendToOwner(key, []byte("package"), func(ct Contact, err error) {
+		if err != nil {
+			t.Errorf("SendToOwner: %v", err)
+		}
+		owner = ct
+	})
+	c.sim.Run()
+
+	// The receiving node must be the globally closest to the key.
+	best := receivers[0].ID()
+	for _, n := range receivers {
+		if key.CloserTo(n.ID(), best) {
+			best = n.ID()
+		}
+	}
+	if owner.ID != best {
+		t.Errorf("owner = %s, want %s", owner.ID.Short(), best.Short())
+	}
+	if string(received[best]) != "package" {
+		t.Errorf("closest node did not receive the payload: %q", received[best])
+	}
+}
+
+func TestLookupSurvivesDeadNodes(t *testing.T) {
+	c := newCluster(t, 50, nil)
+	// Kill a third of the network.
+	for i := 10; i < 26; i++ {
+		if err := c.nodes[i].Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Contact
+	c.nodes[2].Lookup(IDFromKey([]byte("after-churn")), func(res []Contact) { got = res })
+	c.sim.Run()
+	if len(got) == 0 {
+		t.Fatal("lookup failed after node deaths")
+	}
+}
+
+func TestNodeValidation(t *testing.T) {
+	s := sim.NewSimulator()
+	net := simnet.New(s, simnet.Config{})
+	ep := net.Endpoint("a")
+	if _, err := NewNode(Config{Endpoint: ep, Clock: s}); err == nil {
+		t.Error("zero ID accepted")
+	}
+	if _, err := NewNode(Config{ID: IDFromKey([]byte("x")), Clock: s}); err == nil {
+		t.Error("nil endpoint accepted")
+	}
+	if _, err := NewNode(Config{ID: IDFromKey([]byte("x")), Endpoint: ep}); err == nil {
+		t.Error("nil clock accepted")
+	}
+}
+
+func TestPing(t *testing.T) {
+	c := newCluster(t, 5, nil)
+	var pingErr = fmt.Errorf("sentinel")
+	c.nodes[1].Ping(c.nodes[2].Contact(), func(err error) { pingErr = err })
+	c.sim.Run()
+	if pingErr != nil {
+		t.Fatalf("ping failed: %v", pingErr)
+	}
+	// Ping a dead node: must time out.
+	if err := c.nodes[3].Close(); err != nil {
+		t.Fatal(err)
+	}
+	var timeoutErr error
+	c.nodes[1].Ping(c.nodes[3].Contact(), func(err error) { timeoutErr = err })
+	c.sim.Run()
+	if timeoutErr != ErrTimeout {
+		t.Fatalf("ping dead node: %v, want ErrTimeout", timeoutErr)
+	}
+}
+
+func TestClosedNodeRejectsOps(t *testing.T) {
+	c := newCluster(t, 5, nil)
+	if err := c.nodes[4].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.nodes[4].SendApp(c.nodes[0].Contact(), []byte("x")); err != ErrClosed {
+		t.Errorf("SendApp on closed node: %v", err)
+	}
+	if err := c.nodes[4].Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestRPCTimeoutRemovesFromTable(t *testing.T) {
+	c := newCluster(t, 20, nil)
+	victim := c.nodes[7]
+	contactee := c.nodes[3]
+	// Ensure contactee knows victim.
+	contactee.Table().Observe(victim.Contact())
+	c.net.SetDown(transport.Addr("node-7"), true)
+	var err error
+	contactee.Ping(victim.Contact(), func(e error) { err = e })
+	c.sim.Run()
+	if err != ErrTimeout {
+		t.Fatalf("expected timeout, got %v", err)
+	}
+	if contactee.Table().Contains(victim.ID()) {
+		t.Error("unresponsive node still in routing table")
+	}
+}

@@ -1,0 +1,145 @@
+package dht
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"selfemerge/internal/transport"
+)
+
+// Contact is a routable peer: identifier plus transport address.
+type Contact struct {
+	ID   ID
+	Addr transport.Addr
+}
+
+// bucketEntry tracks liveness metadata alongside the contact.
+type bucketEntry struct {
+	Contact
+	lastSeen time.Time
+}
+
+// Table is a Kademlia routing table: IDBits k-buckets of at most K contacts
+// each, least-recently-seen first. Observing a known contact refreshes it;
+// observing a new contact inserts it, evicting the stalest entry of a full
+// bucket when that entry has not been seen within StaleAfter (a simplified,
+// ping-free variant of Kademlia's eviction check, adequate for the
+// emulation and documented in DESIGN.md).
+type Table struct {
+	self       ID
+	k          int
+	staleAfter time.Duration
+	now        func() time.Time
+
+	mu      sync.Mutex
+	buckets [IDBits][]bucketEntry
+}
+
+// NewTable creates a routing table for the given node.
+func NewTable(self ID, k int, staleAfter time.Duration, now func() time.Time) *Table {
+	if k < 1 {
+		panic("dht: bucket size must be >= 1")
+	}
+	if now == nil {
+		panic("dht: table requires a clock")
+	}
+	return &Table{self: self, k: k, staleAfter: staleAfter, now: now}
+}
+
+// Observe records that a contact was seen alive right now.
+func (t *Table) Observe(c Contact) {
+	idx, ok := t.self.BucketIndex(c.ID)
+	if !ok {
+		return // never track self
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	bucket := t.buckets[idx]
+	for i := range bucket {
+		if bucket[i].ID == c.ID {
+			bucket[i].Addr = c.Addr
+			bucket[i].lastSeen = t.now()
+			// Move to tail (most recently seen).
+			entry := bucket[i]
+			copy(bucket[i:], bucket[i+1:])
+			bucket[len(bucket)-1] = entry
+			return
+		}
+	}
+	entry := bucketEntry{Contact: c, lastSeen: t.now()}
+	if len(bucket) < t.k {
+		t.buckets[idx] = append(bucket, entry)
+		return
+	}
+	// Bucket full: replace the least-recently-seen entry if stale.
+	if t.staleAfter > 0 && t.now().Sub(bucket[0].lastSeen) > t.staleAfter {
+		copy(bucket, bucket[1:])
+		bucket[len(bucket)-1] = entry
+	}
+	// Otherwise drop the newcomer (Kademlia prefers long-lived peers).
+}
+
+// Remove drops a contact (e.g. after an RPC timeout).
+func (t *Table) Remove(id ID) {
+	idx, ok := t.self.BucketIndex(id)
+	if !ok {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	bucket := t.buckets[idx]
+	for i := range bucket {
+		if bucket[i].ID == id {
+			t.buckets[idx] = append(bucket[:i], bucket[i+1:]...)
+			return
+		}
+	}
+}
+
+// Closest returns up to count contacts closest to target under XOR
+// distance.
+func (t *Table) Closest(target ID, count int) []Contact {
+	t.mu.Lock()
+	all := make([]Contact, 0, count*2)
+	for i := range t.buckets {
+		for _, e := range t.buckets[i] {
+			all = append(all, e.Contact)
+		}
+	}
+	t.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		return target.CloserTo(all[i].ID, all[j].ID)
+	})
+	if len(all) > count {
+		all = all[:count]
+	}
+	return all
+}
+
+// Len returns the number of tracked contacts.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for i := range t.buckets {
+		n += len(t.buckets[i])
+	}
+	return n
+}
+
+// Contains reports whether the table currently tracks id.
+func (t *Table) Contains(id ID) bool {
+	idx, ok := t.self.BucketIndex(id)
+	if !ok {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range t.buckets[idx] {
+		if e.ID == id {
+			return true
+		}
+	}
+	return false
+}

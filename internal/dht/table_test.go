@@ -1,0 +1,156 @@
+package dht
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"selfemerge/internal/stats"
+)
+
+func newTestTable(k int) (*Table, *time.Time) {
+	now := time.Unix(1000, 0)
+	self := IDFromKey([]byte("self"))
+	table := NewTable(self, k, 10*time.Minute, func() time.Time { return now })
+	return table, &now
+}
+
+func TestTableObserveAndClosest(t *testing.T) {
+	table, _ := newTestTable(20)
+	var contacts []Contact
+	for i := 0; i < 50; i++ {
+		c := Contact{ID: IDFromKey([]byte(fmt.Sprintf("n%d", i)))}
+		contacts = append(contacts, c)
+		table.Observe(c)
+	}
+	if table.Len() == 0 {
+		t.Fatal("table empty after observes")
+	}
+	target := IDFromKey([]byte("target"))
+	closest := table.Closest(target, 10)
+	if len(closest) != 10 {
+		t.Fatalf("Closest returned %d", len(closest))
+	}
+	// Verify ordering.
+	for i := 1; i < len(closest); i++ {
+		if target.CloserTo(closest[i].ID, closest[i-1].ID) {
+			t.Fatal("Closest not sorted by distance")
+		}
+	}
+	// Verify they are genuinely the closest among all tracked contacts.
+	tracked := table.Closest(target, 1000)
+	for i := 1; i < len(tracked); i++ {
+		if target.CloserTo(tracked[i].ID, tracked[i-1].ID) {
+			t.Fatal("full listing not sorted")
+		}
+	}
+}
+
+func TestTableNeverTracksSelf(t *testing.T) {
+	table, _ := newTestTable(20)
+	table.Observe(Contact{ID: IDFromKey([]byte("self"))})
+	if table.Len() != 0 {
+		t.Error("table tracked self")
+	}
+}
+
+func TestTableRefreshMovesToTail(t *testing.T) {
+	table, _ := newTestTable(20)
+	a := Contact{ID: IDFromKey([]byte("a")), Addr: "addr-1"}
+	table.Observe(a)
+	a.Addr = "addr-2"
+	table.Observe(a)
+	if table.Len() != 1 {
+		t.Fatalf("duplicate observe inflated table to %d", table.Len())
+	}
+	got := table.Closest(a.ID, 1)
+	if got[0].Addr != "addr-2" {
+		t.Errorf("address not refreshed: %v", got[0].Addr)
+	}
+}
+
+func TestTableBucketFullDropsNewcomer(t *testing.T) {
+	// Fill one bucket with fresh entries; a newcomer to the same bucket
+	// must be dropped while existing entries are fresh.
+	self := ID{}
+	now := time.Unix(1000, 0)
+	table := NewTable(self, 2, 10*time.Minute, func() time.Time { return now })
+	// All IDs with top bit set share bucket 0.
+	mk := func(b byte) Contact {
+		var id ID
+		id[0] = 0x80
+		id[IDBytes-1] = b
+		return Contact{ID: id}
+	}
+	table.Observe(mk(1))
+	table.Observe(mk(2))
+	table.Observe(mk(3)) // bucket full, entries fresh -> dropped
+	if table.Len() != 2 {
+		t.Fatalf("Len = %d", table.Len())
+	}
+	if table.Contains(mk(3).ID) {
+		t.Error("newcomer admitted to full fresh bucket")
+	}
+}
+
+func TestTableBucketEvictsStale(t *testing.T) {
+	self := ID{}
+	now := time.Unix(1000, 0)
+	table := NewTable(self, 2, 10*time.Minute, func() time.Time { return now })
+	mk := func(b byte) Contact {
+		var id ID
+		id[0] = 0x80
+		id[IDBytes-1] = b
+		return Contact{ID: id}
+	}
+	table.Observe(mk(1))
+	table.Observe(mk(2))
+	now = now.Add(time.Hour) // both stale now
+	table.Observe(mk(3))
+	if !table.Contains(mk(3).ID) {
+		t.Error("newcomer not admitted over stale entry")
+	}
+	if table.Contains(mk(1).ID) {
+		t.Error("stalest entry not evicted")
+	}
+	if table.Len() != 2 {
+		t.Errorf("Len = %d", table.Len())
+	}
+}
+
+func TestTableRemove(t *testing.T) {
+	table, _ := newTestTable(20)
+	c := Contact{ID: IDFromKey([]byte("x"))}
+	table.Observe(c)
+	table.Remove(c.ID)
+	if table.Contains(c.ID) || table.Len() != 0 {
+		t.Error("Remove failed")
+	}
+	table.Remove(c.ID) // removing absent contact is a no-op
+}
+
+func TestTableBucketInvariant(t *testing.T) {
+	// Property: no bucket ever exceeds k entries and every entry lands in
+	// the bucket matching its XOR prefix.
+	rng := stats.NewRNG(55)
+	self := RandomID(rng)
+	now := time.Unix(0, 0)
+	const k = 4
+	table := NewTable(self, k, time.Hour, func() time.Time { return now })
+	for i := 0; i < 5000; i++ {
+		table.Observe(Contact{ID: RandomID(rng)})
+	}
+	table.mu.Lock()
+	defer table.mu.Unlock()
+	for idx, bucket := range table.buckets {
+		if len(bucket) > k {
+			t.Fatalf("bucket %d has %d entries", idx, len(bucket))
+		}
+		for _, e := range bucket {
+			want, ok := self.BucketIndex(e.ID)
+			if !ok || want != idx {
+				t.Fatalf("entry %v in bucket %d, want %d", e.ID.Short(), idx, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"selfemerge/internal/core"
+	"selfemerge/internal/stats"
+)
+
+// naiveMultipathChurnTrial is a straightforward period-by-period
+// re-implementation of the multipath churn process, used to verify that the
+// period-skipping optimization in multipathTrial samples the same process.
+func naiveMultipathChurnTrial(plan core.Plan, joint bool, q float64, sampler *maliciousSampler, rng *stats.RNG) Outcome {
+	k, l := plan.K, plan.L
+	forward := make([][]bool, k)
+	for i := range forward {
+		forward[i] = make([]bool, l)
+	}
+	released := true
+	keyLost := false
+	for j := 0; j < l; j++ {
+		malicious := make([]bool, k)
+		compromised := false
+		for i := range malicious {
+			malicious[i] = sampler.Draw()
+			compromised = compromised || malicious[i]
+		}
+		keyAlive := true
+		for period := 0; period < j && keyAlive; period++ {
+			dead := make([]bool, k)
+			survivors := 0
+			for i := 0; i < k; i++ {
+				if rng.Float64() < q {
+					dead[i] = true
+				} else {
+					survivors++
+				}
+			}
+			if survivors == 0 {
+				keyAlive = false
+				break
+			}
+			for i := 0; i < k; i++ {
+				if dead[i] {
+					malicious[i] = sampler.Draw()
+					compromised = compromised || malicious[i]
+				}
+			}
+		}
+		if !keyAlive {
+			keyLost = true
+		}
+		for i := 0; i < k; i++ {
+			ok := keyAlive && !malicious[i]
+			if ok && rng.Float64() < q {
+				ok = false
+			}
+			forward[i][j] = ok
+		}
+		released = released && compromised
+	}
+	delivered := false
+	if !keyLost {
+		if joint {
+			delivered = true
+			for j := 0; j < l && delivered; j++ {
+				col := false
+				for i := 0; i < k; i++ {
+					col = col || forward[i][j]
+				}
+				delivered = col
+			}
+		} else {
+			for i := 0; i < k && !delivered; i++ {
+				path := true
+				for j := 0; j < l; j++ {
+					path = path && forward[i][j]
+				}
+				delivered = path
+			}
+		}
+	}
+	return Outcome{Released: released, Delivered: delivered}
+}
+
+func TestPeriodSkipMatchesNaiveChurnProcess(t *testing.T) {
+	// The two implementations consume randomness differently, so compare
+	// outcome frequencies, not per-trial outcomes.
+	const trials = 30000
+	plans := []core.Plan{
+		{Scheme: core.SchemeJoint, K: 3, L: 6},
+		{Scheme: core.SchemeDisjoint, K: 2, L: 4},
+		{Scheme: core.SchemeJoint, K: 1, L: 8},
+	}
+	for _, plan := range plans {
+		for _, alpha := range []float64{1, 3} {
+			q := 1 - math.Exp(-alpha/float64(plan.L))
+			env := Env{Population: 100000, Malicious: 20000, Alpha: alpha}
+
+			fastRel, fastDel := 0, 0
+			rng := stats.NewRNG(1234)
+			for i := 0; i < trials; i++ {
+				out := RunTrial(plan, env, rng)
+				if out.Released {
+					fastRel++
+				}
+				if out.Delivered {
+					fastDel++
+				}
+			}
+
+			naiveRel, naiveDel := 0, 0
+			rng2 := stats.NewRNG(5678)
+			for i := 0; i < trials; i++ {
+				sampler := newMaliciousSampler(rng2, env.Population, env.Malicious)
+				out := naiveMultipathChurnTrial(plan, plan.Scheme == core.SchemeJoint, q, sampler, rng2)
+				if out.Released {
+					naiveRel++
+				}
+				if out.Delivered {
+					naiveDel++
+				}
+			}
+
+			relDiff := math.Abs(float64(fastRel)-float64(naiveRel)) / trials
+			delDiff := math.Abs(float64(fastDel)-float64(naiveDel)) / trials
+			// 4-sigma bound for a difference of two proportions.
+			bound := 4*math.Sqrt(0.5/trials) + 0.002
+			if relDiff > bound {
+				t.Errorf("%v k=%d l=%d alpha=%v: release rates differ by %.4f (fast %d, naive %d)",
+					plan.Scheme, plan.K, plan.L, alpha, relDiff, fastRel, naiveRel)
+			}
+			if delDiff > bound {
+				t.Errorf("%v k=%d l=%d alpha=%v: deliver rates differ by %.4f (fast %d, naive %d)",
+					plan.Scheme, plan.K, plan.L, alpha, delDiff, fastDel, naiveDel)
+			}
+		}
+	}
+}
+
+func TestConditionalDeathsDistribution(t *testing.T) {
+	// Compare against the exact conditional pmf for a small case.
+	rng := stats.NewRNG(777)
+	const k, q, trials = 4, 0.3, 200000
+	counts := make([]int, k+1)
+	for i := 0; i < trials; i++ {
+		counts[conditionalDeaths(rng, k, q)]++
+	}
+	if counts[0] != 0 {
+		t.Fatalf("sampled 0 deaths %d times; support is [1,k]", counts[0])
+	}
+	norm := 1 - math.Pow(1-q, k)
+	pmf := func(d int) float64 {
+		c := 1.0
+		for j := 0; j < d; j++ {
+			c = c * float64(k-j) / float64(j+1)
+		}
+		return c * math.Pow(q, float64(d)) * math.Pow(1-q, float64(k-d)) / norm
+	}
+	for d := 1; d <= k; d++ {
+		got := float64(counts[d]) / trials
+		want := pmf(d)
+		if math.Abs(got-want) > 5*math.Sqrt(want*(1-want)/trials)+0.001 {
+			t.Errorf("P[D=%d] = %.4f, want %.4f", d, got, want)
+		}
+	}
+}
+
+func TestConditionalDeathsEdge(t *testing.T) {
+	rng := stats.NewRNG(1)
+	if got := conditionalDeaths(rng, 5, 1); got != 5 {
+		t.Errorf("q=1: got %d, want 5", got)
+	}
+	for i := 0; i < 100; i++ {
+		if got := conditionalDeaths(rng, 1, 0.2); got != 1 {
+			t.Errorf("k=1: got %d", got)
+		}
+	}
+}

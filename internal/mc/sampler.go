@@ -1,0 +1,57 @@
+// Package mc is the Monte Carlo experiment engine behind the paper's
+// evaluation (Section IV). Each trial reconstructs the random variables the
+// Overlay Weaver experiments sampled — which holders land on malicious Sybil
+// nodes, which holders die of churn and when — and evaluates the
+// release-ahead and drop attack outcomes on the planned path topology.
+//
+// The engine mirrors the paper's setup exactly: a population of N DHT nodes
+// of which floor(p*N) are marked malicious (so holder maliciousness is
+// hypergeometric, not binomial — the distinction matters for the N=100
+// panels of Figure 6), exponential node lifetimes for churn, and 1000+
+// trials averaged per data point.
+package mc
+
+import "selfemerge/internal/stats"
+
+// maliciousSampler draws holder maliciousness sequentially without
+// replacement from a finite population containing a fixed number of marked
+// (malicious) nodes. Every call to Draw consumes one node from the
+// population, exactly as selecting one more distinct holder would.
+//
+// Replacement nodes that take over a dead holder's DHT zone are drawn from
+// the same shrinking population.
+type maliciousSampler struct {
+	rng       *stats.RNG
+	remaining int     // nodes not yet consumed
+	marked    int     // malicious nodes not yet consumed
+	rate      float64 // original malicious fraction, for population exhaustion
+}
+
+func newMaliciousSampler(rng *stats.RNG, population, malicious int) *maliciousSampler {
+	if population <= 0 || malicious < 0 || malicious > population {
+		panic("mc: invalid sampler population")
+	}
+	return &maliciousSampler{
+		rng:       rng,
+		remaining: population,
+		marked:    malicious,
+		rate:      float64(malicious) / float64(population),
+	}
+}
+
+// Draw consumes one node and reports whether it is malicious. When the
+// population is exhausted (possible only if churn replacements outnumber the
+// network, e.g. long simulations of a 100-node DHT) new arrivals are assumed
+// to be malicious at the stationary rate, modelling churn replenishing the
+// network with the same Sybil fraction.
+func (s *maliciousSampler) Draw() bool {
+	if s.remaining <= 0 {
+		return s.rng.Bool(s.rate)
+	}
+	mal := s.rng.Intn(s.remaining) < s.marked
+	if mal {
+		s.marked--
+	}
+	s.remaining--
+	return mal
+}

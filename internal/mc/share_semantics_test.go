@@ -1,0 +1,91 @@
+package mc
+
+import (
+	"testing"
+
+	"selfemerge/internal/core"
+)
+
+// TestShareReleaseRequiresMainEntry verifies the main-onion gate: even with
+// every share threshold trivially met (m=1), release-ahead still requires
+// one of the k main first-column holders to be malicious, because only they
+// hold the main onion nest at ts. With k=1 main holder in a huge population
+// at p=0.5, the release rate must track P[that one holder is malicious] = p,
+// not the near-1 probability of gathering m=1 shares everywhere.
+func TestShareReleaseRequiresMainEntry(t *testing.T) {
+	plan := sharePlan(1, 3, 6, 1) // k=1, l=3, n=6, m=1
+	res, err := Estimate(plan, bigEnv(0.5), Options{Trials: 20000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	released := 1 - res.Rr()
+	// P[release] = p * P[>=1 malicious among n]^(l-1) ~ 0.5 * (1-0.5^6)^2 ~ 0.485
+	want := 0.5 * 0.969 * 0.969
+	if released < want-0.03 || released > want+0.03 {
+		t.Errorf("release rate = %.4f, want ~%.4f (main-entry gated)", released, want)
+	}
+}
+
+// TestShareDropGatedByTerminalColumn verifies that delivery needs an honest
+// surviving terminal carrier: with every terminal holder malicious the key
+// cannot be released even though all thresholds pass. We approximate by
+// p=1: everything malicious implies both release (trivially, all shares) and
+// no delivery.
+func TestShareDropGatedByTerminalColumn(t *testing.T) {
+	plan := sharePlan(2, 3, 4, 1)
+	res, err := Estimate(plan, Env{Population: 100, Malicious: 100}, Options{Trials: 2000, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rd() != 0 {
+		t.Errorf("delivery rate = %v with an all-malicious network", res.Rd())
+	}
+	if res.Rr() != 0 {
+		t.Errorf("Rr = %v with an all-malicious network, want 0", res.Rr())
+	}
+}
+
+// TestShareChurnExposureIsOnePeriod: the share scheme's defining property —
+// raising the emerging period T (more columns' worth of holding time) while
+// holding the per-period death rate constant must NOT degrade resilience the
+// way it does for pre-assigned keys. We compare joint vs share at identical
+// (k, l) under alpha = 4.
+func TestShareChurnExposureIsOnePeriod(t *testing.T) {
+	const p, alpha = 0.15, 4.0
+	jointPlan := core.Plan{Scheme: core.SchemeJoint, K: 3, L: 6}
+	shareP := sharePlan(3, 6, 24, 8)
+	env := bigEnv(p)
+	env.Alpha = alpha
+	jr, err := Estimate(jointPlan, env, Options{Trials: 10000, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := Estimate(shareP, env, Options{Trials: 10000, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.R() < jr.R()+0.2 {
+		t.Errorf("share R=%.3f should dominate joint R=%.3f at alpha=%v by a wide margin",
+			sr.R(), jr.R(), alpha)
+	}
+}
+
+// TestMinRVersusR: MinR (Figure 6's convention) can exceed the conjunction R
+// (Figures 7-8) but never by construction fall below R.
+func TestMinRVersusR(t *testing.T) {
+	for _, scheme := range []core.Plan{
+		core.PlanCentral(0.3),
+		{Scheme: core.SchemeDisjoint, K: 2, L: 3},
+		{Scheme: core.SchemeJoint, K: 3, L: 4},
+	} {
+		env := bigEnv(0.3)
+		env.Alpha = 1
+		res, err := Estimate(scheme, env, Options{Trials: 5000, Seed: 14})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MinR() < res.R()-1e-9 {
+			t.Errorf("%v: MinR %.4f below combined R %.4f", scheme.Scheme, res.MinR(), res.R())
+		}
+	}
+}

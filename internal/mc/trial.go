@@ -1,0 +1,330 @@
+package mc
+
+import (
+	"fmt"
+	"math"
+
+	"selfemerge/internal/core"
+	"selfemerge/internal/stats"
+)
+
+// Outcome is the result of one simulated emergence attempt under attack and
+// (optionally) churn.
+type Outcome struct {
+	// Released reports a successful release-ahead attack: the adversary
+	// gathered every onion layer key (and the entry package) and could
+	// restore the secret key at start time ts.
+	Released bool
+	// Delivered reports that the secret key emerged at release time tr:
+	// no drop attack or churn loss broke every path.
+	Delivered bool
+}
+
+// Env describes the simulated environment of one experiment point.
+type Env struct {
+	// Population is the DHT network size N (10,000 in most of the paper's
+	// experiments, 100 in Figure 6(c)/(d)).
+	Population int
+	// Malicious is the number of Sybil-controlled nodes, floor(p*N).
+	Malicious int
+	// Alpha is the churn severity T/tlife: the emerging period expressed in
+	// mean node lifetimes. Zero disables churn (Figure 6's setting).
+	Alpha float64
+	// BinomialShareDeaths switches the key-share scheme's churn losses from
+	// the paper's model — exactly d = floor(pdead*n) shares lost per column,
+	// the same quantity Algorithm 1 plans its thresholds against — to
+	// independent per-carrier exponential deaths. The independent model adds
+	// death-count variance that Algorithm 1's thresholds do not budget for
+	// and visibly lowers the small-n (Figure 8, 100 available nodes) curves;
+	// it is exposed for the ablation benchmarks.
+	BinomialShareDeaths bool
+}
+
+// Validate checks the environment parameters.
+func (e Env) Validate() error {
+	if e.Population < 1 {
+		return fmt.Errorf("mc: population %d must be >= 1", e.Population)
+	}
+	if e.Malicious < 0 || e.Malicious > e.Population {
+		return fmt.Errorf("mc: malicious count %d outside [0, %d]", e.Malicious, e.Population)
+	}
+	if e.Alpha < 0 || math.IsNaN(e.Alpha) {
+		return fmt.Errorf("mc: alpha %v must be >= 0", e.Alpha)
+	}
+	return nil
+}
+
+// RunTrial simulates one emergence attempt of the given plan in env using
+// rng, and returns the attack outcome. It is deterministic given the RNG
+// state.
+func RunTrial(plan core.Plan, env Env, rng *stats.RNG) Outcome {
+	sampler := newMaliciousSampler(rng, env.Population, env.Malicious)
+	// Per-holding-period death probability: the decay model of Bhagwan et
+	// al. adopted by the paper, q = 1 - exp(-th/lambda) with th = T/l, i.e.
+	// q = 1 - exp(-alpha/l).
+	q := 0.0
+	if env.Alpha > 0 {
+		q = 1 - math.Exp(-env.Alpha/float64(plan.L))
+	}
+	switch plan.Scheme {
+	case core.SchemeCentral:
+		return centralTrial(env, sampler, rng)
+	case core.SchemeDisjoint:
+		return multipathTrial(plan, false, q, sampler, rng)
+	case core.SchemeJoint:
+		return multipathTrial(plan, true, q, sampler, rng)
+	case core.SchemeKeyShare:
+		return shareTrial(plan, q, env.BinomialShareDeaths, sampler, rng)
+	default:
+		panic(fmt.Sprintf("mc: unknown scheme %v", plan.Scheme))
+	}
+}
+
+// centralTrial: one node keeps the key for the whole emerging period. A
+// malicious node can both read the key at ts and withhold it at tr; under
+// churn the node must additionally survive the full period T = alpha
+// lifetimes, and its death loses the key (a single node has no replica to
+// repair from).
+func centralTrial(env Env, sampler *maliciousSampler, rng *stats.RNG) Outcome {
+	malicious := sampler.Draw()
+	survives := true
+	if env.Alpha > 0 {
+		survives = rng.Float64() < math.Exp(-env.Alpha)
+	}
+	return Outcome{
+		Released:  malicious,
+		Delivered: !malicious && survives,
+	}
+}
+
+// multipathTrial simulates the node-disjoint (joint=false) and node-joint
+// (joint=true) schemes, including the churn-repair dynamics of Section II-C:
+// a column's layer key lives on its k holders from ts until the onion
+// arrives; each holding period every holder dies with probability q; dead
+// holders are replaced by fresh DHT nodes that receive the key from a
+// surviving replica (one more chance to be malicious); if an entire column
+// dies within one period the layer key is lost forever.
+func multipathTrial(plan core.Plan, joint bool, q float64, sampler *maliciousSampler, rng *stats.RNG) Outcome {
+	k, l := plan.K, plan.L
+
+	// forward[i][j]: holder i of column j was honest at onion arrival and
+	// survived the carry period, so its copy moved on.
+	forward := make([][]bool, k)
+	for i := range forward {
+		forward[i] = make([]bool, l)
+	}
+	released := true
+	keyLost := false
+
+	for j := 0; j < l; j++ {
+		// Current occupants of the column's k holder slots.
+		malicious := make([]bool, k)
+		columnCompromised := false
+		for i := range malicious {
+			malicious[i] = sampler.Draw()
+			columnCompromised = columnCompromised || malicious[i]
+		}
+		columnKeyAlive := true
+
+		// Storage periods 1..j: the layer key K_{j+1} waits on the holders
+		// until the onion arrives after j holding periods. Every period each
+		// holder dies with probability q; a dead slot is re-filled by a
+		// fresh node which receives the key from a surviving replica (one
+		// more malicious draw); if all k replicas die within one period the
+		// key is lost. Rather than looping over every quiet period, jump
+		// straight to the next period containing at least one death — the
+		// skip is geometric, so the sampled process is statistically
+		// identical to the period-by-period loop.
+		if q > 0 && j > 0 {
+			deathPeriodProb := 1 - math.Pow(1-q, float64(k))
+			period := 0
+			for deathPeriodProb > 0 {
+				period += rng.Geometric(deathPeriodProb)
+				if period > j {
+					break
+				}
+				d := conditionalDeaths(rng, k, q)
+				if d == k {
+					// No replica left to repair from: the key is gone.
+					columnKeyAlive = false
+					break
+				}
+				for _, slot := range rng.SampleWithoutReplacement(k, d) {
+					malicious[slot] = sampler.Draw()
+					columnCompromised = columnCompromised || malicious[slot]
+				}
+			}
+		}
+		if !columnKeyAlive {
+			keyLost = true
+		}
+
+		// Carry period: the occupants receive the onion, must be honest and
+		// must live long enough to forward it.
+		for i := 0; i < k; i++ {
+			ok := columnKeyAlive && !malicious[i]
+			if ok && q > 0 && rng.Float64() < q {
+				ok = false // died while holding the onion
+			}
+			forward[i][j] = ok
+		}
+
+		// Release-ahead bookkeeping (Equation (1) semantics): the adversary
+		// needs at least one replica of every column's layer key; every node
+		// that ever stored the key — initial holders and churn replacements —
+		// is an opportunity.
+		released = released && columnCompromised
+	}
+
+	delivered := false
+	if !keyLost {
+		if joint {
+			// The onion survives a column if any holder forwarded it
+			// (packages fan out to every next-column holder).
+			delivered = true
+			for j := 0; j < l && delivered; j++ {
+				columnOK := false
+				for i := 0; i < k; i++ {
+					if forward[i][j] {
+						columnOK = true
+						break
+					}
+				}
+				delivered = columnOK
+			}
+		} else {
+			// Node-disjoint: a path delivers only if every one of its own
+			// holders forwarded.
+			for i := 0; i < k && !delivered; i++ {
+				pathOK := true
+				for j := 0; j < l; j++ {
+					if !forward[i][j] {
+						pathOK = false
+						break
+					}
+				}
+				delivered = pathOK
+			}
+		}
+	}
+	return Outcome{Released: released, Delivered: delivered}
+}
+
+// conditionalDeaths samples D ~ Binomial(k, q) conditioned on D >= 1 by
+// inversion over the conditional pmf. Used by the period-skipping churn
+// simulation, where quiet periods are skipped geometrically and each visited
+// period is guaranteed at least one death.
+func conditionalDeaths(rng *stats.RNG, k int, q float64) int {
+	if q >= 1 {
+		return k
+	}
+	norm := 1 - math.Pow(1-q, float64(k))
+	u := rng.Float64() * norm
+	// pmf(d) = C(k,d) q^d (1-q)^(k-d), iterated via the ratio recurrence.
+	pmf := float64(k) * q * math.Pow(1-q, float64(k-1))
+	cum := 0.0
+	for d := 1; d <= k; d++ {
+		cum += pmf
+		if u <= cum {
+			return d
+		}
+		pmf *= float64(k-d) / float64(d+1) * q / (1 - q)
+	}
+	return k // float round-off fallback
+}
+
+// shareTrial simulates the key share routing scheme. Columns 1..l-1 hold n
+// carriers each (the k main-path holders are among them); the terminal
+// column holds only the k main holders. Every onion layer key is Shamir
+// split (m, n) and travels one hop behind schedule, so each carrier is
+// exposed for a single holding period — the root of the scheme's churn
+// resilience.
+//
+// Churn losses follow the paper's model by default: each column loses
+// exactly floor(q*n) shares per holding period, the quantity d that
+// Algorithm 1 budgets its thresholds against (see Env.BinomialShareDeaths).
+func shareTrial(plan core.Plan, q float64, binomialDeaths bool, sampler *maliciousSampler, rng *stats.RNG) Outcome {
+	k, l, n := plan.K, plan.L, plan.ShareN
+
+	released := true
+	delivered := true
+
+	for c := 0; c < l-1; c++ {
+		m := plan.ShareM[c] // threshold protecting the column c+2 key
+		dead := deathSet(rng, n, q, binomialDeaths)
+		maliciousShares := 0
+		deliveredShares := 0
+		mainCompromised := false
+		mainForwarded := false
+		for s := 0; s < n; s++ {
+			malicious := sampler.Draw()
+			if malicious {
+				maliciousShares++
+				if c == 0 && s < k {
+					mainCompromised = true
+				}
+			} else if !dead[s] {
+				deliveredShares++
+				if c == 0 && s < k {
+					mainForwarded = true
+				}
+			}
+		}
+		if c == 0 {
+			// Release-ahead needs the main onion nest, which only the k main
+			// first-column holders possess at ts; delivery needs at least one
+			// of them to forward the main onion.
+			released = released && mainCompromised
+			delivered = delivered && mainForwarded
+		}
+		released = released && maliciousShares >= m
+		delivered = delivered && deliveredShares >= m
+	}
+
+	// Terminal column: resources are uniform along the paths (Algorithm 1
+	// line 1), so the last column also holds n carriers; each recovers the
+	// final layer key from the delivered shares, and at least one honest
+	// survivor must remain to release the secret key at tr.
+	terminalDead := deathSet(rng, n, q, binomialDeaths)
+	terminalOK := false
+	terminalCompromised := false
+	for s := 0; s < n; s++ {
+		malicious := sampler.Draw()
+		if malicious {
+			terminalCompromised = true
+		} else if !terminalDead[s] {
+			terminalOK = true
+		}
+	}
+	delivered = delivered && terminalOK
+	if l == 1 {
+		// Degenerate single-column plan: n-replicated direct storage; any
+		// malicious holder reads the key immediately.
+		released = terminalCompromised
+	}
+
+	return Outcome{Released: released, Delivered: delivered}
+}
+
+// deathSet returns which of n carriers die during one holding period: under
+// the paper's model exactly floor(q*n) uniformly-chosen carriers, under the
+// binomial ablation each carrier independently with probability q. A nil
+// map means no deaths.
+func deathSet(rng *stats.RNG, n int, q float64, binomial bool) map[int]bool {
+	if q <= 0 || n <= 0 {
+		return nil
+	}
+	dead := make(map[int]bool)
+	if binomial {
+		for s := 0; s < n; s++ {
+			if rng.Float64() < q {
+				dead[s] = true
+			}
+		}
+		return dead
+	}
+	for _, s := range rng.SampleWithoutReplacement(n, int(q*float64(n))) {
+		dead[s] = true
+	}
+	return dead
+}

@@ -1,0 +1,469 @@
+package protocol
+
+import (
+	"sync"
+	"time"
+
+	"selfemerge/internal/crypto/onion"
+	"selfemerge/internal/crypto/seal"
+	"selfemerge/internal/crypto/shamir"
+	"selfemerge/internal/dht"
+	"selfemerge/internal/sim"
+)
+
+// Reporter receives a copy of every packet a compromised holder observes
+// (the adversary's collection channel). Implemented by
+// adversary.Collector.
+type Reporter interface {
+	Report(now time.Time, from dht.ID, pkt Packet)
+}
+
+// HostConfig configures one node's protocol runtime.
+type HostConfig struct {
+	// Clock drives hold timers. Required.
+	Clock sim.Clock
+	// Malicious marks the node as adversary-controlled: every packet it
+	// sees is reported to Reporter, and if Drop is set it discards
+	// everything instead of forwarding (the drop attack).
+	Malicious bool
+	// Drop activates the drop attack on malicious nodes.
+	Drop bool
+	// Reporter collects intelligence from malicious nodes.
+	Reporter Reporter
+	// OnSecret fires when a PkSecret reaches this node (the receiver role).
+	OnSecret func(mission MissionID, secret []byte)
+}
+
+// Host is the holder-side protocol engine attached to one DHT node. It
+// buffers packages and key material per mission, peels onion layers as the
+// needed keys become available, and forwards on the hold schedule.
+type Host struct {
+	cfg  HostConfig
+	node *dht.Node
+
+	mu       sync.Mutex
+	missions map[MissionID]*missionState
+}
+
+type slotRef struct {
+	column int
+	slot   int
+}
+
+type missionState struct {
+	// Column-wide key material (K_c of the multipath schemes, CK_c of the
+	// key share scheme).
+	colKeys   map[int]seal.Key
+	colShares map[int][]shamir.Share
+	// Per-slot key material (SK_{c,s}).
+	slotKeys   map[slotRef]seal.Key
+	slotShares map[slotRef][]shamir.Share
+
+	// Main onion custody, one per column (joint/share copies are deduped).
+	mainSealed map[int]*heldPackage
+	// Slot onion custody.
+	slotSealed map[slotRef]*heldPackage
+
+	// Central-scheme custody.
+	central *heldPackage
+}
+
+// heldPackage is a package waiting on its keys and/or its hold timer.
+type heldPackage struct {
+	pkt    Packet
+	peeled *onion.Layer
+	due    bool
+	done   bool
+	timer  sim.Timer
+}
+
+// NewHost creates a host; call Attach to bind it to its node after the
+// node is constructed (the node's OnApp must be h.HandleApp).
+func NewHost(cfg HostConfig) *Host {
+	return &Host{cfg: cfg, missions: make(map[MissionID]*missionState)}
+}
+
+// Attach binds the host to its DHT node.
+func (h *Host) Attach(node *dht.Node) { h.node = node }
+
+// HandleApp is the dht.Config.OnApp entry point.
+func (h *Host) HandleApp(from dht.Contact, payload []byte) {
+	pkt, err := DecodePacket(payload)
+	if err != nil {
+		return
+	}
+	if h.cfg.Malicious && h.cfg.Reporter != nil {
+		h.cfg.Reporter.Report(h.cfg.Clock.Now(), from.ID, pkt)
+	}
+	if h.cfg.Malicious && h.cfg.Drop {
+		return // drop attack: swallow everything
+	}
+
+	switch pkt.Kind {
+	case PkSecret:
+		if h.cfg.OnSecret != nil {
+			h.cfg.OnSecret(pkt.Mission, pkt.Data)
+		}
+		return
+	case PkCentral:
+		h.onCentral(pkt)
+	case PkKeyGrant:
+		h.onKeyGrant(pkt)
+	case PkMainOnion:
+		h.onOnion(pkt, true)
+	case PkSlotOnion:
+		h.onOnion(pkt, false)
+	case PkColShare:
+		h.onColShare(pkt)
+	case PkSlotShare:
+		h.onSlotShare(pkt)
+	}
+}
+
+func (h *Host) state(id MissionID) *missionState {
+	ms, ok := h.missions[id]
+	if !ok {
+		ms = &missionState{
+			colKeys:    make(map[int]seal.Key),
+			colShares:  make(map[int][]shamir.Share),
+			slotKeys:   make(map[slotRef]seal.Key),
+			slotShares: make(map[slotRef][]shamir.Share),
+			mainSealed: make(map[int]*heldPackage),
+			slotSealed: make(map[slotRef]*heldPackage),
+		}
+		h.missions[id] = ms
+	}
+	return ms
+}
+
+func (h *Host) onCentral(pkt Packet) {
+	h.mu.Lock()
+	ms := h.state(pkt.Mission)
+	if ms.central != nil {
+		h.mu.Unlock()
+		return
+	}
+	hp := &heldPackage{pkt: pkt}
+	ms.central = hp
+	h.mu.Unlock()
+	h.scheduleHold(hp, func() {
+		h.node.SendToOwner(pkt.Target, Packet{
+			Mission: pkt.Mission,
+			Kind:    PkSecret,
+			Data:    pkt.Data,
+		}.Encode(), nil)
+	})
+}
+
+func (h *Host) onKeyGrant(pkt Packet) {
+	key, err := seal.KeyFromBytes(pkt.Data)
+	if err != nil {
+		return
+	}
+	h.mu.Lock()
+	ms := h.state(pkt.Mission)
+	if pkt.X == keyGrantSlot {
+		ms.slotKeys[slotRef{int(pkt.Column), int(pkt.Slot)}] = key
+	} else {
+		ms.colKeys[int(pkt.Column)] = key
+	}
+	h.mu.Unlock()
+	h.advance(pkt.Mission)
+}
+
+func (h *Host) onOnion(pkt Packet, main bool) {
+	h.mu.Lock()
+	ms := h.state(pkt.Mission)
+	col := int(pkt.Column)
+	var hp *heldPackage
+	if main {
+		if _, dup := ms.mainSealed[col]; dup {
+			h.mu.Unlock()
+			return // replica already in custody (joint fan-in)
+		}
+		hp = &heldPackage{pkt: pkt}
+		ms.mainSealed[col] = hp
+	} else {
+		ref := slotRef{col, int(pkt.Slot)}
+		if _, dup := ms.slotSealed[ref]; dup {
+			h.mu.Unlock()
+			return
+		}
+		hp = &heldPackage{pkt: pkt}
+		ms.slotSealed[ref] = hp
+	}
+	h.mu.Unlock()
+
+	h.scheduleHold(hp, func() { h.advance(pkt.Mission) })
+	h.advance(pkt.Mission)
+}
+
+func (h *Host) onColShare(pkt Packet) {
+	x, data, err := parseShareBlob(pkt.Data)
+	if err != nil {
+		return
+	}
+	h.mu.Lock()
+	ms := h.state(pkt.Mission)
+	col := int(pkt.Column)
+	if !hasShare(ms.colShares[col], x) {
+		ms.colShares[col] = append(ms.colShares[col], shamir.Share{X: x, Data: data})
+	}
+	h.mu.Unlock()
+	h.advance(pkt.Mission)
+}
+
+func (h *Host) onSlotShare(pkt Packet) {
+	x, data, err := parseShareBlob(pkt.Data)
+	if err != nil {
+		return
+	}
+	h.mu.Lock()
+	ms := h.state(pkt.Mission)
+	ref := slotRef{int(pkt.Column), int(pkt.Slot)}
+	if !hasShare(ms.slotShares[ref], x) {
+		ms.slotShares[ref] = append(ms.slotShares[ref], shamir.Share{X: x, Data: data})
+	}
+	h.mu.Unlock()
+	h.advance(pkt.Mission)
+}
+
+func hasShare(shares []shamir.Share, x uint8) bool {
+	for _, s := range shares {
+		if s.X == x {
+			return true
+		}
+	}
+	return false
+}
+
+// scheduleHold arms the package's hold timer.
+func (h *Host) scheduleHold(hp *heldPackage, fire func()) {
+	delay := time.Duration(hp.pkt.HoldUntil - h.cfg.Clock.Now().UnixNano())
+	hp.timer = h.cfg.Clock.AfterFunc(delay, func() {
+		h.mu.Lock()
+		hp.due = true
+		h.mu.Unlock()
+		fire()
+	})
+}
+
+// advance runs the peel/forward state machine for a mission: peel whatever
+// has its key available, and forward whatever is both peeled and due.
+func (h *Host) advance(mission MissionID) {
+	h.mu.Lock()
+	ms, ok := h.missions[mission]
+	if !ok {
+		h.mu.Unlock()
+		return
+	}
+
+	type action struct {
+		run func()
+	}
+	var actions []action
+
+	// Try peeling main onions with available column keys (granted, or
+	// recovered from shares).
+	for col, hp := range ms.mainSealed {
+		if hp.peeled != nil {
+			continue
+		}
+		key, ok := h.columnKeyLocked(ms, col)
+		if !ok {
+			continue
+		}
+		layer, err := onion.Peel(key, hp.pkt.Data)
+		if err != nil {
+			continue
+		}
+		layerCopy := layer
+		hp.peeled = &layerCopy
+	}
+	// Slot onions likewise with slot keys.
+	for ref, hp := range ms.slotSealed {
+		if hp.peeled != nil {
+			continue
+		}
+		key, ok := h.slotKeyLocked(ms, ref)
+		if !ok {
+			continue
+		}
+		layer, err := onion.Peel(key, hp.pkt.Data)
+		if err != nil {
+			continue
+		}
+		layerCopy := layer
+		hp.peeled = &layerCopy
+	}
+
+	// Forward anything peeled and due.
+	for col, hp := range ms.mainSealed {
+		if hp.peeled != nil && hp.due && !hp.done {
+			hp.done = true
+			actions = append(actions, action{h.forwardMainLocked(mission, col, hp)})
+		}
+	}
+	for ref, hp := range ms.slotSealed {
+		if hp.peeled != nil && hp.due && !hp.done {
+			hp.done = true
+			actions = append(actions, action{h.forwardSlotLocked(mission, ref, hp)})
+		}
+	}
+	h.mu.Unlock()
+
+	for _, a := range actions {
+		a.run()
+	}
+}
+
+// columnKeyLocked returns the column key, recovering it from shares when
+// enough have arrived. Interpolating through all collected shares yields
+// the true key once the (unknown to the holder) threshold is met — the
+// authenticated onion layer is the success oracle.
+func (h *Host) columnKeyLocked(ms *missionState, col int) (seal.Key, bool) {
+	if key, ok := ms.colKeys[col]; ok {
+		return key, true
+	}
+	shares := ms.colShares[col]
+	if len(shares) == 0 {
+		return seal.Key{}, false
+	}
+	raw, err := shamir.Combine(shares, len(shares))
+	if err != nil {
+		return seal.Key{}, false
+	}
+	key, err := seal.KeyFromBytes(raw)
+	if err != nil {
+		return seal.Key{}, false
+	}
+	return key, true
+}
+
+func (h *Host) slotKeyLocked(ms *missionState, ref slotRef) (seal.Key, bool) {
+	if key, ok := ms.slotKeys[ref]; ok {
+		return key, true
+	}
+	shares := ms.slotShares[ref]
+	if len(shares) == 0 {
+		return seal.Key{}, false
+	}
+	raw, err := shamir.Combine(shares, len(shares))
+	if err != nil {
+		return seal.Key{}, false
+	}
+	key, err := seal.KeyFromBytes(raw)
+	if err != nil {
+		return seal.Key{}, false
+	}
+	return key, true
+}
+
+// forwardMainLocked builds the forwarding action for a peeled, due main
+// onion (or the final secret delivery). Callers hold h.mu.
+func (h *Host) forwardMainLocked(mission MissionID, col int, hp *heldPackage) func() {
+	layer := hp.peeled
+	pkt := hp.pkt
+	node := h.node
+	return func() {
+		if layer.Payload != nil {
+			// Terminal layer: release the secret to the receiver.
+			if len(layer.NextHops) > 0 {
+				target, err := dht.IDFromBytes(layer.NextHops[0])
+				if err != nil {
+					return
+				}
+				node.SendToOwner(target, Packet{
+					Mission: mission,
+					Kind:    PkSecret,
+					Data:    layer.Payload,
+				}.Encode(), nil)
+			}
+			return
+		}
+		for s, hop := range layer.NextHops {
+			target, err := dht.IDFromBytes(hop)
+			if err != nil {
+				continue
+			}
+			node.SendToOwners(target, Packet{
+				Mission:   mission,
+				Kind:      PkMainOnion,
+				Column:    uint16(col + 1),
+				Slot:      uint16(s),
+				HoldUntil: pkt.HoldUntil + pkt.Step,
+				Step:      pkt.Step,
+				Target:    pkt.Target,
+				Data:      layer.Rest,
+			}.Encode(), holderReplicas, nil)
+		}
+	}
+}
+
+// forwardSlotLocked builds the scatter action for a peeled, due slot
+// onion: deliver the column share to every next carrier, each slot share
+// to its slot, and the remaining slot onion down its own stream. Callers
+// hold h.mu.
+func (h *Host) forwardSlotLocked(mission MissionID, ref slotRef, hp *heldPackage) func() {
+	layer := hp.peeled
+	pkt := hp.pkt
+	node := h.node
+	return func() {
+		nextCol := ref.column + 1
+		hops := make([]dht.ID, 0, len(layer.NextHops))
+		for _, hop := range layer.NextHops {
+			id, err := dht.IDFromBytes(hop)
+			if err != nil {
+				return
+			}
+			hops = append(hops, id)
+		}
+		for _, blob := range layer.Shares {
+			if len(blob) < 2 {
+				continue
+			}
+			switch blob[0] {
+			case shareTagColumn:
+				for s, hop := range hops {
+					node.SendToOwners(hop, Packet{
+						Mission:   mission,
+						Kind:      PkColShare,
+						Column:    uint16(nextCol),
+						Slot:      uint16(s),
+						HoldUntil: pkt.HoldUntil + pkt.Step,
+						Step:      pkt.Step,
+						Data:      blob[1:],
+					}.Encode(), holderReplicas, nil)
+				}
+			case shareTagSlot:
+				if len(blob) < 4 {
+					continue
+				}
+				slot := int(blob[1])<<8 | int(blob[2])
+				if slot >= len(hops) {
+					continue
+				}
+				node.SendToOwners(hops[slot], Packet{
+					Mission:   mission,
+					Kind:      PkSlotShare,
+					Column:    uint16(nextCol),
+					Slot:      uint16(slot),
+					HoldUntil: pkt.HoldUntil + pkt.Step,
+					Step:      pkt.Step,
+					Data:      blob[3:],
+				}.Encode(), holderReplicas, nil)
+			}
+		}
+		if layer.Rest != nil && ref.slot < len(hops) {
+			node.SendToOwners(hops[ref.slot], Packet{
+				Mission:   mission,
+				Kind:      PkSlotOnion,
+				Column:    uint16(nextCol),
+				Slot:      uint16(ref.slot),
+				HoldUntil: pkt.HoldUntil + pkt.Step,
+				Step:      pkt.Step,
+				Data:      layer.Rest,
+			}.Encode(), holderReplicas, nil)
+		}
+	}
+}

@@ -1,0 +1,389 @@
+package protocol
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"selfemerge/internal/core"
+	"selfemerge/internal/crypto/onion"
+	"selfemerge/internal/crypto/seal"
+	"selfemerge/internal/crypto/shamir"
+	"selfemerge/internal/dht"
+)
+
+// Mission describes one self-emerging message: what to hide, for whom, and
+// the timing window.
+type Mission struct {
+	ID       MissionID
+	Plan     core.Plan
+	Secret   []byte // the secret key protected by the scheme
+	Receiver dht.ID // identifier the receiver listens on
+	Start    time.Time
+	Release  time.Time
+}
+
+// NewMissionID draws a random mission identifier.
+func NewMissionID() (MissionID, error) {
+	var id MissionID
+	if _, err := io.ReadFull(rand.Reader, id[:]); err != nil {
+		return MissionID{}, fmt.Errorf("protocol: mission id: %w", err)
+	}
+	return id, nil
+}
+
+// SlotID derives the DHT identifier of holder slot (column, slot) of a
+// mission: the pseudo-random, deterministic holder selection of Section
+// III ("pseudo-randomly selects nodes in the DHT to form the routing
+// paths").
+func SlotID(mission MissionID, column, slot int) dht.ID {
+	tag := make([]byte, 0, 16+12)
+	tag = append(tag, mission[:]...)
+	tag = append(tag, []byte(fmt.Sprintf("/%d/%d", column, slot))...)
+	return dht.IDFromKey(tag)
+}
+
+// Dispatch validates the mission and injects all start-time packages into
+// the DHT through node. It returns the number of packets sent. Packets are
+// routed to the current owners of the mission's slot IDs.
+func Dispatch(node *dht.Node, m Mission) (int, error) {
+	if err := m.validate(); err != nil {
+		return 0, err
+	}
+	switch m.Plan.Scheme {
+	case core.SchemeCentral:
+		return dispatchCentral(node, m)
+	case core.SchemeDisjoint:
+		return dispatchMultipath(node, m, false)
+	case core.SchemeJoint:
+		return dispatchMultipath(node, m, true)
+	case core.SchemeKeyShare:
+		return dispatchShare(node, m)
+	default:
+		return 0, fmt.Errorf("protocol: unknown scheme %v", m.Plan.Scheme)
+	}
+}
+
+func (m Mission) validate() error {
+	if err := m.Plan.Validate(); err != nil {
+		return err
+	}
+	if len(m.Secret) == 0 {
+		return errors.New("protocol: mission has no secret")
+	}
+	if m.Receiver.IsZero() {
+		return errors.New("protocol: mission has no receiver")
+	}
+	if !m.Release.After(m.Start) {
+		return errors.New("protocol: release time must follow start time")
+	}
+	return nil
+}
+
+// emergingPeriod returns T and the holding period th = T/l.
+func (m Mission) timing() (hold time.Duration, releaseAt int64) {
+	total := m.Release.Sub(m.Start)
+	return m.Plan.HoldPeriod(total), m.Release.UnixNano()
+}
+
+// holderReplicas is how many closest nodes receive each protocol packet.
+// Lookups from different vantage points (the sender at ts, the previous
+// holder at each hop) can resolve a slot ID to different nodes while
+// routing tables converge; delivering to the top two and deduplicating at
+// the receiver makes the rendezvous reliable.
+const holderReplicas = 2
+
+// send routes one packet to the owners of the given slot identifier.
+func send(node *dht.Node, slot dht.ID, p Packet) {
+	node.SendToOwners(slot, p.Encode(), holderReplicas, nil)
+}
+
+func dispatchCentral(node *dht.Node, m Mission) (int, error) {
+	_, releaseAt := m.timing()
+	send(node, SlotID(m.ID, 1, 0), Packet{
+		Mission:   m.ID,
+		Kind:      PkCentral,
+		Column:    1,
+		HoldUntil: releaseAt,
+		Target:    m.Receiver,
+		Data:      m.Secret,
+	})
+	return 1, nil
+}
+
+// dispatchMultipath implements the node-disjoint (joint=false) and
+// node-joint (joint=true) schemes: k onion replicas over l columns with
+// layer keys pre-assigned at start time.
+func dispatchMultipath(node *dht.Node, m Mission, joint bool) (int, error) {
+	k, l := m.Plan.K, m.Plan.L
+	hold, releaseAt := m.timing()
+
+	// One layer key per column, replicated across the column's k holders.
+	keys := make([]seal.Key, l)
+	for c := range keys {
+		key, err := seal.NewKey()
+		if err != nil {
+			return 0, err
+		}
+		keys[c] = key
+	}
+
+	sent := 0
+	// Pre-assign layer keys to every holder slot at start time.
+	for c := 1; c <= l; c++ {
+		for s := 0; s < k; s++ {
+			send(node, SlotID(m.ID, c, s), Packet{
+				Mission: m.ID,
+				Kind:    PkKeyGrant,
+				Column:  uint16(c),
+				Slot:    uint16(s),
+				Data:    keys[c-1].Bytes(),
+			})
+			sent++
+		}
+	}
+
+	// Build and send the onions.
+	buildLayers := func(path int) []onion.Layer {
+		layers := make([]onion.Layer, l)
+		for c := 1; c <= l; c++ {
+			var hops [][]byte
+			if c < l {
+				if joint {
+					for s := 0; s < k; s++ {
+						id := SlotID(m.ID, c+1, s)
+						hops = append(hops, id[:])
+					}
+				} else {
+					id := SlotID(m.ID, c+1, path)
+					hops = append(hops, id[:])
+				}
+			} else {
+				hops = append(hops, m.Receiver[:])
+			}
+			layers[c-1] = onion.Layer{NextHops: hops}
+		}
+		layers[l-1].Payload = m.Secret
+		return layers
+	}
+
+	firstHold := m.Start.Add(hold).UnixNano()
+	if joint {
+		wrapped, err := onion.Build(buildLayers(0), keys)
+		if err != nil {
+			return sent, err
+		}
+		for s := 0; s < k; s++ {
+			send(node, SlotID(m.ID, 1, s), Packet{
+				Mission:   m.ID,
+				Kind:      PkMainOnion,
+				Column:    1,
+				Slot:      uint16(s),
+				HoldUntil: firstHold,
+				Step:      int64(hold),
+				Target:    m.Receiver,
+				Data:      wrapped,
+			})
+			sent++
+		}
+	} else {
+		for path := 0; path < k; path++ {
+			wrapped, err := onion.Build(buildLayers(path), keys)
+			if err != nil {
+				return sent, err
+			}
+			send(node, SlotID(m.ID, 1, path), Packet{
+				Mission:   m.ID,
+				Kind:      PkMainOnion,
+				Column:    1,
+				Slot:      uint16(path),
+				HoldUntil: firstHold,
+				Step:      int64(hold),
+				Target:    m.Receiver,
+				Data:      wrapped,
+			})
+			sent++
+		}
+	}
+	_ = releaseAt
+	return sent, nil
+}
+
+// dispatchShare implements the key share routing scheme. Column keys CK_c
+// seal the main onion's layers; slot keys SK_{c,s} seal each carrier
+// chain's slot onions. Neither is pre-assigned: for c >= 2 both are Shamir
+// split (m, n) and the shares ride inside the column c-1 slot onions,
+// arriving exactly one hop ahead of the packages they unlock (Section
+// III-D).
+func dispatchShare(node *dht.Node, m Mission) (int, error) {
+	k, l, n := m.Plan.K, m.Plan.L, m.Plan.ShareN
+	hold, _ := m.timing()
+
+	columnKeys := make([]seal.Key, l+1) // 1-based
+	slotKeys := make([][]seal.Key, l)   // [column][slot], columns 1..l-1 used
+	for c := 1; c <= l; c++ {
+		key, err := seal.NewKey()
+		if err != nil {
+			return 0, err
+		}
+		columnKeys[c] = key
+	}
+	for c := 1; c < l; c++ {
+		slotKeys[c] = make([]seal.Key, n)
+		for s := 0; s < n; s++ {
+			key, err := seal.NewKey()
+			if err != nil {
+				return 0, err
+			}
+			slotKeys[c][s] = key
+		}
+	}
+
+	// Shamir-split the column c+1 keys; share index s goes to carrier
+	// (c, s). thresholds[c-1] protects column c+1.
+	colShares := make([][]shamir.Share, l+1)  // colShares[c][s] = share of CK_c
+	slotShares := make([][][]shamir.Share, l) // slotShares[c][t][s] = share of SK_{c,t}
+	for c := 2; c <= l; c++ {
+		threshold := m.Plan.ShareM[c-2]
+		shares, err := shamir.Split(columnKeys[c].Bytes(), threshold, n)
+		if err != nil {
+			return 0, fmt.Errorf("protocol: splitting CK_%d: %w", c, err)
+		}
+		colShares[c] = shares
+		if c < l {
+			slotShares[c] = make([][]shamir.Share, n)
+			for t := 0; t < n; t++ {
+				ss, err := shamir.Split(slotKeys[c][t].Bytes(), threshold, n)
+				if err != nil {
+					return 0, fmt.Errorf("protocol: splitting SK_%d_%d: %w", c, t, err)
+				}
+				slotShares[c][t] = ss
+			}
+		}
+	}
+
+	// Slot onions: chain for carrier stream s over columns 1..l-1. Layer c
+	// (sealed under SK_{c,s}) reveals the shares carrier (c, s) must
+	// scatter: its share of CK_{c+1} and, when c+1 < l, its share of every
+	// SK_{c+1,t}.
+	sent := 0
+	for s := 0; s < n; s++ {
+		var layers []onion.Layer
+		var keys []seal.Key
+		for c := 1; c < l; c++ {
+			var shares [][]byte
+			colShare := colShares[c+1][s]
+			shares = append(shares, append([]byte{shareTagColumn}, shareBlob(colShare.X, colShare.Data)...))
+			if c+1 < l {
+				for t := 0; t < n; t++ {
+					slotShare := slotShares[c+1][t][s]
+					blob := make([]byte, 0, 4+len(slotShare.Data))
+					blob = append(blob, shareTagSlot, byte(t>>8), byte(t))
+					blob = append(blob, shareBlob(slotShare.X, slotShare.Data)...)
+					shares = append(shares, blob)
+				}
+			}
+			var hops [][]byte
+			nextCount := n
+			if c+1 == l {
+				nextCount = n // terminal column also holds n carriers
+			}
+			for t := 0; t < nextCount; t++ {
+				id := SlotID(m.ID, c+1, t)
+				hops = append(hops, id[:])
+			}
+			layers = append(layers, onion.Layer{NextHops: hops, Shares: shares})
+			keys = append(keys, slotKeys[c][s])
+		}
+		if len(layers) == 0 {
+			continue
+		}
+		wrapped, err := onion.Build(layers, keys)
+		if err != nil {
+			return sent, err
+		}
+		firstHold := m.Start.Add(hold).UnixNano()
+		send(node, SlotID(m.ID, 1, s), Packet{
+			Mission:   m.ID,
+			Kind:      PkSlotOnion,
+			Column:    1,
+			Slot:      uint16(s),
+			HoldUntil: firstHold,
+			Step:      int64(hold),
+			Data:      wrapped,
+		})
+		sent++
+		// Column 1 keys are delivered directly at start time.
+		send(node, SlotID(m.ID, 1, s), Packet{
+			Mission: m.ID,
+			Kind:    PkKeyGrant,
+			Column:  1,
+			Slot:    uint16(s),
+			X:       keyGrantSlot,
+			Data:    slotKeys[1][s].Bytes(),
+		})
+		sent++
+	}
+
+	// Main onion: layers 1..l under the column keys; the k main holders of
+	// column 1 receive it (and CK_1) directly.
+	mainLayers := make([]onion.Layer, l)
+	mainKeys := make([]seal.Key, l)
+	for c := 1; c <= l; c++ {
+		var hops [][]byte
+		if c < l {
+			for t := 0; t < n; t++ {
+				id := SlotID(m.ID, c+1, t)
+				hops = append(hops, id[:])
+			}
+		} else {
+			hops = append(hops, m.Receiver[:])
+		}
+		mainLayers[c-1] = onion.Layer{NextHops: hops}
+		mainKeys[c-1] = columnKeys[c]
+	}
+	mainLayers[l-1].Payload = m.Secret
+	wrappedMain, err := onion.Build(mainLayers, mainKeys)
+	if err != nil {
+		return sent, err
+	}
+	firstHold := m.Start.Add(hold).UnixNano()
+	for s := 0; s < k; s++ {
+		send(node, SlotID(m.ID, 1, s), Packet{
+			Mission:   m.ID,
+			Kind:      PkMainOnion,
+			Column:    1,
+			Slot:      uint16(s),
+			HoldUntil: firstHold,
+			Step:      int64(hold),
+			Target:    m.Receiver,
+			Data:      wrappedMain,
+		})
+		sent++
+		send(node, SlotID(m.ID, 1, s), Packet{
+			Mission: m.ID,
+			Kind:    PkKeyGrant,
+			Column:  1,
+			Slot:    uint16(s),
+			X:       keyGrantColumn,
+			Data:    columnKeys[1].Bytes(),
+		})
+		sent++
+	}
+	return sent, nil
+}
+
+// Share blob tags inside slot-onion layers.
+const (
+	shareTagColumn = 0xC0
+	shareTagSlot   = 0x51
+)
+
+// KeyGrant X-field discriminators for the share scheme's direct column-1
+// key deliveries.
+const (
+	keyGrantColumn = 0x01 // data is CK_1
+	keyGrantSlot   = 0x02 // data is SK_{1,slot}
+)

@@ -1,0 +1,270 @@
+// Package sim provides the discrete-event simulation engine the in-process
+// DHT experiments run on: a virtual clock with an event heap, deterministic
+// ordering, and a Clock abstraction that lets the same DHT and protocol code
+// run on either simulated or wall-clock time.
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for components that must run under both the
+// discrete-event simulator and real time (the UDP deployment).
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// AfterFunc schedules fn to run d from now and returns a cancellable
+	// timer. fn runs on the clock's dispatch context: the simulator's Run
+	// loop, or a timer goroutine for the real clock.
+	AfterFunc(d time.Duration, fn func()) Timer
+}
+
+// Timer is a cancellable scheduled callback.
+type Timer interface {
+	// Stop cancels the timer if it has not fired; it reports whether the
+	// call prevented the callback from running.
+	Stop() bool
+}
+
+// realClock implements Clock with package time.
+type realClock struct{}
+
+// RealClock returns a Clock backed by the system clock.
+func RealClock() Clock { return realClock{} }
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) AfterFunc(d time.Duration, fn func()) Timer {
+	return realTimer{t: time.AfterFunc(d, fn)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) Stop() bool { return rt.t.Stop() }
+
+// Simulator is a deterministic discrete-event scheduler implementing Clock.
+// Events scheduled for the same instant run in scheduling order. All methods
+// are safe for concurrent use, but Run itself must be called from a single
+// goroutine.
+type Simulator struct {
+	mu    sync.Mutex
+	now   time.Time
+	seq   uint64
+	queue eventHeap
+}
+
+// NewSimulator returns a simulator starting at the zero time plus one hour
+// (so negative offsets in tests stay valid).
+func NewSimulator() *Simulator {
+	return &Simulator{now: time.Unix(0, 0)}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// AfterFunc schedules fn at now+d. Non-positive d runs fn at the current
+// instant (still through the queue, preserving deterministic order).
+func (s *Simulator) AfterFunc(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ev := &event{at: s.now.Add(d), seq: s.seq, fn: fn}
+	s.seq++
+	s.queue.push(ev)
+	return ev
+}
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (s *Simulator) Step() bool {
+	s.mu.Lock()
+	ev := s.queue.popRunnable()
+	if ev == nil {
+		s.mu.Unlock()
+		return false
+	}
+	if ev.at.After(s.now) {
+		s.now = ev.at
+	}
+	s.mu.Unlock()
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline.
+func (s *Simulator) RunUntil(deadline time.Time) {
+	for {
+		s.mu.Lock()
+		next := s.queue.peekRunnable()
+		if next == nil || next.at.After(deadline) {
+			if s.now.Before(deadline) {
+				s.now = deadline
+			}
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		s.Step()
+	}
+}
+
+// RunFor advances the simulation by d.
+func (s *Simulator) RunFor(d time.Duration) {
+	s.RunUntil(s.Now().Add(d))
+}
+
+// Pending returns the number of queued events (cancelled ones excluded).
+func (s *Simulator) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, ev := range s.queue.items {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// event is a scheduled callback; it doubles as the Timer handle.
+type event struct {
+	at        time.Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	heapIdx   int
+	owner     *eventHeap
+	mu        sync.Mutex
+}
+
+// Stop cancels the event; it reports true if the event had not yet run.
+func (e *event) Stop() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cancelled || e.owner == nil {
+		return false
+	}
+	e.cancelled = true
+	return true
+}
+
+func (e *event) ran() {
+	e.mu.Lock()
+	e.owner = nil
+	e.mu.Unlock()
+}
+
+func (e *event) isCancelled() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cancelled
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq).
+type eventHeap struct {
+	items []*event
+}
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.at.Equal(b.at) {
+		return a.seq < b.seq
+	}
+	return a.at.Before(b.at)
+}
+
+func (h *eventHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].heapIdx = i
+	h.items[j].heapIdx = j
+}
+
+func (h *eventHeap) push(ev *event) {
+	ev.owner = h
+	ev.heapIdx = len(h.items)
+	h.items = append(h.items, ev)
+	h.up(len(h.items) - 1)
+}
+
+func (h *eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *eventHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *eventHeap) pop() *event {
+	if len(h.items) == 0 {
+		return nil
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.swap(0, last)
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	top.ran()
+	return top
+}
+
+// popRunnable pops events until a non-cancelled one is found.
+func (h *eventHeap) popRunnable() *event {
+	for {
+		ev := h.pop()
+		if ev == nil {
+			return nil
+		}
+		if !ev.isCancelled() {
+			return ev
+		}
+	}
+}
+
+// peekRunnable returns the earliest non-cancelled event without removing it.
+func (h *eventHeap) peekRunnable() *event {
+	for len(h.items) > 0 {
+		if !h.items[0].isCancelled() {
+			return h.items[0]
+		}
+		h.pop()
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSimulatorOrdering(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	s.AfterFunc(3*time.Second, func() { order = append(order, 3) })
+	s.AfterFunc(1*time.Second, func() { order = append(order, 1) })
+	s.AfterFunc(2*time.Second, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSimulatorSameInstantFIFO(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.AfterFunc(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events out of order: %v", order)
+		}
+	}
+}
+
+func TestSimulatorClockAdvances(t *testing.T) {
+	s := NewSimulator()
+	start := s.Now()
+	var at time.Time
+	s.AfterFunc(5*time.Minute, func() { at = s.Now() })
+	s.Run()
+	if got := at.Sub(start); got != 5*time.Minute {
+		t.Fatalf("event ran at +%v", got)
+	}
+}
+
+func TestSimulatorNestedScheduling(t *testing.T) {
+	s := NewSimulator()
+	var fired []time.Duration
+	start := s.Now()
+	s.AfterFunc(time.Second, func() {
+		fired = append(fired, s.Now().Sub(start))
+		s.AfterFunc(2*time.Second, func() {
+			fired = append(fired, s.Now().Sub(start))
+		})
+	})
+	s.Run()
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 3*time.Second {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := NewSimulator()
+	ran := false
+	timer := s.AfterFunc(time.Second, func() { ran = true })
+	if !timer.Stop() {
+		t.Fatal("Stop returned false before firing")
+	}
+	s.Run()
+	if ran {
+		t.Fatal("cancelled timer fired")
+	}
+	if timer.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	s := NewSimulator()
+	timer := s.AfterFunc(time.Second, func() {})
+	s.Run()
+	if timer.Stop() {
+		t.Fatal("Stop after firing returned true")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewSimulator()
+	var fired []int
+	s.AfterFunc(1*time.Second, func() { fired = append(fired, 1) })
+	s.AfterFunc(10*time.Second, func() { fired = append(fired, 10) })
+	deadline := s.Now().Add(5 * time.Second)
+	s.RunUntil(deadline)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if !s.Now().Equal(deadline) {
+		t.Fatalf("clock at %v, want %v", s.Now(), deadline)
+	}
+	s.Run()
+	if len(fired) != 2 {
+		t.Fatalf("remaining event did not run: %v", fired)
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	s := NewSimulator()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		s.AfterFunc(time.Second, tick)
+	}
+	s.AfterFunc(time.Second, tick)
+	s.RunFor(10 * time.Second)
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+}
+
+func TestPending(t *testing.T) {
+	s := NewSimulator()
+	a := s.AfterFunc(time.Second, func() {})
+	s.AfterFunc(2*time.Second, func() {})
+	if got := s.Pending(); got != 2 {
+		t.Fatalf("Pending = %d", got)
+	}
+	a.Stop()
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending after cancel = %d", got)
+	}
+}
+
+func TestNegativeDelay(t *testing.T) {
+	s := NewSimulator()
+	ran := false
+	s.AfterFunc(-time.Second, func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("negative-delay event did not run")
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	c := RealClock()
+	before := time.Now()
+	if c.Now().Before(before.Add(-time.Second)) {
+		t.Fatal("RealClock.Now far in the past")
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	c.AfterFunc(time.Millisecond, wg.Done)
+	wg.Wait() // must fire
+	timer := c.AfterFunc(time.Hour, func() { t.Error("should not fire") })
+	if !timer.Stop() {
+		t.Fatal("Stop on real timer failed")
+	}
+}
+
+func TestConcurrentScheduling(t *testing.T) {
+	// AfterFunc may be called from many goroutines (e.g. UDP handlers).
+	s := NewSimulator()
+	var mu sync.Mutex
+	count := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.AfterFunc(time.Duration(i)*time.Millisecond, func() {
+					mu.Lock()
+					count++
+					mu.Unlock()
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	s.Run()
+	if count != 800 {
+		t.Fatalf("count = %d", count)
+	}
+}

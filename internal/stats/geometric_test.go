@@ -1,0 +1,41 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGeometricMean(t *testing.T) {
+	r := NewRNG(61)
+	for _, s := range []float64{0.05, 0.3, 0.9} {
+		var sum Summary
+		for i := 0; i < 100000; i++ {
+			sum.Add(float64(r.Geometric(s)))
+		}
+		want := 1 / s
+		if math.Abs(sum.Mean()-want) > 0.05*want {
+			t.Errorf("Geometric(%v) mean = %.3f, want %.3f", s, sum.Mean(), want)
+		}
+		if sum.Min() < 1 {
+			t.Errorf("Geometric(%v) produced %v < 1", s, sum.Min())
+		}
+	}
+}
+
+func TestGeometricCertainSuccess(t *testing.T) {
+	r := NewRNG(67)
+	for i := 0; i < 100; i++ {
+		if got := r.Geometric(1); got != 1 {
+			t.Fatalf("Geometric(1) = %d", got)
+		}
+	}
+}
+
+func TestGeometricPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Geometric(0) did not panic")
+		}
+	}()
+	NewRNG(1).Geometric(0)
+}

@@ -1,0 +1,186 @@
+// Package stats provides deterministic pseudo-random number generation,
+// sampling from the distributions used by the self-emerging data simulator
+// (exponential lifetimes, binomial and hypergeometric adversary draws), and
+// summary statistics for Monte Carlo experiment results.
+//
+// All generators are seeded explicitly so that every simulation in this
+// repository is reproducible: the same seed always yields the same run.
+package stats
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator based on
+// xoshiro256++ with a SplitMix64 seeding sequence. It is not safe for
+// concurrent use; create one RNG per goroutine (see Split).
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed via SplitMix64, guaranteeing a
+// well-mixed internal state even for small or adjacent seeds.
+func NewRNG(seed uint64) *RNG {
+	var r RNG
+	sm := seed
+	for i := range r.s {
+		sm, r.s[i] = splitMix64(sm)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+// splitMix64 advances the SplitMix64 state and returns (newState, output).
+func splitMix64(state uint64) (uint64, uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return state, z ^ (z >> 31)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[0]+r.s[3], 23) + r.s[0]
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split derives an independent generator from r. The child stream is
+// decorrelated from the parent by reseeding through SplitMix64, so parent and
+// child may be used on different goroutines without sharing state.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn called with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n) using Lemire's unbiased
+// multiply-shift rejection method. It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("stats: Uint64n called with zero n")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	threshold := -n % n
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, n)
+		if lo >= threshold {
+			return hi
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t&mask32 + x0*y1
+	hi = x1*y1 + t>>32 + w1>>32
+	lo = x * y
+	return hi, lo
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap, implementing
+// the Fisher-Yates shuffle.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	switch {
+	case p <= 0:
+		return false
+	case p >= 1:
+		return true
+	default:
+		return r.Float64() < p
+	}
+}
+
+// Exp returns an exponentially distributed value with the given mean
+// (i.e. rate 1/mean). It panics if mean <= 0.
+func (r *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic("stats: Exp called with non-positive mean")
+	}
+	// Inversion: -mean * ln(1-U); 1-U avoids log(0) because Float64 < 1.
+	return -mean * math.Log(1-r.Float64())
+}
+
+// SampleWithoutReplacement returns k distinct values drawn uniformly from
+// [0, n). It panics if k > n or k < 0. The result is in random order.
+//
+// For k much smaller than n it uses rejection via a set; otherwise it uses a
+// partial Fisher-Yates shuffle.
+func (r *RNG) SampleWithoutReplacement(n, k int) []int {
+	if k < 0 || k > n {
+		panic("stats: SampleWithoutReplacement requires 0 <= k <= n")
+	}
+	if k == 0 {
+		return nil
+	}
+	if k*8 < n {
+		seen := make(map[int]struct{}, k)
+		out := make([]int, 0, k)
+		for len(out) < k {
+			v := r.Intn(n)
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+		return out
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}

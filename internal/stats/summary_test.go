@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if got := s.Variance(); math.Abs(got-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdErr() != 0 {
+		t.Error("empty summary should report zeros")
+	}
+	s.Add(3)
+	if s.Mean() != 3 || s.Variance() != 0 {
+		t.Errorf("single observation: mean=%v var=%v", s.Mean(), s.Variance())
+	}
+}
+
+func TestProportionRateAndInterval(t *testing.T) {
+	var p Proportion
+	for i := 0; i < 80; i++ {
+		p.Add(true)
+	}
+	for i := 0; i < 20; i++ {
+		p.Add(false)
+	}
+	if got := p.Rate(); got != 0.8 {
+		t.Fatalf("Rate = %v", got)
+	}
+	lo, hi := p.Wilson95()
+	if lo >= 0.8 || hi <= 0.8 {
+		t.Errorf("Wilson interval [%v,%v] does not contain 0.8", lo, hi)
+	}
+	if lo < 0.70 || hi > 0.90 {
+		t.Errorf("Wilson interval [%v,%v] implausibly wide for n=100", lo, hi)
+	}
+}
+
+func TestProportionExtremes(t *testing.T) {
+	var p Proportion
+	p.AddN(100, 100)
+	lo, hi := p.Wilson95()
+	if hi < 1-1e-9 {
+		t.Errorf("hi = %v, want ~1", hi)
+	}
+	if lo < 0.9 {
+		t.Errorf("lo = %v, want > 0.9 for 100/100", lo)
+	}
+	var q Proportion
+	lo, hi = q.Wilson95()
+	if lo != 0 || hi != 1 {
+		t.Errorf("no-trials interval = [%v,%v], want [0,1]", lo, hi)
+	}
+}
+
+func TestWilsonCoverage(t *testing.T) {
+	// The interval should contain the true p in roughly 95% of experiments.
+	r := NewRNG(47)
+	const trueP = 0.3
+	covered := 0
+	const experiments = 2000
+	for e := 0; e < experiments; e++ {
+		var p Proportion
+		for i := 0; i < 200; i++ {
+			p.Add(r.Bool(trueP))
+		}
+		lo, hi := p.Wilson95()
+		if lo <= trueP && trueP <= hi {
+			covered++
+		}
+	}
+	rate := float64(covered) / experiments
+	if rate < 0.92 || rate > 0.99 {
+		t.Errorf("coverage = %.3f, want ~0.95", rate)
+	}
+}

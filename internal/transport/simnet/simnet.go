@@ -1,0 +1,174 @@
+// Package simnet is an in-memory transport for large in-process DHT
+// networks, the role Overlay Weaver's emulation mode played in the paper's
+// evaluation. Delivery runs through the discrete-event simulator with
+// configurable base latency, jitter and loss; endpoints can be marked down
+// (transient churn) or closed (node death).
+package simnet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"selfemerge/internal/sim"
+	"selfemerge/internal/stats"
+	"selfemerge/internal/transport"
+)
+
+// Config shapes the simulated network.
+type Config struct {
+	// BaseLatency is the one-way delivery delay (default 10ms).
+	BaseLatency time.Duration
+	// Jitter is the maximum extra uniform delay added per message.
+	Jitter time.Duration
+	// LossRate is the probability a message is silently dropped in flight.
+	LossRate float64
+	// Seed seeds the network's private RNG (jitter and loss decisions).
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BaseLatency == 0 {
+		c.BaseLatency = 10 * time.Millisecond
+	}
+	return c
+}
+
+// Network is the in-memory message fabric.
+type Network struct {
+	clock sim.Clock
+	cfg   Config
+
+	mu        sync.Mutex
+	rng       *stats.RNG
+	endpoints map[transport.Addr]*endpoint
+	down      map[transport.Addr]bool
+
+	sent      int
+	delivered int
+	dropped   int
+}
+
+// New creates a network that delivers messages on the given clock.
+func New(clock sim.Clock, cfg Config) *Network {
+	cfg = cfg.withDefaults()
+	return &Network{
+		clock:     clock,
+		cfg:       cfg,
+		rng:       stats.NewRNG(cfg.Seed),
+		endpoints: make(map[transport.Addr]*endpoint),
+		down:      make(map[transport.Addr]bool),
+	}
+}
+
+// Endpoint attaches (or replaces) an endpoint with the given address.
+func (n *Network) Endpoint(addr transport.Addr) transport.Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep := &endpoint{net: n, addr: addr}
+	n.endpoints[addr] = ep
+	delete(n.down, addr)
+	return ep
+}
+
+// SetDown marks an endpoint unavailable (messages to and from it vanish)
+// without detaching it — the transient-churn state of Section II-C.
+func (n *Network) SetDown(addr transport.Addr, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if down {
+		n.down[addr] = true
+	} else {
+		delete(n.down, addr)
+	}
+}
+
+// Stats reports (sent, delivered, dropped) message counts.
+func (n *Network) Stats() (sent, delivered, dropped int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sent, n.delivered, n.dropped
+}
+
+func (n *Network) send(from transport.Addr, to transport.Addr, payload []byte) {
+	n.mu.Lock()
+	n.sent++
+	if n.down[from] || n.down[to] {
+		n.dropped++
+		n.mu.Unlock()
+		return
+	}
+	if n.cfg.LossRate > 0 && n.rng.Bool(n.cfg.LossRate) {
+		n.dropped++
+		n.mu.Unlock()
+		return
+	}
+	delay := n.cfg.BaseLatency
+	if n.cfg.Jitter > 0 {
+		delay += time.Duration(n.rng.Uint64n(uint64(n.cfg.Jitter)))
+	}
+	n.mu.Unlock()
+
+	// Copy the payload: the sender may reuse its buffer.
+	msg := make([]byte, len(payload))
+	copy(msg, payload)
+	n.clock.AfterFunc(delay, func() {
+		n.mu.Lock()
+		dst, ok := n.endpoints[to]
+		downNow := n.down[to] || n.down[from]
+		var h transport.Handler
+		if ok {
+			h = dst.handler
+		}
+		if !ok || downNow || h == nil || dst.closed {
+			n.dropped++
+			n.mu.Unlock()
+			return
+		}
+		n.delivered++
+		n.mu.Unlock()
+		h(from, msg)
+	})
+}
+
+type endpoint struct {
+	net     *Network
+	addr    transport.Addr
+	handler transport.Handler
+	closed  bool
+}
+
+func (e *endpoint) Addr() transport.Addr { return e.addr }
+
+func (e *endpoint) SetHandler(h transport.Handler) {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	e.handler = h
+}
+
+func (e *endpoint) Send(to transport.Addr, payload []byte) error {
+	e.net.mu.Lock()
+	closed := e.closed
+	e.net.mu.Unlock()
+	if closed {
+		return transport.ErrClosed
+	}
+	if len(payload) > transport.MaxDatagram {
+		return fmt.Errorf("simnet: payload %d exceeds %d bytes", len(payload), transport.MaxDatagram)
+	}
+	e.net.send(e.addr, to, payload)
+	return nil
+}
+
+func (e *endpoint) Close() error {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	if e.net.endpoints[e.addr] == e {
+		delete(e.net.endpoints, e.addr)
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"selfemerge/internal/sim"
+	"selfemerge/internal/transport"
+)
+
+func TestDeliveryWithLatency(t *testing.T) {
+	s := sim.NewSimulator()
+	net := New(s, Config{BaseLatency: 50 * time.Millisecond})
+	a := net.Endpoint("a")
+	b := net.Endpoint("b")
+
+	var gotFrom transport.Addr
+	var gotAt time.Time
+	var payload []byte
+	b.SetHandler(func(from transport.Addr, p []byte) {
+		gotFrom, gotAt, payload = from, s.Now(), p
+	})
+	start := s.Now()
+	if err := a.Send("b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if string(payload) != "hello" || gotFrom != "a" {
+		t.Fatalf("got %q from %q", payload, gotFrom)
+	}
+	if gotAt.Sub(start) != 50*time.Millisecond {
+		t.Errorf("delivered after %v", gotAt.Sub(start))
+	}
+}
+
+func TestPayloadIsCopied(t *testing.T) {
+	s := sim.NewSimulator()
+	net := New(s, Config{})
+	a := net.Endpoint("a")
+	b := net.Endpoint("b")
+	var got []byte
+	b.SetHandler(func(_ transport.Addr, p []byte) { got = p })
+	buf := []byte("original")
+	if err := a.Send("b", buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "XXXXXXXX") // sender reuses its buffer before delivery
+	s.Run()
+	if string(got) != "original" {
+		t.Errorf("payload aliased sender buffer: %q", got)
+	}
+}
+
+func TestLoss(t *testing.T) {
+	s := sim.NewSimulator()
+	net := New(s, Config{LossRate: 1.0})
+	a := net.Endpoint("a")
+	b := net.Endpoint("b")
+	b.SetHandler(func(transport.Addr, []byte) { t.Error("lossy network delivered") })
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	sent, delivered, dropped := net.Stats()
+	if sent != 1 || delivered != 0 || dropped != 1 {
+		t.Errorf("stats = %d/%d/%d", sent, delivered, dropped)
+	}
+}
+
+func TestDownEndpointsDropTraffic(t *testing.T) {
+	s := sim.NewSimulator()
+	net := New(s, Config{})
+	a := net.Endpoint("a")
+	b := net.Endpoint("b")
+	got := 0
+	b.SetHandler(func(transport.Addr, []byte) { got++ })
+
+	net.SetDown("b", true)
+	_ = a.Send("b", []byte("1"))
+	s.Run()
+	net.SetDown("b", false)
+	_ = a.Send("b", []byte("2"))
+	s.Run()
+	if got != 1 {
+		t.Errorf("delivered %d messages, want 1 (only after recovery)", got)
+	}
+}
+
+func TestDownSenderDropsTraffic(t *testing.T) {
+	s := sim.NewSimulator()
+	net := New(s, Config{})
+	a := net.Endpoint("a")
+	b := net.Endpoint("b")
+	got := 0
+	b.SetHandler(func(transport.Addr, []byte) { got++ })
+	net.SetDown("a", true)
+	_ = a.Send("b", []byte("1"))
+	s.Run()
+	if got != 0 {
+		t.Error("down sender delivered")
+	}
+}
+
+func TestCloseDetaches(t *testing.T) {
+	s := sim.NewSimulator()
+	net := New(s, Config{})
+	a := net.Endpoint("a")
+	b := net.Endpoint("b")
+	b.SetHandler(func(transport.Addr, []byte) { t.Error("closed endpoint delivered") })
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = a.Send("b", []byte("x"))
+	s.Run()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", []byte("y")); err != transport.ErrClosed {
+		t.Errorf("send on closed endpoint: %v", err)
+	}
+}
+
+func TestInFlightMessageToClosedEndpointDropped(t *testing.T) {
+	s := sim.NewSimulator()
+	net := New(s, Config{BaseLatency: time.Second})
+	a := net.Endpoint("a")
+	b := net.Endpoint("b")
+	b.SetHandler(func(transport.Addr, []byte) { t.Error("delivered after close") })
+	_ = a.Send("b", []byte("x"))
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+}
+
+func TestOversizedPayloadRejected(t *testing.T) {
+	s := sim.NewSimulator()
+	net := New(s, Config{})
+	a := net.Endpoint("a")
+	if err := a.Send("b", make([]byte, transport.MaxDatagram+1)); err == nil {
+		t.Error("oversized payload accepted")
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	s := sim.NewSimulator()
+	net := New(s, Config{BaseLatency: 10 * time.Millisecond, Jitter: 5 * time.Millisecond, Seed: 42})
+	a := net.Endpoint("a")
+	b := net.Endpoint("b")
+	var deliveries []time.Duration
+	start := s.Now()
+	b.SetHandler(func(transport.Addr, []byte) {
+		deliveries = append(deliveries, s.Now().Sub(start))
+	})
+	for i := 0; i < 100; i++ {
+		_ = a.Send("b", []byte("x"))
+	}
+	s.Run()
+	if len(deliveries) != 100 {
+		t.Fatalf("delivered %d", len(deliveries))
+	}
+	for _, d := range deliveries {
+		if d < 10*time.Millisecond || d >= 15*time.Millisecond {
+			t.Fatalf("delivery latency %v outside [10ms,15ms)", d)
+		}
+	}
+}
+
+func TestEndpointReplacement(t *testing.T) {
+	// Re-attaching the same address replaces the endpoint (a new node takes
+	// over a churned-out identity).
+	s := sim.NewSimulator()
+	net := New(s, Config{})
+	old := net.Endpoint("x")
+	oldGot := 0
+	old.SetHandler(func(transport.Addr, []byte) { oldGot++ })
+	replacement := net.Endpoint("x")
+	newGot := 0
+	replacement.SetHandler(func(transport.Addr, []byte) { newGot++ })
+
+	a := net.Endpoint("a")
+	_ = a.Send("x", []byte("m"))
+	s.Run()
+	if oldGot != 0 || newGot != 1 {
+		t.Errorf("old=%d new=%d", oldGot, newGot)
+	}
+}

@@ -1,0 +1,38 @@
+// Package transport defines the message transport abstraction the DHT runs
+// over. Two implementations exist: simnet (an in-memory network with
+// configurable latency, loss and node up/down state, driven by the
+// discrete-event simulator) and udp (a real net.UDPConn transport for
+// running nodes as separate processes).
+package transport
+
+import "errors"
+
+// Addr identifies an endpoint. For simnet it is an opaque node name; for
+// UDP it is a "host:port" string.
+type Addr string
+
+// Handler consumes an inbound datagram.
+type Handler func(from Addr, payload []byte)
+
+// ErrClosed is returned when sending through a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// MaxDatagram is the largest payload an endpoint must accept. It matches a
+// conservative UDP datagram budget; the DHT keeps its messages below this.
+const MaxDatagram = 60 * 1024
+
+// Endpoint is one attachment point to a network.
+type Endpoint interface {
+	// Addr returns the endpoint's own address.
+	Addr() Addr
+	// Send transmits payload to the given address, best effort: delivery
+	// failures (loss, dead peer) are silent, exactly like UDP. An error is
+	// returned only for local conditions (endpoint closed, oversized
+	// payload).
+	Send(to Addr, payload []byte) error
+	// SetHandler installs the inbound handler. Must be called before any
+	// traffic arrives; not safe to call concurrently with traffic.
+	SetHandler(h Handler)
+	// Close detaches the endpoint. Further Sends fail with ErrClosed.
+	Close() error
+}

@@ -1,0 +1,122 @@
+// Package udp implements the transport interface over real UDP sockets,
+// enabling multi-process DHT clusters (cmd/dhtnode). Framing is native:
+// one datagram per message.
+package udp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"selfemerge/internal/transport"
+)
+
+// Endpoint is a UDP-backed transport endpoint.
+type Endpoint struct {
+	conn *net.UDPConn
+
+	mu      sync.RWMutex
+	handler transport.Handler
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+var _ transport.Endpoint = (*Endpoint)(nil)
+
+// Listen opens a UDP endpoint on the given address ("127.0.0.1:0" picks a
+// free port). The read loop starts immediately; install a handler before
+// peers learn the address.
+func Listen(addr string) (*Endpoint, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udp: resolving %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("udp: listening on %q: %w", addr, err)
+	}
+	e := &Endpoint{conn: conn}
+	e.wg.Add(1)
+	go e.readLoop()
+	return e, nil
+}
+
+// Addr returns the bound address (with the concrete port).
+func (e *Endpoint) Addr() transport.Addr {
+	return transport.Addr(e.conn.LocalAddr().String())
+}
+
+// SetHandler installs the inbound handler.
+func (e *Endpoint) SetHandler(h transport.Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+}
+
+// Send transmits one datagram to the given "host:port" address.
+func (e *Endpoint) Send(to transport.Addr, payload []byte) error {
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		return transport.ErrClosed
+	}
+	if len(payload) > transport.MaxDatagram {
+		return fmt.Errorf("udp: payload %d exceeds %d bytes", len(payload), transport.MaxDatagram)
+	}
+	dst, err := net.ResolveUDPAddr("udp", string(to))
+	if err != nil {
+		return fmt.Errorf("udp: resolving %q: %w", to, err)
+	}
+	if _, err := e.conn.WriteToUDP(payload, dst); err != nil {
+		return fmt.Errorf("udp: sending to %q: %w", to, err)
+	}
+	return nil
+}
+
+// Close shuts down the socket and waits for the read loop to exit.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	err := e.conn.Close()
+	e.wg.Wait()
+	return err
+}
+
+func (e *Endpoint) readLoop() {
+	defer e.wg.Done()
+	buf := make([]byte, transport.MaxDatagram+1)
+	for {
+		n, from, err := e.conn.ReadFromUDP(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			e.mu.RLock()
+			closed := e.closed
+			e.mu.RUnlock()
+			if closed {
+				return
+			}
+			continue // transient read error; UDP is lossy anyway
+		}
+		if n > transport.MaxDatagram {
+			continue // oversized datagram: drop
+		}
+		e.mu.RLock()
+		h := e.handler
+		e.mu.RUnlock()
+		if h == nil {
+			continue
+		}
+		msg := make([]byte, n)
+		copy(msg, buf[:n])
+		h(transport.Addr(from.String()), msg)
+	}
+}

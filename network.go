@@ -1,0 +1,188 @@
+package selfemerge
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"selfemerge/internal/adversary"
+	"selfemerge/internal/churn"
+	"selfemerge/internal/cloud"
+	"selfemerge/internal/core"
+	"selfemerge/internal/dht"
+	"selfemerge/internal/protocol"
+	"selfemerge/internal/sim"
+	"selfemerge/internal/stats"
+	"selfemerge/internal/transport"
+	"selfemerge/internal/transport/simnet"
+)
+
+// Scheme selects a self-emerging key routing scheme.
+type Scheme = core.Scheme
+
+// The four schemes of the paper, in increasing sophistication.
+const (
+	SchemeCentral  = core.SchemeCentral
+	SchemeDisjoint = core.SchemeDisjoint
+	SchemeJoint    = core.SchemeJoint
+	SchemeKeyShare = core.SchemeKeyShare
+)
+
+// NetworkConfig sizes an in-process self-emerging data network.
+type NetworkConfig struct {
+	// Nodes is the DHT population (default 100).
+	Nodes int
+	// MaliciousRate is the fraction p of Sybil-controlled nodes (default 0).
+	MaliciousRate float64
+	// DropAttack switches malicious nodes from spying (release-ahead
+	// collection) to dropping every package they hold.
+	DropAttack bool
+	// MeanLifetime enables churn: nodes die permanently with exponentially
+	// distributed lifetimes of this mean. Zero disables churn.
+	MeanLifetime time.Duration
+	// Latency is the one-way network latency (default 5ms).
+	Latency time.Duration
+	// Seed makes the network fully reproducible.
+	Seed uint64
+}
+
+func (c NetworkConfig) withDefaults() (NetworkConfig, error) {
+	if c.Nodes == 0 {
+		c.Nodes = 100
+	}
+	if c.Nodes < 3 {
+		return c, errors.New("selfemerge: need at least 3 nodes")
+	}
+	if c.MaliciousRate < 0 || c.MaliciousRate > 1 {
+		return c, fmt.Errorf("selfemerge: malicious rate %v outside [0,1]", c.MaliciousRate)
+	}
+	if c.Latency == 0 {
+		c.Latency = 5 * time.Millisecond
+	}
+	return c, nil
+}
+
+// Network is an in-process deployment: a simulated-time Kademlia DHT with
+// protocol hosts on every node, a cloud store, an adversary collector, and
+// an optional churn process. It is the environment the examples and tests
+// drive; create one per experiment.
+type Network struct {
+	cfg       NetworkConfig
+	simulator *sim.Simulator
+	fabric    *simnet.Network
+	cloudSt   *cloud.Store
+	collector *adversary.Collector
+	rng       *stats.RNG
+	churnProc *churn.Process
+
+	nodes    []*dht.Node
+	receiver *dht.Node
+
+	mu         sync.Mutex
+	deliveries map[protocol.MissionID]delivery
+}
+
+type delivery struct {
+	at     time.Time
+	secret []byte
+}
+
+// NewNetwork boots and bootstraps the network; it returns with the DHT
+// converged (simulated time has advanced past the join traffic).
+func NewNetwork(cfg NetworkConfig) (*Network, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{
+		cfg:        cfg,
+		simulator:  sim.NewSimulator(),
+		cloudSt:    cloud.NewStore(),
+		collector:  adversary.NewCollector(),
+		rng:        stats.NewRNG(cfg.Seed),
+		deliveries: make(map[protocol.MissionID]delivery),
+	}
+	n.fabric = simnet.New(n.simulator, simnet.Config{BaseLatency: cfg.Latency, Seed: cfg.Seed + 1})
+	if cfg.MeanLifetime > 0 {
+		n.churnProc = churn.New(n.simulator, churn.Config{MeanLifetime: cfg.MeanLifetime, Seed: cfg.Seed + 2})
+	}
+
+	malicious := n.rng.MarkedSet(cfg.Nodes, int(cfg.MaliciousRate*float64(cfg.Nodes)))
+	for i := 0; i < cfg.Nodes; i++ {
+		if err := n.addNode(i, malicious[i]); err != nil {
+			return nil, err
+		}
+	}
+	n.receiver = n.nodes[1]
+	seed := []dht.Contact{n.nodes[0].Contact()}
+	for _, node := range n.nodes[1:] {
+		node.Bootstrap(seed, nil)
+	}
+	// Settle the join traffic within a bounded window. Draining the whole
+	// event queue would fast-forward through every scheduled churn death.
+	n.simulator.RunFor(time.Minute)
+	return n, nil
+}
+
+func (n *Network) addNode(idx int, malicious bool) error {
+	addr := transport.Addr(fmt.Sprintf("node-%d", idx))
+	ep := n.fabric.Endpoint(addr)
+	host := protocol.NewHost(protocol.HostConfig{
+		Clock:     n.simulator,
+		Malicious: malicious,
+		Drop:      malicious && n.cfg.DropAttack,
+		Reporter:  n.collector,
+		OnSecret: func(mission protocol.MissionID, secret []byte) {
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			if _, dup := n.deliveries[mission]; !dup {
+				n.deliveries[mission] = delivery{
+					at:     n.simulator.Now(),
+					secret: append([]byte(nil), secret...),
+				}
+			}
+		},
+	})
+	node, err := dht.NewNode(dht.Config{
+		ID:       dht.RandomID(n.rng),
+		Endpoint: ep,
+		Clock:    n.simulator,
+		OnApp:    host.HandleApp,
+	})
+	if err != nil {
+		return err
+	}
+	host.Attach(node)
+	n.nodes = append(n.nodes, node)
+
+	// Churn: the node dies permanently at an exponential lifetime; the
+	// receiver (node 1) and bootstrap (node 0) are exempt so experiments
+	// can always observe outcomes.
+	if n.churnProc != nil && idx > 1 {
+		n.churnProc.ScheduleDeath(func() { _ = node.Close() })
+	}
+	return nil
+}
+
+// Now returns the current simulated time.
+func (n *Network) Now() time.Time { return n.simulator.Now() }
+
+// RunFor advances simulated time by d, executing all due events.
+func (n *Network) RunFor(d time.Duration) { n.simulator.RunFor(d) }
+
+// RunUntil advances simulated time to the given instant.
+func (n *Network) RunUntil(t time.Time) { n.simulator.RunUntil(t) }
+
+// Settle flushes in-flight traffic by advancing simulated time a few
+// minutes. It deliberately does not drain the whole event queue: with churn
+// enabled the queue always holds far-future death timers, and jumping to
+// them would kill the network.
+func (n *Network) Settle() { n.simulator.RunFor(5 * time.Minute) }
+
+// Nodes returns the number of live DHT nodes created (including any that
+// have since churned out).
+func (n *Network) Nodes() int { return len(n.nodes) }
+
+// Cloud exposes the network's cloud store.
+func (n *Network) Cloud() *cloud.Store { return n.cloudSt }

@@ -1,0 +1,190 @@
+package selfemerge
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{Nodes: 60, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := net.Send([]byte("see you in the future"), 4*time.Hour,
+		WithScheme(SchemeJoint), WithThreatModel(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before release: nothing.
+	net.RunUntil(msg.Release().Add(-time.Minute))
+	if _, _, ok := net.Emerged(msg); ok {
+		t.Fatal("message emerged before release time")
+	}
+	// After release: plaintext comes back.
+	net.RunUntil(msg.Release().Add(time.Minute))
+	net.Settle()
+	plain, at, ok := net.Emerged(msg)
+	if !ok {
+		t.Fatal("message never emerged")
+	}
+	if !bytes.Equal(plain, []byte("see you in the future")) {
+		t.Fatalf("plaintext = %q", plain)
+	}
+	if at.Before(msg.Release()) {
+		t.Fatalf("emerged at %v before release %v", at, msg.Release())
+	}
+}
+
+func TestAllSchemesEmerge(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeCentral, SchemeDisjoint, SchemeJoint, SchemeKeyShare} {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			net, err := NewNetwork(NetworkConfig{Nodes: 80, Seed: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			msg, err := net.Send([]byte("payload"), 6*time.Hour,
+				WithScheme(scheme), WithThreatModel(0.1), WithNodeBudget(40))
+			if err != nil {
+				t.Fatal(err)
+			}
+			net.RunUntil(msg.Release().Add(5 * time.Minute))
+			net.Settle()
+			plain, _, ok := net.Emerged(msg)
+			if !ok {
+				t.Fatalf("%v never emerged", scheme)
+			}
+			if string(plain) != "payload" {
+				t.Fatalf("plaintext = %q", plain)
+			}
+		})
+	}
+}
+
+func TestFullCompromiseIsReleaseAhead(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{Nodes: 50, MaliciousRate: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := net.Send([]byte("sensitive"), 10*time.Hour, WithScheme(SchemeJoint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RunFor(time.Hour) // well before release
+	at, ok := net.AdversaryRecovered(msg)
+	if !ok {
+		t.Fatal("total compromise did not recover the key")
+	}
+	if !at.Before(msg.Release()) {
+		t.Fatal("recovery not ahead of release")
+	}
+	if !net.AdversaryDecrypts(msg) {
+		t.Fatal("adversary key does not decrypt the cloud object")
+	}
+}
+
+func TestDropAttackPreventsEmergence(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{Nodes: 50, MaliciousRate: 1, DropAttack: true, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := net.Send([]byte("doomed"), 2*time.Hour, WithScheme(SchemeJoint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RunUntil(msg.Release().Add(time.Hour))
+	net.Settle()
+	if _, _, ok := net.Emerged(msg); ok {
+		t.Fatal("message emerged through a total drop attack")
+	}
+}
+
+func TestNoAdversaryNothingRecovered(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{Nodes: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := net.Send([]byte("clean"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RunUntil(msg.Release().Add(time.Minute))
+	net.Settle()
+	if _, ok := net.AdversaryRecovered(msg); ok {
+		t.Fatal("adversary recovered a key with zero malicious nodes")
+	}
+	if net.AdversaryDecrypts(msg) {
+		t.Fatal("adversary decrypts with zero malicious nodes")
+	}
+}
+
+func TestChurnNetworkStillServes(t *testing.T) {
+	// Mild churn relative to the emerging period: the joint scheme should
+	// still deliver with high probability at this scale; we fix the seed so
+	// the test is deterministic.
+	net, err := NewNetwork(NetworkConfig{Nodes: 120, MeanLifetime: 200 * time.Hour, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := net.Send([]byte("survives churn"), 2*time.Hour, WithScheme(SchemeJoint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RunUntil(msg.Release().Add(10 * time.Minute))
+	net.Settle()
+	if _, _, ok := net.Emerged(msg); !ok {
+		t.Fatal("message lost under mild churn")
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{Nodes: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Send(nil, time.Hour); err == nil {
+		t.Error("empty message accepted")
+	}
+	if _, err := net.Send([]byte("x"), 0); err == nil {
+		t.Error("zero emerging period accepted")
+	}
+	if _, err := net.Send([]byte("x"), time.Hour, WithScheme(Scheme(9))); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(NetworkConfig{Nodes: 2}); err == nil {
+		t.Error("2-node network accepted")
+	}
+	if _, err := NewNetwork(NetworkConfig{MaliciousRate: 1.5}); err == nil {
+		t.Error("malicious rate 1.5 accepted")
+	}
+}
+
+func TestMessageAccessors(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{Nodes: 40, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := net.Send([]byte("x"), time.Hour, WithScheme(SchemeDisjoint), WithThreatModel(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Plan().Scheme != SchemeDisjoint {
+		t.Errorf("Plan().Scheme = %v", msg.Plan().Scheme)
+	}
+	if msg.CloudObject() == "" {
+		t.Error("no cloud object")
+	}
+	if msg.Release().Before(net.Now()) {
+		t.Error("release in the past")
+	}
+	if net.Nodes() != 40 {
+		t.Errorf("Nodes = %d", net.Nodes())
+	}
+	if net.Cloud().Len() != 1 {
+		t.Errorf("cloud holds %d objects", net.Cloud().Len())
+	}
+}

@@ -1,0 +1,186 @@
+package selfemerge
+
+import (
+	"fmt"
+	"time"
+
+	"selfemerge/internal/core"
+	"selfemerge/internal/crypto/seal"
+	"selfemerge/internal/protocol"
+)
+
+// SendOption customizes Send.
+type SendOption func(*sendConfig)
+
+type sendConfig struct {
+	scheme        Scheme
+	maliciousRate float64
+	budget        int
+	plan          *core.Plan
+}
+
+// WithScheme selects the routing scheme (default SchemeJoint).
+func WithScheme(s Scheme) SendOption {
+	return func(c *sendConfig) { c.scheme = s }
+}
+
+// WithThreatModel tells the planner what fraction of DHT nodes to assume
+// compromised when sizing the path structure (default 0.2).
+func WithThreatModel(maliciousRate float64) SendOption {
+	return func(c *sendConfig) { c.maliciousRate = maliciousRate }
+}
+
+// WithNodeBudget caps how many DHT nodes the plan may consume (default:
+// the network size).
+func WithNodeBudget(n int) SendOption {
+	return func(c *sendConfig) { c.budget = n }
+}
+
+// WithPlan bypasses the planner entirely (advanced use and tests).
+func WithPlan(plan core.Plan) SendOption {
+	return func(c *sendConfig) { c.plan = &plan }
+}
+
+// Message is a dispatched self-emerging message: the handle the receiver
+// uses to await emergence.
+type Message struct {
+	mission     protocol.Mission
+	cloudObject string
+}
+
+// Release returns the release time tr.
+func (m *Message) Release() time.Time { return m.mission.Release }
+
+// MissionID returns the mission identifier.
+func (m *Message) MissionID() protocol.MissionID { return m.mission.ID }
+
+// Plan returns the routing plan protecting the message's key.
+func (m *Message) Plan() core.Plan { return m.mission.Plan }
+
+// CloudObject names the ciphertext object in the cloud store.
+func (m *Message) CloudObject() string { return m.cloudObject }
+
+// Send protects plaintext as self-emerging data: it seals it under a fresh
+// key, uploads the ciphertext to the cloud, plans a routing scheme sized
+// for the emerging period, and dispatches the key into the DHT. The key
+// re-emerges at Now()+emerging.
+func (n *Network) Send(plaintext []byte, emerging time.Duration, opts ...SendOption) (*Message, error) {
+	if len(plaintext) == 0 {
+		return nil, fmt.Errorf("selfemerge: empty message")
+	}
+	if emerging <= 0 {
+		return nil, fmt.Errorf("selfemerge: emerging period must be positive")
+	}
+	cfg := sendConfig{scheme: SchemeJoint, maliciousRate: 0.2, budget: n.cfg.Nodes}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+
+	plan, err := n.planFor(cfg, emerging)
+	if err != nil {
+		return nil, err
+	}
+
+	key, err := seal.NewKey()
+	if err != nil {
+		return nil, err
+	}
+	ciphertext, err := seal.Encrypt(key, plaintext, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	missionID, err := protocol.NewMissionID()
+	if err != nil {
+		return nil, err
+	}
+	object := fmt.Sprintf("msg-%x", missionID[:8])
+	n.cloudSt.Put(object, ciphertext)
+
+	mission := protocol.Mission{
+		ID:       missionID,
+		Plan:     plan,
+		Secret:   key.Bytes(),
+		Receiver: n.receiver.ID(),
+		Start:    n.simulator.Now(),
+		Release:  n.simulator.Now().Add(emerging),
+	}
+	// Dispatch from a node that is neither the bootstrap nor the receiver.
+	if _, err := protocol.Dispatch(n.nodes[2], mission); err != nil {
+		return nil, err
+	}
+	return &Message{mission: mission, cloudObject: object}, nil
+}
+
+func (n *Network) planFor(cfg sendConfig, emerging time.Duration) (core.Plan, error) {
+	if cfg.plan != nil {
+		return *cfg.plan, nil
+	}
+	pcfg := core.PlannerConfig{Budget: cfg.budget}
+	switch cfg.scheme {
+	case SchemeCentral:
+		return core.PlanCentral(cfg.maliciousRate), nil
+	case SchemeDisjoint, SchemeJoint:
+		return core.PlanMultipath(cfg.scheme, cfg.maliciousRate, pcfg)
+	case SchemeKeyShare:
+		lifetime := n.cfg.MeanLifetime
+		if lifetime == 0 {
+			lifetime = emerging // no churn: alpha = 1, thresholds stay mild
+		}
+		return core.PlanKeyShare(cfg.maliciousRate, float64(emerging), float64(lifetime), pcfg)
+	default:
+		return core.Plan{}, fmt.Errorf("selfemerge: unknown scheme %v", cfg.scheme)
+	}
+}
+
+// Emerged reports whether the message's key has emerged, and if so decrypts
+// the cloud ciphertext: the receiver workflow of Figure 1. The returned
+// time is when the key reached the receiver.
+func (n *Network) Emerged(m *Message) (plaintext []byte, at time.Time, ok bool) {
+	n.mu.Lock()
+	d, found := n.deliveries[m.mission.ID]
+	n.mu.Unlock()
+	if !found {
+		return nil, time.Time{}, false
+	}
+	key, err := seal.KeyFromBytes(d.secret)
+	if err != nil {
+		return nil, time.Time{}, false
+	}
+	ciphertext, err := n.cloudSt.Get(m.cloudObject, "receiver")
+	if err != nil {
+		return nil, time.Time{}, false
+	}
+	plain, err := seal.Decrypt(key, ciphertext, nil)
+	if err != nil {
+		return nil, time.Time{}, false
+	}
+	return plain, d.at, true
+}
+
+// AdversaryRecovered reports whether (and when) the Sybil adversary
+// reconstructed the message key — before the release time this is a
+// successful release-ahead attack.
+func (n *Network) AdversaryRecovered(m *Message) (time.Time, bool) {
+	return n.collector.Recovered(m.mission.ID)
+}
+
+// AdversaryDecrypts reports whether the adversary can actually read the
+// message right now: it tries the reconstructed key against the cloud
+// ciphertext.
+func (n *Network) AdversaryDecrypts(m *Message) bool {
+	secret, ok := n.collector.Secret(m.mission.ID)
+	if !ok {
+		return false
+	}
+	key, err := seal.KeyFromBytes(secret)
+	if err != nil {
+		return false
+	}
+	ciphertext, err := n.cloudSt.Get(m.cloudObject, "adversary")
+	if err != nil {
+		return false
+	}
+	_, err = seal.Decrypt(key, ciphertext, nil)
+	return err == nil
+}
