@@ -1,26 +1,115 @@
 // Command emergesim regenerates the paper's evaluation (Section IV): every
-// panel of Figures 6, 7 and 8, as ASCII tables or CSV.
+// panel of Figures 6, 7 and 8, as ASCII tables or CSV — and, with the
+// scenario subcommand, measures the same Rr/Rd quantities by running live
+// missions through the full protocol stack under churn and adversaries,
+// cross-checked against the Monte Carlo model.
 //
 // Usage:
 //
 //	emergesim [flags] fig6a|fig6b|fig6c|fig6d|fig7|fig8|all
+//	emergesim scenario [flags]
 //
 // Examples:
 //
 //	emergesim -trials 1000 -step 0.02 all        # full-resolution, all figures
 //	emergesim -alpha 5 fig7                      # one churn panel
 //	emergesim -csv fig8 > fig8.csv               # machine-readable series
+//	emergesim scenario -nodes 1000 -p 0.1 -alpha 1 -drop -k 3 -l 2 -missions 200
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"selfemerge/internal/bench"
+	"selfemerge/internal/core"
+	"selfemerge/internal/scenario"
 )
 
+// runScenario is the `emergesim scenario` subcommand: one live-network
+// experiment point next to its Monte Carlo and analytic references.
+func runScenario(args []string) {
+	fs := flag.NewFlagSet("scenario", flag.ExitOnError)
+	var (
+		nodes    = fs.Int("nodes", 200, "DHT population N")
+		p        = fs.Float64("p", 0.1, "malicious (Sybil) fraction")
+		alpha    = fs.Float64("alpha", 1, "churn severity T/lifetime (0 disables churn)")
+		drop     = fs.Bool("drop", false, "drop attack instead of spying")
+		scheme   = fs.String("scheme", "joint", "routing scheme: central|disjoint|joint|share")
+		k        = fs.Int("k", 3, "replication factor (paths)")
+		l        = fs.Int("l", 2, "path length (holder columns)")
+		shareN   = fs.Int("sharen", 0, "share carriers per column (share scheme)")
+		shareM   = fs.String("sharem", "", "comma-separated per-column thresholds (share scheme)")
+		missions = fs.Int("missions", 100, "live emergence trials")
+		emerging = fs.Duration("emerging", 2*time.Hour, "emerging period T")
+		replicas = fs.Int("replicas", 1, "packet replica count (1 = model-faithful)")
+		mcTrials = fs.Int("mc-trials", 2000, "Monte Carlo reference trials")
+		seed     = fs.Uint64("seed", 2017, "RNG seed")
+	)
+	_ = fs.Parse(args)
+
+	plan, err := scenarioPlan(*scheme, *k, *l, *shareN, *shareM)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "emergesim: %v\n", err)
+		os.Exit(2)
+	}
+	report, err := scenario.Run(scenario.Config{
+		Nodes:         *nodes,
+		MaliciousRate: *p,
+		Drop:          *drop,
+		Alpha:         *alpha,
+		Emerging:      *emerging,
+		Missions:      *missions,
+		Plan:          plan,
+		Replicas:      *replicas,
+		MCTrials:      *mcTrials,
+		Seed:          *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "emergesim: %v\n", err)
+		os.Exit(1)
+	}
+	if err := report.WriteTable(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "emergesim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// scenarioPlan assembles the routing plan from subcommand flags.
+func scenarioPlan(scheme string, k, l, shareN int, shareM string) (core.Plan, error) {
+	switch scheme {
+	case "central":
+		return core.Plan{Scheme: core.SchemeCentral, K: 1, L: 1}, nil
+	case "disjoint":
+		return core.Plan{Scheme: core.SchemeDisjoint, K: k, L: l}, nil
+	case "joint":
+		return core.Plan{Scheme: core.SchemeJoint, K: k, L: l}, nil
+	case "share":
+		var thresholds []int
+		if shareM != "" {
+			for _, part := range strings.Split(shareM, ",") {
+				m, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil {
+					return core.Plan{}, fmt.Errorf("bad -sharem %q: %w", shareM, err)
+				}
+				thresholds = append(thresholds, m)
+			}
+		}
+		return core.Plan{Scheme: core.SchemeKeyShare, K: k, L: l, ShareN: shareN, ShareM: thresholds}, nil
+	default:
+		return core.Plan{}, fmt.Errorf("unknown scheme %q", scheme)
+	}
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "scenario" {
+		runScenario(os.Args[2:])
+		return
+	}
 	var (
 		trials    = flag.Int("trials", 1000, "Monte Carlo trials per data point (paper: 1000)")
 		step      = flag.Float64("step", 0.02, "malicious-rate grid step")

@@ -1,0 +1,3 @@
+module selfemerge
+
+go 1.22

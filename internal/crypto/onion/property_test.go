@@ -1,0 +1,104 @@
+package onion
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"selfemerge/internal/crypto/seal"
+)
+
+// buildTestOnion wraps depth layers, each carrying distinguishable hops and
+// shares, with the secret payload at the innermost layer.
+func buildTestOnion(t *testing.T, depth int) ([]Layer, []seal.Key, []byte) {
+	t.Helper()
+	layers := make([]Layer, depth)
+	keys := make([]seal.Key, depth)
+	for i := range layers {
+		key, err := seal.NewKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = key
+		layers[i] = Layer{
+			NextHops: [][]byte{
+				[]byte(fmt.Sprintf("hop-%d-a", i)),
+				[]byte(fmt.Sprintf("hop-%d-b", i)),
+			},
+			Shares: [][]byte{[]byte(fmt.Sprintf("share-%d", i))},
+		}
+	}
+	layers[depth-1].Payload = []byte("the protected secret")
+	wrapped, err := Build(layers, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return layers, keys, wrapped
+}
+
+// TestPeelOrderMatchesWrapOrder peels onions of every depth in wrap order
+// and checks each revealed layer matches what was built, with the payload
+// appearing exactly at the innermost layer.
+func TestPeelOrderMatchesWrapOrder(t *testing.T) {
+	for depth := 1; depth <= 5; depth++ {
+		layers, keys, wrapped := buildTestOnion(t, depth)
+		rest := wrapped
+		for i := 0; i < depth; i++ {
+			layer, err := Peel(keys[i], rest)
+			if err != nil {
+				t.Fatalf("depth %d: peeling layer %d: %v", depth, i, err)
+			}
+			if len(layer.NextHops) != len(layers[i].NextHops) {
+				t.Fatalf("depth %d layer %d: %d hops, want %d", depth, i, len(layer.NextHops), len(layers[i].NextHops))
+			}
+			for j, hop := range layer.NextHops {
+				if !bytes.Equal(hop, layers[i].NextHops[j]) {
+					t.Fatalf("depth %d layer %d hop %d mismatch", depth, i, j)
+				}
+			}
+			for j, share := range layer.Shares {
+				if !bytes.Equal(share, layers[i].Shares[j]) {
+					t.Fatalf("depth %d layer %d share %d mismatch", depth, i, j)
+				}
+			}
+			if i < depth-1 {
+				if layer.Payload != nil {
+					t.Fatalf("depth %d: payload leaked at outer layer %d", depth, i)
+				}
+				if layer.Rest == nil {
+					t.Fatalf("depth %d: layer %d has no inner onion", depth, i)
+				}
+			} else {
+				if !bytes.Equal(layer.Payload, []byte("the protected secret")) {
+					t.Fatalf("depth %d: innermost payload = %q", depth, layer.Payload)
+				}
+				if layer.Rest != nil {
+					t.Fatalf("depth %d: innermost layer still has an inner onion", depth)
+				}
+			}
+			rest = layer.Rest
+		}
+	}
+}
+
+// TestEveryDepthStrictlyLayered verifies, at every depth, that no key other
+// than the next wrap key opens the current outermost layer.
+func TestEveryDepthStrictlyLayered(t *testing.T) {
+	_, keys, wrapped := buildTestOnion(t, 5)
+	rest := wrapped
+	for i := 0; i < len(keys); i++ {
+		for j, key := range keys {
+			if j == i {
+				continue
+			}
+			if _, err := Peel(key, rest); err == nil {
+				t.Fatalf("key %d peeled layer %d", j, i)
+			}
+		}
+		layer, err := Peel(keys[i], rest)
+		if err != nil {
+			t.Fatalf("peeling layer %d: %v", i, err)
+		}
+		rest = layer.Rest
+	}
+}

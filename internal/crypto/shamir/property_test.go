@@ -1,0 +1,72 @@
+package shamir
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSplitCombineAllThresholds sweeps every (n, m) threshold pair in a
+// practical range and checks the scheme's defining invariants: any m of the
+// n shares reconstruct the secret — regardless of which m and in any order —
+// and m-1 shares do not.
+func TestSplitCombineAllThresholds(t *testing.T) {
+	secret := []byte("sixteen byte key")
+	for n := 1; n <= 10; n++ {
+		for m := 1; m <= n; m++ {
+			shares, err := Split(secret, m, n)
+			if err != nil {
+				t.Fatalf("Split(m=%d, n=%d): %v", m, n, err)
+			}
+			if len(shares) != n {
+				t.Fatalf("Split(m=%d, n=%d) returned %d shares", m, n, len(shares))
+			}
+
+			subsets := [][]Share{
+				shares[:m],           // first m
+				shares[n-m:],         // last m
+				reversed(shares)[:m], // reversed order
+			}
+			for i, subset := range subsets {
+				got, err := Combine(subset, m)
+				if err != nil {
+					t.Fatalf("Combine subset %d (m=%d, n=%d): %v", i, m, n, err)
+				}
+				if !bytes.Equal(got, secret) {
+					t.Fatalf("subset %d (m=%d, n=%d) reconstructed %q", i, m, n, got)
+				}
+			}
+
+			// Below the threshold the interpolation must not reveal the
+			// secret (the polynomial coefficients are random, so an
+			// accidental match over 16 bytes is negligible).
+			if m >= 2 {
+				got, err := Combine(shares[:m-1], m-1)
+				if err != nil {
+					t.Fatalf("Combine m-1 shares (m=%d, n=%d): %v", m, n, err)
+				}
+				if bytes.Equal(got, secret) {
+					t.Fatalf("m-1=%d shares of an (m=%d, n=%d) split revealed the secret", m-1, m, n)
+				}
+			}
+		}
+	}
+}
+
+func reversed(shares []Share) []Share {
+	out := make([]Share, len(shares))
+	for i, s := range shares {
+		out[len(shares)-1-i] = s
+	}
+	return out
+}
+
+func TestCombineRejectsZeroEvaluationPoint(t *testing.T) {
+	shares, err := Split([]byte("secret"), 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := []Share{shares[0], shares[1], {X: 0, Data: shares[2].Data}}
+	if _, err := Combine(zero, 3); err == nil {
+		t.Error("accepted the forbidden x=0 evaluation point")
+	}
+}

@@ -1,0 +1,59 @@
+package dht
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeMessage asserts the DHT wire codec never panics on arbitrary
+// datagrams — the property a UDP-exposed service lives or dies by — and
+// that anything accepted re-encodes canonically.
+func FuzzDecodeMessage(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xFF})
+	f.Add(bytes.Repeat([]byte{0x00}, 64))
+	ping, err := (Message{Kind: KindPing, From: Contact{ID: ID{1}, Addr: "n1"}, RPCID: 7}).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ping)
+	resp, err := (Message{
+		Kind:     KindFindNodeResp,
+		From:     Contact{ID: ID{2}, Addr: "n2"},
+		RPCID:    9,
+		Contacts: []Contact{{ID: ID{3}, Addr: "n3"}, {ID: ID{4}, Addr: "n4"}},
+	}).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(resp)
+	val, err := (Message{Kind: KindFindValueResp, From: Contact{ID: ID{5}, Addr: "n5"}, Found: true, Value: []byte("v")}).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(val)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		enc, err := msg.Encode()
+		if err != nil {
+			// Decoded messages may exceed encode-side limits only if the
+			// decoder accepted something the encoder never produces.
+			t.Fatalf("decoded message failed to encode: %v", err)
+		}
+		again, err := DecodeMessage(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		enc2, err := again.Encode()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encode/decode not canonical:\n  first  %x\n  second %x", enc, enc2)
+		}
+	})
+}

@@ -72,29 +72,71 @@ func (n *Node) SendToOwner(key ID, payload []byte, done func(Contact, error)) {
 // the single closest node when routing tables are incomplete, so protocols
 // that must land related packets on the same holder send to a small replica
 // set and deduplicate at the receiver — the standard Kademlia practice.
-// done (optional) receives the closest owner.
+// The local node is itself a candidate owner: lookups never return self, so
+// without this a holder that owns the key's zone would hand the payload to
+// its neighbor instead of keeping it. done (optional) receives the closest
+// owner.
 func (n *Node) SendToOwners(key ID, payload []byte, replicas int, done func(Contact, error)) {
 	if replicas < 1 {
 		replicas = 1
 	}
 	n.Lookup(key, func(closest []Contact) {
 		if len(closest) == 0 {
+			// Not even one peer responded: the node is isolated (or the
+			// network is empty), so keeping the payload locally would just
+			// strand it invisibly.
 			if done != nil {
 				done(Contact{}, ErrLookupFailed)
 			}
 			return
 		}
+		self := n.Contact()
+		pos := len(closest)
+		for i, c := range closest {
+			if key.CloserTo(self.ID, c.ID) {
+				pos = i
+				break
+			}
+		}
+		closest = append(closest[:pos:pos], append([]Contact{self}, closest[pos:]...)...)
 		if len(closest) > replicas {
 			closest = closest[:replicas]
 		}
-		err := n.SendApp(closest[0], payload)
-		for _, c := range closest[1:] {
-			_ = n.SendApp(c, payload)
+		var err error
+		for i, c := range closest {
+			var sendErr error
+			if c.ID == self.ID {
+				sendErr = n.deliverLocal(payload)
+			} else {
+				sendErr = n.SendApp(c, payload)
+			}
+			if i == 0 {
+				err = sendErr
+			}
 		}
 		if done != nil {
 			done(closest[0], err)
 		}
 	})
+}
+
+// deliverLocal hands an application payload to the local node's own OnApp,
+// asynchronously, as if it had arrived over the wire.
+func (n *Node) deliverLocal(payload []byte) error {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if n.cfg.OnApp == nil {
+		return nil
+	}
+	msg := make([]byte, len(payload))
+	copy(msg, payload)
+	self := n.Contact()
+	n.cfg.Clock.AfterFunc(0, func() { n.cfg.OnApp(self, msg) })
+	return nil
 }
 
 // ErrLookupFailed is reported when a lookup yields no contacts at all.
@@ -188,6 +230,18 @@ func (ls *lookupState) onResponse(from Contact, resp Message, err error) {
 	if ls.finished {
 		ls.mu.Unlock()
 		return
+	}
+	if err != nil {
+		// Failover: an unresponsive contact (dead, churned out, or down) is
+		// dropped from the shortlist so the final owner set never includes
+		// it — the lookup routes around the failure to the next-closest live
+		// node. The routing table penalty happens in request's timeout path.
+		for i, c := range ls.shortlist {
+			if c.ID == from.ID {
+				ls.shortlist = append(ls.shortlist[:i], ls.shortlist[i+1:]...)
+				break
+			}
+		}
 	}
 	if err == nil {
 		if ls.wantVal && resp.Found {

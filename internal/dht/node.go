@@ -3,6 +3,7 @@ package dht
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -130,9 +131,17 @@ func (n *Node) Close() error {
 	pending := n.pending
 	n.pending = make(map[uint64]*pendingRPC)
 	n.mu.Unlock()
-	for _, p := range pending {
+	// Fail pending RPCs in issue order: map iteration order is randomized,
+	// and the callbacks schedule events, which must stay deterministic for
+	// reproducible simulation runs.
+	ids := make([]uint64, 0, len(pending))
+	for id := range pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p := pending[id]
 		p.timer.Stop()
-		p := p
 		n.cfg.Clock.AfterFunc(0, func() { p.cb(Message{}, ErrClosed) })
 	}
 	return n.cfg.Endpoint.Close()

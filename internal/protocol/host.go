@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -32,6 +33,19 @@ type HostConfig struct {
 	Reporter Reporter
 	// OnSecret fires when a PkSecret reaches this node (the receiver role).
 	OnSecret func(mission MissionID, secret []byte)
+	// Replicas is how many closest nodes receive each forwarded packet
+	// (default 2). Scenario runs that cross-validate against the Monte
+	// Carlo model use 1 so every holder slot maps to one physical node.
+	Replicas int
+	// Repair enables protocol-level churn repair: key grants carrying a
+	// column width and holding period are periodically re-pushed to the
+	// current owners of their column's slots, so replacements of dead
+	// holders regain the layer key from a surviving custodian — the repair
+	// process of Section II-C that the Monte Carlo model assumes. Only the
+	// multipath schemes' grants carry repair metadata; the key share
+	// scheme's just-in-time keys have no column-wide custodian to re-grant
+	// them and rely on their Shamir thresholds instead, as in the model.
+	Repair bool
 }
 
 // Host is the holder-side protocol engine attached to one DHT node. It
@@ -95,8 +109,11 @@ func (h *Host) HandleApp(from dht.Contact, payload []byte) {
 	if h.cfg.Malicious && h.cfg.Reporter != nil {
 		h.cfg.Reporter.Report(h.cfg.Clock.Now(), from.ID, pkt)
 	}
-	if h.cfg.Malicious && h.cfg.Drop {
-		return // drop attack: swallow everything
+	if h.cfg.Malicious && h.cfg.Drop && pkt.Kind != PkKeyGrant {
+		// Drop attack: swallow every package. Key grants are still accepted
+		// (and re-granted during repair) — the attack targets the packages,
+		// and refusing routine key maintenance would expose the Sybil.
+		return
 	}
 
 	switch pkt.Kind {
@@ -162,13 +179,76 @@ func (h *Host) onKeyGrant(pkt Packet) {
 	}
 	h.mu.Lock()
 	ms := h.state(pkt.Mission)
+	fresh := false
 	if pkt.X == keyGrantSlot {
-		ms.slotKeys[slotRef{int(pkt.Column), int(pkt.Slot)}] = key
+		ref := slotRef{int(pkt.Column), int(pkt.Slot)}
+		if _, dup := ms.slotKeys[ref]; !dup {
+			ms.slotKeys[ref] = key
+			fresh = true
+		}
 	} else {
-		ms.colKeys[int(pkt.Column)] = key
+		if _, dup := ms.colKeys[int(pkt.Column)]; !dup {
+			ms.colKeys[int(pkt.Column)] = key
+			fresh = true
+		}
 	}
 	h.mu.Unlock()
+	if fresh {
+		h.scheduleGrantRefresh(pkt)
+	}
 	h.advance(pkt.Mission)
+}
+
+// scheduleGrantRefresh arms the custody-refresh loop for a newly received
+// key grant: at the end of every holding period, while the key is still
+// needed (before the grant's HoldUntil), the custodian re-pushes the grant
+// to the current owners of its column's slots. A holder that churned out is
+// thereby replaced by a fresh node that receives the layer key from this
+// surviving custodian — the once-per-period repair of Section II-C. Dead
+// custodians cannot refresh (their lookups fail on a closed node), so a
+// column whose every custodian dies within one period loses its key, as the
+// Monte Carlo model prescribes.
+func (h *Host) scheduleGrantRefresh(pkt Packet) {
+	if !h.cfg.Repair || pkt.Step <= 0 || pkt.Width == 0 {
+		return
+	}
+	// Fire slightly before each period boundary (1/16 of a holding period
+	// early): a replacement then regains the key before the next onion hop
+	// arrives, and the re-grant exposure lands strictly inside the waiting
+	// period it repairs — the window Equation (1)'s release-ahead
+	// bookkeeping (and the Monte Carlo engine) attributes it to.
+	margin := time.Duration(pkt.Step / 16)
+	var tick func()
+	tick = func() {
+		if h.cfg.Clock.Now().UnixNano() >= pkt.HoldUntil-int64(margin) {
+			return
+		}
+		if pkt.X == keyGrantSlot {
+			// Slot keys are per-carrier: only this slot can be repaired.
+			// Inert today — no sender attaches repair metadata to slot
+			// grants (the share scheme relies on thresholds, not repair) —
+			// but kept so slot-granting schemes inherit correct semantics.
+			h.node.SendToOwners(SlotID(pkt.Mission, int(pkt.Column), int(pkt.Slot)),
+				pkt.Encode(), h.replicas(), nil)
+		} else {
+			for s := 0; s < int(pkt.Width); s++ {
+				p := pkt
+				p.Slot = uint16(s)
+				h.node.SendToOwners(SlotID(pkt.Mission, int(pkt.Column), s),
+					p.Encode(), h.replicas(), nil)
+			}
+		}
+		h.cfg.Clock.AfterFunc(time.Duration(pkt.Step), tick)
+	}
+	h.cfg.Clock.AfterFunc(time.Duration(pkt.Step)-margin, tick)
+}
+
+// replicas returns the forwarding replica count.
+func (h *Host) replicas() int {
+	if h.cfg.Replicas > 0 {
+		return h.cfg.Replicas
+	}
+	return holderReplicas
 }
 
 func (h *Host) onOnion(pkt Packet, main bool) {
@@ -263,9 +343,29 @@ func (h *Host) advance(mission MissionID) {
 	}
 	var actions []action
 
+	// Iterate custody in sorted order: forwarding emits network events, and
+	// deterministic event sequencing is what makes whole-scenario runs
+	// reproducible under a fixed seed (Go map order is randomized per run).
+	mainCols := make([]int, 0, len(ms.mainSealed))
+	for col := range ms.mainSealed {
+		mainCols = append(mainCols, col)
+	}
+	sort.Ints(mainCols)
+	slotRefs := make([]slotRef, 0, len(ms.slotSealed))
+	for ref := range ms.slotSealed {
+		slotRefs = append(slotRefs, ref)
+	}
+	sort.Slice(slotRefs, func(i, j int) bool {
+		if slotRefs[i].column != slotRefs[j].column {
+			return slotRefs[i].column < slotRefs[j].column
+		}
+		return slotRefs[i].slot < slotRefs[j].slot
+	})
+
 	// Try peeling main onions with available column keys (granted, or
 	// recovered from shares).
-	for col, hp := range ms.mainSealed {
+	for _, col := range mainCols {
+		hp := ms.mainSealed[col]
 		if hp.peeled != nil {
 			continue
 		}
@@ -281,7 +381,8 @@ func (h *Host) advance(mission MissionID) {
 		hp.peeled = &layerCopy
 	}
 	// Slot onions likewise with slot keys.
-	for ref, hp := range ms.slotSealed {
+	for _, ref := range slotRefs {
+		hp := ms.slotSealed[ref]
 		if hp.peeled != nil {
 			continue
 		}
@@ -298,13 +399,15 @@ func (h *Host) advance(mission MissionID) {
 	}
 
 	// Forward anything peeled and due.
-	for col, hp := range ms.mainSealed {
+	for _, col := range mainCols {
+		hp := ms.mainSealed[col]
 		if hp.peeled != nil && hp.due && !hp.done {
 			hp.done = true
 			actions = append(actions, action{h.forwardMainLocked(mission, col, hp)})
 		}
 	}
-	for ref, hp := range ms.slotSealed {
+	for _, ref := range slotRefs {
+		hp := ms.slotSealed[ref]
 		if hp.peeled != nil && hp.due && !hp.done {
 			hp.done = true
 			actions = append(actions, action{h.forwardSlotLocked(mission, ref, hp)})
@@ -395,7 +498,7 @@ func (h *Host) forwardMainLocked(mission MissionID, col int, hp *heldPackage) fu
 				Step:      pkt.Step,
 				Target:    pkt.Target,
 				Data:      layer.Rest,
-			}.Encode(), holderReplicas, nil)
+			}.Encode(), h.replicas(), nil)
 		}
 	}
 }
@@ -433,7 +536,7 @@ func (h *Host) forwardSlotLocked(mission MissionID, ref slotRef, hp *heldPackage
 						HoldUntil: pkt.HoldUntil + pkt.Step,
 						Step:      pkt.Step,
 						Data:      blob[1:],
-					}.Encode(), holderReplicas, nil)
+					}.Encode(), h.replicas(), nil)
 				}
 			case shareTagSlot:
 				if len(blob) < 4 {
@@ -451,7 +554,7 @@ func (h *Host) forwardSlotLocked(mission MissionID, ref slotRef, hp *heldPackage
 					HoldUntil: pkt.HoldUntil + pkt.Step,
 					Step:      pkt.Step,
 					Data:      blob[3:],
-				}.Encode(), holderReplicas, nil)
+				}.Encode(), h.replicas(), nil)
 			}
 		}
 		if layer.Rest != nil && ref.slot < len(hops) {
@@ -463,7 +566,7 @@ func (h *Host) forwardSlotLocked(mission MissionID, ref slotRef, hp *heldPackage
 				HoldUntil: pkt.HoldUntil + pkt.Step,
 				Step:      pkt.Step,
 				Data:      layer.Rest,
-			}.Encode(), holderReplicas, nil)
+			}.Encode(), h.replicas(), nil)
 		}
 	}
 }

@@ -60,7 +60,11 @@ type Packet struct {
 	Kind    PacketKind
 	Column  uint16 // 1-based holder column
 	Slot    uint16 // 0-based slot within the column (path index)
-	X       uint8  // Shamir share index for *Share kinds
+	// Width is the number of holder slots in this packet's column. Carried
+	// on PkKeyGrant so that any surviving custodian can re-grant the column
+	// key to every slot of its column during churn repair; zero elsewhere.
+	Width uint16
+	X     uint8 // Shamir share index for *Share kinds
 	// HoldUntil is the absolute forward/release time in nanoseconds since
 	// the epoch of the mission clock.
 	HoldUntil int64
@@ -81,6 +85,7 @@ func (p Packet) Encode() []byte {
 	buf = append(buf, byte(p.Kind))
 	buf = binary.BigEndian.AppendUint16(buf, p.Column)
 	buf = binary.BigEndian.AppendUint16(buf, p.Slot)
+	buf = binary.BigEndian.AppendUint16(buf, p.Width)
 	buf = append(buf, p.X)
 	buf = binary.BigEndian.AppendUint64(buf, uint64(p.HoldUntil))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(p.Step))
@@ -92,7 +97,7 @@ func (p Packet) Encode() []byte {
 
 // DecodePacket parses a protocol payload.
 func DecodePacket(data []byte) (Packet, error) {
-	const fixed = 16 + 1 + 2 + 2 + 1 + 8 + 8 + dht.IDBytes + 4
+	const fixed = 16 + 1 + 2 + 2 + 2 + 1 + 8 + 8 + dht.IDBytes + 4
 	if len(data) < fixed {
 		return Packet{}, ErrPacket
 	}
@@ -108,6 +113,8 @@ func DecodePacket(data []byte) (Packet, error) {
 	p.Column = binary.BigEndian.Uint16(data[off:])
 	off += 2
 	p.Slot = binary.BigEndian.Uint16(data[off:])
+	off += 2
+	p.Width = binary.BigEndian.Uint16(data[off:])
 	off += 2
 	p.X = data[off]
 	off++

@@ -23,6 +23,19 @@ type Mission struct {
 	Receiver dht.ID // identifier the receiver listens on
 	Start    time.Time
 	Release  time.Time
+	// Replicas is how many closest nodes receive each dispatched packet
+	// (default holderReplicas). Scenario runs that cross-validate against
+	// the Monte Carlo model use 1 so each holder slot maps to exactly one
+	// physical node, as the model assumes.
+	Replicas int
+}
+
+// replicas returns the mission's packet replica count.
+func (m Mission) replicas() int {
+	if m.Replicas > 0 {
+		return m.Replicas
+	}
+	return holderReplicas
 }
 
 // NewMissionID draws a random mission identifier.
@@ -96,13 +109,13 @@ func (m Mission) timing() (hold time.Duration, releaseAt int64) {
 const holderReplicas = 2
 
 // send routes one packet to the owners of the given slot identifier.
-func send(node *dht.Node, slot dht.ID, p Packet) {
-	node.SendToOwners(slot, p.Encode(), holderReplicas, nil)
+func send(node *dht.Node, slot dht.ID, m Mission, p Packet) {
+	node.SendToOwners(slot, p.Encode(), m.replicas(), nil)
 }
 
 func dispatchCentral(node *dht.Node, m Mission) (int, error) {
 	_, releaseAt := m.timing()
-	send(node, SlotID(m.ID, 1, 0), Packet{
+	send(node, SlotID(m.ID, 1, 0), m, Packet{
 		Mission:   m.ID,
 		Kind:      PkCentral,
 		Column:    1,
@@ -131,15 +144,22 @@ func dispatchMultipath(node *dht.Node, m Mission, joint bool) (int, error) {
 	}
 
 	sent := 0
-	// Pre-assign layer keys to every holder slot at start time.
+	// Pre-assign layer keys to every holder slot at start time. Each grant
+	// carries the column width, its holding period and the instant the
+	// column forwards its onion, so that surviving custodians can re-grant
+	// the key to churn replacements once per holding period until the key
+	// is no longer needed (protocol churn repair, Section II-C).
 	for c := 1; c <= l; c++ {
 		for s := 0; s < k; s++ {
-			send(node, SlotID(m.ID, c, s), Packet{
-				Mission: m.ID,
-				Kind:    PkKeyGrant,
-				Column:  uint16(c),
-				Slot:    uint16(s),
-				Data:    keys[c-1].Bytes(),
+			send(node, SlotID(m.ID, c, s), m, Packet{
+				Mission:   m.ID,
+				Kind:      PkKeyGrant,
+				Column:    uint16(c),
+				Slot:      uint16(s),
+				Width:     uint16(k),
+				HoldUntil: m.Start.Add(time.Duration(c) * hold).UnixNano(),
+				Step:      int64(hold),
+				Data:      keys[c-1].Bytes(),
 			})
 			sent++
 		}
@@ -176,7 +196,7 @@ func dispatchMultipath(node *dht.Node, m Mission, joint bool) (int, error) {
 			return sent, err
 		}
 		for s := 0; s < k; s++ {
-			send(node, SlotID(m.ID, 1, s), Packet{
+			send(node, SlotID(m.ID, 1, s), m, Packet{
 				Mission:   m.ID,
 				Kind:      PkMainOnion,
 				Column:    1,
@@ -194,7 +214,7 @@ func dispatchMultipath(node *dht.Node, m Mission, joint bool) (int, error) {
 			if err != nil {
 				return sent, err
 			}
-			send(node, SlotID(m.ID, 1, path), Packet{
+			send(node, SlotID(m.ID, 1, path), m, Packet{
 				Mission:   m.ID,
 				Kind:      PkMainOnion,
 				Column:    1,
@@ -305,7 +325,7 @@ func dispatchShare(node *dht.Node, m Mission) (int, error) {
 			return sent, err
 		}
 		firstHold := m.Start.Add(hold).UnixNano()
-		send(node, SlotID(m.ID, 1, s), Packet{
+		send(node, SlotID(m.ID, 1, s), m, Packet{
 			Mission:   m.ID,
 			Kind:      PkSlotOnion,
 			Column:    1,
@@ -315,8 +335,14 @@ func dispatchShare(node *dht.Node, m Mission) (int, error) {
 			Data:      wrapped,
 		})
 		sent++
-		// Column 1 keys are delivered directly at start time.
-		send(node, SlotID(m.ID, 1, s), Packet{
+		// Column 1 keys are delivered directly at start time. Share-scheme
+		// grants deliberately carry no Width/Step repair metadata: layer
+		// keys for columns >= 2 exist only as Shamir shares scattered
+		// across carriers, so no single custodian could re-grant them, and
+		// the scheme's churn tolerance comes from its thresholds instead —
+		// matching the Monte Carlo model, which applies repair only to the
+		// multipath schemes.
+		send(node, SlotID(m.ID, 1, s), m, Packet{
 			Mission: m.ID,
 			Kind:    PkKeyGrant,
 			Column:  1,
@@ -351,7 +377,7 @@ func dispatchShare(node *dht.Node, m Mission) (int, error) {
 	}
 	firstHold := m.Start.Add(hold).UnixNano()
 	for s := 0; s < k; s++ {
-		send(node, SlotID(m.ID, 1, s), Packet{
+		send(node, SlotID(m.ID, 1, s), m, Packet{
 			Mission:   m.ID,
 			Kind:      PkMainOnion,
 			Column:    1,
@@ -362,7 +388,7 @@ func dispatchShare(node *dht.Node, m Mission) (int, error) {
 			Data:      wrappedMain,
 		})
 		sent++
-		send(node, SlotID(m.ID, 1, s), Packet{
+		send(node, SlotID(m.ID, 1, s), m, Packet{
 			Mission: m.ID,
 			Kind:    PkKeyGrant,
 			Column:  1,

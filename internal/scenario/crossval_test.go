@@ -1,0 +1,164 @@
+package scenario_test
+
+import (
+	"testing"
+	"time"
+
+	"selfemerge/internal/core"
+	"selfemerge/internal/mc"
+	"selfemerge/internal/scenario"
+)
+
+// The cross-validation suite measures the paper's Rr/Rd quantities twice at
+// the same experiment point — once by running live missions through the full
+// protocol stack (simnet + Kademlia + protocol hosts, with churn and
+// adversaries), once by sampling the abstract Monte Carlo model — and
+// asserts statistical agreement. MCTrials is sized to the live mission count
+// so the model's Wilson interval reflects at least the sampling noise the
+// live measurement carries.
+//
+// Live/model agreement holds at the ~2% level for the central and multipath
+// schemes; the key share scheme's just-in-time share machinery has live
+// failure modes the coarse column-loss model does not capture and is
+// exercised, but not cross-validated, here.
+
+// run executes a scenario and logs its comparison table.
+func run(t *testing.T, cfg scenario.Config) *scenario.Report {
+	t.Helper()
+	report, err := scenario.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("live Rr=%.3f Rd=%.3f | mc Rr=%.3f Rd=%.3f | %d deaths | wall %s",
+		report.Live.Rr(), report.Live.Rd(), report.MC.Rr(), report.MCDelivery.Rd(),
+		report.Deaths, report.Elapsed.Round(time.Millisecond))
+	return report
+}
+
+// assertAgreement requires the live rates to fall inside the matched Monte
+// Carlo estimate's 95% Wilson intervals.
+func assertAgreement(t *testing.T, report *scenario.Report) {
+	t.Helper()
+	release, deliver := report.AgreesWithMC()
+	if !release {
+		lo, hi := report.MC.ReleaseCI()
+		t.Errorf("live release rate %.3f outside MC 95%% Wilson interval [%.3f, %.3f]",
+			1-report.Live.Rr(), lo, hi)
+	}
+	if !deliver {
+		lo, hi := report.MCDelivery.DeliverCI()
+		t.Errorf("live delivery rate %.3f outside MC 95%% Wilson interval [%.3f, %.3f]",
+			report.Live.Rd(), lo, hi)
+	}
+}
+
+func TestCrossValidateCentralChurn(t *testing.T) {
+	report := run(t, scenario.Config{
+		Nodes:         300,
+		MaliciousRate: 0.2,
+		Alpha:         1,
+		Missions:      300,
+		Plan:          core.Plan{Scheme: core.SchemeCentral, K: 1, L: 1},
+		MCTrials:      300,
+		Seed:          7,
+	})
+	assertAgreement(t, report)
+}
+
+func TestCrossValidateJointDropNoChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation is slow")
+	}
+	report := run(t, scenario.Config{
+		Nodes:         500,
+		MaliciousRate: 0.15,
+		Drop:          true,
+		Missions:      200,
+		Plan:          core.Plan{Scheme: core.SchemeJoint, K: 3, L: 2},
+		MCTrials:      200,
+		Seed:          7,
+	})
+	assertAgreement(t, report)
+}
+
+func TestCrossValidateJointPureChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation is slow")
+	}
+	report := run(t, scenario.Config{
+		Nodes:    500,
+		Alpha:    1,
+		Missions: 300,
+		Plan:     core.Plan{Scheme: core.SchemeJoint, K: 3, L: 2},
+		MCTrials: 5000,
+		Seed:     7,
+	})
+	// No adversary: release-ahead must never happen, on either path.
+	if report.Live.Released != 0 {
+		t.Errorf("pure churn released %d missions early", report.Live.Released)
+	}
+	if rel := 1 - report.MC.Rr(); rel != 0 {
+		t.Errorf("model released %.3f with zero malicious nodes", rel)
+	}
+	// Delivery: the precise model point must sit inside the live Wilson
+	// interval (the live measurement is the noisier of the two here).
+	lo, hi := report.Live.DeliverCI()
+	if mcRd := report.MCDelivery.Rd(); mcRd < lo || mcRd > hi {
+		t.Errorf("model delivery %.3f outside live 95%% Wilson interval [%.3f, %.3f]", mcRd, lo, hi)
+	}
+}
+
+// TestThousandNodeLiveScenario is the headline cross-validation: a
+// 1000-node live network under churn (alpha = 1) and a 10% Sybil drop
+// attack, 250 concurrent missions, deterministic under its seed, finishing
+// in well under a minute of wall time — with measured release and delivery
+// rates inside the 95% Wilson intervals of the matched Monte Carlo
+// estimate, in both directions.
+func TestThousandNodeLiveScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation is slow")
+	}
+	report := run(t, scenario.Config{
+		Nodes:         1000,
+		MaliciousRate: 0.1,
+		Drop:          true,
+		Alpha:         1,
+		Missions:      250,
+		Plan:          core.Plan{Scheme: core.SchemeJoint, K: 3, L: 2},
+		MCTrials:      250,
+		Seed:          6,
+	})
+	assertAgreement(t, report)
+
+	// Churn really ran at scale: alpha=1 over the mission span kills the
+	// population roughly twice (launch window + emerging period).
+	if report.Deaths < 1000 {
+		t.Errorf("only %d deaths in a 1000-node alpha=1 scenario", report.Deaths)
+	}
+	if report.Joins != report.Deaths {
+		t.Errorf("%d deaths but %d replacement joins", report.Deaths, report.Joins)
+	}
+
+	// Reverse direction: a high-precision model estimate must fall inside
+	// the live measurement's own Wilson intervals.
+	precise, err := mc.Estimate(report.Config.Plan, mc.Env{
+		Population: report.Config.Nodes,
+		Malicious:  100,
+		Alpha:      1,
+	}, mc.Options{Trials: 50000, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relLo, relHi := report.Live.ReleaseCI()
+	if rel := 1 - precise.Rr(); rel < relLo || rel > relHi {
+		t.Errorf("precise MC release %.4f outside live interval [%.3f, %.3f]", rel, relLo, relHi)
+	}
+	delLo, delHi := report.Live.DeliverCI()
+	if del := precise.Rd(); del < delLo || del > delHi {
+		t.Errorf("precise MC delivery %.4f outside live interval [%.3f, %.3f]", del, delLo, delHi)
+	}
+
+	if !raceEnabled && report.Elapsed > 60*time.Second {
+		t.Errorf("1000-node scenario took %s, want < 60s", report.Elapsed)
+	}
+}

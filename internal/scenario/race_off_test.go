@@ -1,0 +1,7 @@
+//go:build !race
+
+package scenario_test
+
+// raceEnabled reports whether the race detector is active; wall-clock
+// assertions are skipped under its instrumentation overhead.
+const raceEnabled = false

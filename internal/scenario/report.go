@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+
+	"selfemerge/internal/analytic"
+)
+
+// WriteTable renders the report as an aligned ASCII table: the live
+// measurement with its Wilson intervals next to the Monte Carlo estimate at
+// the matched environment and the no-churn closed form.
+func (r *Report) WriteTable(w io.Writer) error {
+	cfg := r.Config
+	attack := "spy"
+	if cfg.Drop {
+		attack = "drop"
+	}
+	if _, err := fmt.Fprintf(w,
+		"scenario %s k=%d l=%d: N=%d p=%.3f alpha=%.2f attack=%s replicas=%d missions=%d emerging=%s seed=%d\n",
+		cfg.Plan.Scheme, cfg.Plan.K, cfg.Plan.L, cfg.Nodes, cfg.MaliciousRate,
+		cfg.Alpha, attack, cfg.Replicas, cfg.Missions, cfg.Emerging, cfg.Seed); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"churn: %d deaths, %d joins; fabric: %d sent, %d delivered, %d dropped; wall %s\n",
+		r.Deaths, r.Joins, r.Sent, r.Recv, r.Dropped, r.Elapsed.Round(1e6)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-22s %-28s %s\n", "", "Rr (release resilience)", "Rd (delivery resilience)"); err != nil {
+		return err
+	}
+
+	// Wilson intervals on the success probabilities, mapped to the
+	// resilience convention (Rr = 1 - release rate).
+	relLo, relHi := r.Live.ReleaseCI()
+	delLo, delHi := r.Live.DeliverCI()
+	if _, err := fmt.Fprintf(w, "%-22s %.3f [%.3f, %.3f]         %.3f [%.3f, %.3f]\n",
+		fmt.Sprintf("live (%d missions)", r.Live.Missions),
+		r.Live.Rr(), 1-relHi, 1-relLo, r.Live.Rd(), delLo, delHi); err != nil {
+		return err
+	}
+	mrelLo, mrelHi := r.MC.ReleaseCI()
+	mdelLo, mdelHi := r.MCDelivery.DeliverCI()
+	if _, err := fmt.Fprintf(w, "%-22s %.3f [%.3f, %.3f]         %.3f [%.3f, %.3f]\n",
+		fmt.Sprintf("monte-carlo (%d)", r.MC.Trials),
+		r.MC.Rr(), 1-mrelHi, 1-mrelLo, r.MCDelivery.Rd(), mdelLo, mdelHi); err != nil {
+		return err
+	}
+	if r.Predicted != (analytic.Resilience{}) {
+		if _, err := fmt.Fprintf(w, "%-22s %.3f                        %.3f\n",
+			"analytic (no churn)", r.Predicted.ReleaseAhead, r.Predicted.Drop); err != nil {
+			return err
+		}
+	}
+	relOK, delOK := r.AgreesWithMC()
+	_, err := fmt.Fprintf(w, "agreement with monte-carlo 95%% Wilson interval: release=%v delivery=%v\n",
+		relOK, delOK)
+	return err
+}

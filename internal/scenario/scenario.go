@@ -1,0 +1,329 @@
+// Package scenario drives the real protocol stack — simnet transport, live
+// Kademlia DHT, per-node protocol hosts — through full emergence missions
+// under live churn and packet-level adversaries, and measures the
+// release-ahead and drop resilience (Rr, Rd) the paper's Section IV plots.
+// It is the end-to-end counterpart of the abstract Monte Carlo engine
+// (internal/mc): the same experiment point measured twice, once by executing
+// the protocol and once by sampling the model, cross-validates both.
+//
+// A scenario boots an N-node network in which floor(p*N) nodes are
+// Sybil-controlled, every non-infrastructure node dies with an exponential
+// lifetime and is replaced by a fresh join (keeping the population and the
+// Sybil fraction stationary), and surviving key custodians repair churned
+// holder slots by re-granting layer keys once per holding period. M missions
+// run concurrently through the live network; each is scored like one Monte
+// Carlo trial.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	selfemerge "selfemerge"
+	"selfemerge/internal/analytic"
+	"selfemerge/internal/core"
+	"selfemerge/internal/mc"
+	"selfemerge/internal/protocol"
+	"selfemerge/internal/stats"
+)
+
+// Config parameterizes one scenario run. The zero value is completed by
+// defaults; Plan is required.
+type Config struct {
+	// Nodes is the DHT population N (default 200).
+	Nodes int
+	// MaliciousRate is the Sybil fraction p; floor(p*N) nodes are marked,
+	// infrastructure (bootstrap, receiver, dispatcher) exempt.
+	MaliciousRate float64
+	// Drop switches the adversary from spying (release-ahead collection
+	// only) to the drop attack (malicious holders swallow every package).
+	Drop bool
+	// Alpha is the churn severity T/lifetime: the emerging period expressed
+	// in mean node lifetimes. Zero disables churn.
+	Alpha float64
+	// Emerging is the period T between dispatch and release (default 2h).
+	// Only the ratio Alpha matters to the model; the absolute value sets
+	// how much simulated time the run spans.
+	Emerging time.Duration
+	// Missions is the number of live emergence trials M (default 100). All
+	// missions run concurrently through the same network.
+	Missions int
+	// Stagger spreads mission launches uniformly over this window (default:
+	// one emerging period). Missions sharing one network see the same churn
+	// trajectory; staggering exposes each to a different time slice, which
+	// decorrelates their outcomes and keeps the measured rates' effective
+	// sample size close to Missions. Negative disables staggering.
+	Stagger time.Duration
+	// Plan is the routing scheme shape to execute. Required.
+	Plan core.Plan
+	// Replicas is how many closest nodes receive each protocol packet
+	// (default 1, so each holder slot maps to exactly one physical node as
+	// the Monte Carlo model assumes; the production default elsewhere is 2).
+	Replicas int
+	// Latency is the one-way simnet latency (default 5ms).
+	Latency time.Duration
+	// MCTrials sizes the Monte Carlo reference estimate (default 2000).
+	MCTrials int
+	// Seed makes the whole run — node IDs, malicious marking, lifetimes,
+	// mission placement — reproducible.
+	Seed uint64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Nodes == 0 {
+		c.Nodes = 200
+	}
+	if c.Nodes < 10 {
+		return c, fmt.Errorf("scenario: %d nodes is too small a population", c.Nodes)
+	}
+	if c.MaliciousRate < 0 || c.MaliciousRate > 1 {
+		return c, fmt.Errorf("scenario: malicious rate %v outside [0,1]", c.MaliciousRate)
+	}
+	if c.Alpha < 0 {
+		return c, fmt.Errorf("scenario: alpha %v must be >= 0", c.Alpha)
+	}
+	if c.Emerging == 0 {
+		c.Emerging = 2 * time.Hour
+	}
+	if c.Emerging < 0 {
+		return c, fmt.Errorf("scenario: emerging period %v must be positive", c.Emerging)
+	}
+	if c.Missions == 0 {
+		c.Missions = 100
+	}
+	if c.Missions < 1 {
+		return c, fmt.Errorf("scenario: missions %d must be >= 1", c.Missions)
+	}
+	if c.Stagger == 0 {
+		c.Stagger = c.Emerging
+	}
+	if c.Stagger < 0 {
+		c.Stagger = 0
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 1
+	}
+	if c.Latency == 0 {
+		c.Latency = 5 * time.Millisecond
+	}
+	if c.MCTrials == 0 {
+		c.MCTrials = 2000
+	}
+	if err := c.Plan.Validate(); err != nil {
+		return c, fmt.Errorf("scenario: %w", err)
+	}
+	return c, nil
+}
+
+// maliciousCount mirrors the Network's marking: floor(p*N), capped to the
+// non-infrastructure population.
+func (c Config) maliciousCount() int {
+	count := int(c.MaliciousRate * float64(c.Nodes))
+	if count > c.Nodes-3 {
+		count = c.Nodes - 3
+	}
+	return count
+}
+
+// Result aggregates live mission outcomes for one scenario, mirroring
+// mc.Result.
+type Result struct {
+	Missions  int
+	Released  int // missions where the release-ahead attack succeeded
+	Delivered int // missions where the key emerged on time
+}
+
+// Rr is the measured release-ahead resilience 1 - P[attack success].
+func (r Result) Rr() float64 { return 1 - ratio(r.Released, r.Missions) }
+
+// Rd is the measured drop/loss resilience: the probability the key emerged
+// at the release time despite malicious holders and churn.
+func (r Result) Rd() float64 { return ratio(r.Delivered, r.Missions) }
+
+// ReleaseCI returns the 95% Wilson interval for the release-ahead success
+// probability.
+func (r Result) ReleaseCI() (lo, hi float64) {
+	var p stats.Proportion
+	p.AddN(r.Released, r.Missions)
+	return p.Wilson95()
+}
+
+// DeliverCI returns the 95% Wilson interval for the delivery probability.
+func (r Result) DeliverCI() (lo, hi float64) {
+	var p stats.Proportion
+	p.AddN(r.Delivered, r.Missions)
+	return p.Wilson95()
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Report is the full outcome of a scenario run: the live measurement, the
+// matching Monte Carlo estimate, and the no-churn closed-form prediction.
+type Report struct {
+	Config Config
+
+	Live Result
+	// MC is the Monte Carlo estimate at the matched environment
+	// (same population, malicious count and alpha).
+	MC mc.Result
+	// MCDelivery is the delivery reference. Under the drop attack it equals
+	// MC. Under a spy adversary malicious holders forward faithfully, so
+	// live delivery is compared against the same environment with zero
+	// malicious nodes (churn losses only) — the model's counterpart of a
+	// spying holder population.
+	MCDelivery mc.Result
+	// Predicted is the no-churn closed-form resilience (Equations (1)-(3)),
+	// zero when no closed form applies.
+	Predicted analytic.Resilience
+
+	// Churn and transport volume observed during the run.
+	Deaths, Joins       int
+	Sent, Recv, Dropped int
+	Elapsed             time.Duration // wall-clock time of the live run
+}
+
+// AgreesWithMC reports whether the live release and delivery rates fall
+// inside the 95% Wilson intervals of the Monte Carlo estimates. For the
+// check to be statistically meaningful, size MCTrials comparably to
+// Missions: the interval must reflect at least the sampling noise the live
+// measurement carries.
+func (r *Report) AgreesWithMC() (release, deliver bool) {
+	relLo, relHi := r.MC.ReleaseCI()
+	delLo, delHi := r.MCDelivery.DeliverCI()
+	liveRel := ratio(r.Live.Released, r.Live.Missions)
+	liveDel := ratio(r.Live.Delivered, r.Live.Missions)
+	const eps = 1e-9 // absorb interval-endpoint rounding at 0 and 1
+	return liveRel >= relLo-eps && liveRel <= relHi+eps,
+		liveDel >= delLo-eps && liveDel <= delHi+eps
+}
+
+// Run executes one scenario and returns its report. The run is fully
+// deterministic for a fixed Config.
+func Run(cfg Config) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	began := time.Now()
+
+	var lifetime time.Duration
+	if cfg.Alpha > 0 {
+		lifetime = time.Duration(float64(cfg.Emerging) / cfg.Alpha)
+	}
+	net, err := selfemerge.NewNetwork(selfemerge.NetworkConfig{
+		Nodes:           cfg.Nodes,
+		MaliciousRate:   cfg.MaliciousRate,
+		DropAttack:      cfg.Drop,
+		MeanLifetime:    lifetime,
+		Replace:         true,
+		HonestEndpoints: true,
+		Replicas:        cfg.Replicas,
+		Repair:          true,
+		Latency:         cfg.Latency,
+		Seed:            cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Launch every mission with a deterministic identifier (the identifier
+	// alone fixes the pseudo-random holder slot placement), staggered over
+	// the launch window.
+	rng := stats.NewRNG(cfg.Seed ^ 0x5ce7a110_c0ffee)
+	var gap time.Duration
+	if cfg.Missions > 1 {
+		gap = cfg.Stagger / time.Duration(cfg.Missions)
+	}
+	msgs := make([]*selfemerge.Message, cfg.Missions)
+	for i := range msgs {
+		var id protocol.MissionID
+		for w := 0; w < 2; w++ {
+			v := rng.Uint64()
+			for b := 0; b < 8; b++ {
+				id[w*8+b] = byte(v >> (8 * b))
+			}
+		}
+		msg, err := net.Send([]byte(fmt.Sprintf("mission-%d", i)), cfg.Emerging,
+			selfemerge.WithPlan(cfg.Plan), selfemerge.WithMissionID(id))
+		if err != nil {
+			return nil, fmt.Errorf("scenario: dispatching mission %d: %w", i, err)
+		}
+		msgs[i] = msg
+		if gap > 0 && i < cfg.Missions-1 {
+			net.RunFor(gap)
+		}
+	}
+
+	// Run the mission window plus slack for the final lookups and delivery.
+	release := msgs[len(msgs)-1].Release()
+	net.RunUntil(release.Add(time.Minute))
+	net.Settle()
+
+	// Score each mission like one Monte Carlo trial. Release-ahead success
+	// follows Equation (1)'s semantics: the adversary reconstructs the key
+	// from start-time material — pre-assigned layer keys (including churn
+	// re-grants) plus the entry package — which completes strictly before
+	// the first forwarding hop at ts + th. Recoveries after that instant
+	// involve capturing the onion mid-route, a strictly weaker partial
+	// attack (it shortens the wait by at most (l-1)/l of the period) that
+	// neither Equation (1) nor the Monte Carlo engine counts.
+	hold := cfg.Plan.HoldPeriod(cfg.Emerging)
+	res := Result{Missions: cfg.Missions}
+	for _, msg := range msgs {
+		if at, ok := net.AdversaryRecovered(msg); ok && at.Before(msg.Start().Add(hold)) {
+			res.Released++
+		}
+		if _, at, ok := net.Emerged(msg); ok && !at.Before(msg.Release()) {
+			res.Delivered++
+		}
+	}
+
+	report := &Report{Config: cfg, Live: res, Elapsed: time.Since(began)}
+	report.Deaths, report.Joins = net.ChurnEvents()
+	report.Sent, report.Recv, report.Dropped = net.FabricStats()
+
+	// Matched Monte Carlo references and closed-form prediction.
+	env := mc.Env{
+		Population:          cfg.Nodes,
+		Malicious:           cfg.maliciousCount(),
+		Alpha:               cfg.Alpha,
+		BinomialShareDeaths: cfg.Plan.Scheme == core.SchemeKeyShare,
+	}
+	report.MC, err = mc.Estimate(cfg.Plan, env, mc.Options{Trials: cfg.MCTrials, Seed: cfg.Seed + 101})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: reference estimate: %w", err)
+	}
+	report.MCDelivery = report.MC
+	if !cfg.Drop {
+		// Spies forward faithfully: the delivery reference is the same
+		// environment with churn losses only.
+		env.Malicious = 0
+		report.MCDelivery, err = mc.Estimate(cfg.Plan, env, mc.Options{Trials: cfg.MCTrials, Seed: cfg.Seed + 103})
+		if err != nil {
+			return nil, fmt.Errorf("scenario: delivery reference estimate: %w", err)
+		}
+	}
+	report.Predicted = predicted(cfg)
+	return report, nil
+}
+
+// predicted returns the no-churn closed-form resilience of the plan, when
+// one exists.
+func predicted(cfg Config) analytic.Resilience {
+	p := cfg.MaliciousRate
+	switch cfg.Plan.Scheme {
+	case core.SchemeCentral:
+		return analytic.Central(p)
+	case core.SchemeDisjoint:
+		return analytic.Disjoint(p, cfg.Plan.K, cfg.Plan.L)
+	case core.SchemeJoint:
+		return analytic.Joint(p, cfg.Plan.K, cfg.Plan.L)
+	default:
+		return cfg.Plan.Predicted
+	}
+}

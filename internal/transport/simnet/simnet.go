@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"selfemerge/internal/churn"
 	"selfemerge/internal/sim"
 	"selfemerge/internal/stats"
 	"selfemerge/internal/transport"
@@ -81,6 +82,18 @@ func (n *Network) SetDown(addr transport.Addr, down bool) {
 	} else {
 		delete(n.down, addr)
 	}
+}
+
+// ApplyChurn wires a churn process's transient availability flapping into
+// the endpoint's down/up transitions: the endpoint alternates between up and
+// down with exponential sojourn times drawn from proc. It returns a stop
+// function; call it when the endpoint is decommissioned (permanent death is
+// a Close, not a flap). The transport owns this binding deliberately — the
+// down state is a transport-level condition (Section II-C's session
+// flapping), and every fabric consumer gets it without re-deriving the
+// toggling logic.
+func (n *Network) ApplyChurn(addr transport.Addr, proc *churn.Process) (stop func()) {
+	return proc.ManageAvailability(func(down bool) { n.SetDown(addr, down) })
 }
 
 // Stats reports (sent, delivered, dropped) message counts.

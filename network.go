@@ -41,6 +41,31 @@ type NetworkConfig struct {
 	// MeanLifetime enables churn: nodes die permanently with exponentially
 	// distributed lifetimes of this mean. Zero disables churn.
 	MeanLifetime time.Duration
+	// Replace keeps the population stationary under churn: every death is
+	// followed by a fresh node joining and bootstrapping into the DHT,
+	// malicious with probability MaliciousRate — the steady-state network
+	// of Section II-C. The replacement adopts the dead node's identifier
+	// and address with wiped state, taking over the vacated DHT zone, which
+	// is exactly the slot-refill semantics the paper's repair model (and
+	// the Monte Carlo engine) assumes. Without Replace the population only
+	// shrinks.
+	Replace bool
+	// MeanUptime and MeanDowntime enable transient availability flapping on
+	// top of permanent churn: endpoints alternate up/down with exponential
+	// sojourn times at the simnet transport layer. Both must be set.
+	MeanUptime   time.Duration
+	MeanDowntime time.Duration
+	// HonestEndpoints exempts the three infrastructure nodes (bootstrap,
+	// receiver, dispatcher) from the malicious marking, matching the
+	// honest-endpoint assumption of the paper's model. The marked count
+	// stays floor(MaliciousRate * Nodes), drawn from the remaining nodes.
+	HonestEndpoints bool
+	// Replicas is how many closest nodes receive each protocol packet
+	// (default 2). Model-faithful scenario runs use 1.
+	Replicas int
+	// Repair enables protocol-level churn repair: surviving key custodians
+	// re-grant layer keys to churn replacements once per holding period.
+	Repair bool
 	// Latency is the one-way network latency (default 5ms).
 	Latency time.Duration
 	// Seed makes the network fully reproducible.
@@ -81,6 +106,8 @@ type Network struct {
 
 	mu         sync.Mutex
 	deliveries map[protocol.MissionID]delivery
+	deaths     int
+	joins      int
 }
 
 type delivery struct {
@@ -104,11 +131,16 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 		deliveries: make(map[protocol.MissionID]delivery),
 	}
 	n.fabric = simnet.New(n.simulator, simnet.Config{BaseLatency: cfg.Latency, Seed: cfg.Seed + 1})
-	if cfg.MeanLifetime > 0 {
-		n.churnProc = churn.New(n.simulator, churn.Config{MeanLifetime: cfg.MeanLifetime, Seed: cfg.Seed + 2})
+	if cfg.MeanLifetime > 0 || (cfg.MeanUptime > 0 && cfg.MeanDowntime > 0) {
+		n.churnProc = churn.New(n.simulator, churn.Config{
+			MeanLifetime: cfg.MeanLifetime,
+			MeanUptime:   cfg.MeanUptime,
+			MeanDowntime: cfg.MeanDowntime,
+			Seed:         cfg.Seed + 2,
+		})
 	}
 
-	malicious := n.rng.MarkedSet(cfg.Nodes, int(cfg.MaliciousRate*float64(cfg.Nodes)))
+	malicious := n.markMalicious()
 	for i := 0; i < cfg.Nodes; i++ {
 		if err := n.addNode(i, malicious[i]); err != nil {
 			return nil, err
@@ -125,15 +157,40 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 	return n, nil
 }
 
+// markMalicious draws the initial malicious marking. With HonestEndpoints
+// the three infrastructure nodes (bootstrap 0, receiver 1, dispatcher 2)
+// are exempt, matching the honest-endpoint assumption of the paper's model.
+func (n *Network) markMalicious() []bool {
+	count := int(n.cfg.MaliciousRate * float64(n.cfg.Nodes))
+	if !n.cfg.HonestEndpoints {
+		return n.rng.MarkedSet(n.cfg.Nodes, count)
+	}
+	const infra = 3
+	eligible := n.cfg.Nodes - infra
+	if count > eligible {
+		count = eligible
+	}
+	out := make([]bool, infra, n.cfg.Nodes)
+	return append(out, n.rng.MarkedSet(eligible, count)...)
+}
+
 func (n *Network) addNode(idx int, malicious bool) error {
 	addr := transport.Addr(fmt.Sprintf("node-%d", idx))
+	return n.spawn(addr, dht.RandomID(n.rng), idx, malicious)
+}
+
+// spawn creates a live node with the given address and identifier, installs
+// it at population slot idx (replacing — and releasing — any dead
+// predecessor there), and, for churn-eligible slots, schedules its death
+// and replacement.
+func (n *Network) spawn(addr transport.Addr, id dht.ID, idx int, malicious bool) error {
 	ep := n.fabric.Endpoint(addr)
-	host := protocol.NewHost(protocol.HostConfig{
-		Clock:     n.simulator,
-		Malicious: malicious,
-		Drop:      malicious && n.cfg.DropAttack,
-		Reporter:  n.collector,
-		OnSecret: func(mission protocol.MissionID, secret []byte) {
+	var onSecret func(protocol.MissionID, []byte)
+	if idx == 1 {
+		// Only the receiver's deliveries count: a stray PkSecret landing on
+		// another node (possible while routing tables converge) is not an
+		// emergence.
+		onSecret = func(mission protocol.MissionID, secret []byte) {
 			n.mu.Lock()
 			defer n.mu.Unlock()
 			if _, dup := n.deliveries[mission]; !dup {
@@ -142,10 +199,19 @@ func (n *Network) addNode(idx int, malicious bool) error {
 					secret: append([]byte(nil), secret...),
 				}
 			}
-		},
+		}
+	}
+	host := protocol.NewHost(protocol.HostConfig{
+		Clock:     n.simulator,
+		Malicious: malicious,
+		Drop:      malicious && n.cfg.DropAttack,
+		Reporter:  n.collector,
+		OnSecret:  onSecret,
+		Replicas:  n.cfg.Replicas,
+		Repair:    n.cfg.Repair,
 	})
 	node, err := dht.NewNode(dht.Config{
-		ID:       dht.RandomID(n.rng),
+		ID:       id,
 		Endpoint: ep,
 		Clock:    n.simulator,
 		OnApp:    host.HandleApp,
@@ -154,15 +220,68 @@ func (n *Network) addNode(idx int, malicious bool) error {
 		return err
 	}
 	host.Attach(node)
-	n.nodes = append(n.nodes, node)
-
-	// Churn: the node dies permanently at an exponential lifetime; the
-	// receiver (node 1) and bootstrap (node 0) are exempt so experiments
-	// can always observe outcomes.
-	if n.churnProc != nil && idx > 1 {
-		n.churnProc.ScheduleDeath(func() { _ = node.Close() })
+	n.mu.Lock()
+	if idx < len(n.nodes) {
+		n.nodes[idx] = node // replacement: drop the dead predecessor's state
+	} else {
+		n.nodes = append(n.nodes, node)
 	}
+	n.mu.Unlock()
+
+	// Churn: the node dies permanently at an exponential lifetime and flaps
+	// transiently at the transport layer; the bootstrap (node 0), receiver
+	// (node 1) and dispatcher (node 2) are exempt so experiments can always
+	// launch missions and observe outcomes — the model's honest, stable
+	// endpoints.
+	if n.churnProc == nil || idx <= 2 {
+		return nil
+	}
+	stopFlap := n.fabric.ApplyChurn(addr, n.churnProc)
+	n.churnProc.ScheduleDeath(func() {
+		stopFlap()
+		_ = node.Close()
+		n.mu.Lock()
+		n.deaths++
+		n.mu.Unlock()
+		if n.cfg.Replace {
+			n.join(addr, id, idx)
+		}
+	})
 	return nil
+}
+
+// join spawns the replacement for the dead node at population slot idx — a
+// fresh node with wiped state taking over the vacated address and DHT zone —
+// and bootstraps it. It is malicious with probability MaliciousRate,
+// keeping the Sybil fraction stationary as churn replenishes the network.
+func (n *Network) join(addr transport.Addr, id dht.ID, idx int) {
+	if err := n.spawn(addr, id, idx, n.rng.Bool(n.cfg.MaliciousRate)); err != nil {
+		// Unreachable by construction: spawn only fails on a nil
+		// endpoint/clock or zero ID, and a replacement reuses a valid ID on
+		// a fresh endpoint. If it ever fires, the joins counter diverging
+		// from deaths is the diagnostic.
+		return
+	}
+	n.mu.Lock()
+	n.joins++
+	replacement := n.nodes[idx]
+	seed := n.nodes[0].Contact()
+	n.mu.Unlock()
+	replacement.Bootstrap([]dht.Contact{seed}, nil)
+}
+
+// ChurnEvents reports how many permanent deaths and replacement joins have
+// occurred so far.
+func (n *Network) ChurnEvents() (deaths, joins int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.deaths, n.joins
+}
+
+// FabricStats reports transport-level (sent, delivered, dropped) datagram
+// counts.
+func (n *Network) FabricStats() (sent, delivered, dropped int) {
+	return n.fabric.Stats()
 }
 
 // Now returns the current simulated time.
@@ -180,9 +299,14 @@ func (n *Network) RunUntil(t time.Time) { n.simulator.RunUntil(t) }
 // them would kill the network.
 func (n *Network) Settle() { n.simulator.RunFor(5 * time.Minute) }
 
-// Nodes returns the number of live DHT nodes created (including any that
-// have since churned out).
-func (n *Network) Nodes() int { return len(n.nodes) }
+// Nodes returns the population size: one slot per node, with churn
+// replacements taking over their dead predecessor's slot. Without Replace,
+// slots of churned-out nodes still count.
+func (n *Network) Nodes() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.nodes)
+}
 
 // Cloud exposes the network's cloud store.
 func (n *Network) Cloud() *cloud.Store { return n.cloudSt }

@@ -138,6 +138,69 @@ func TestChurnNetworkStillServes(t *testing.T) {
 	}
 }
 
+func TestChurnReplacementKeepsPopulationServing(t *testing.T) {
+	// Heavy churn with replacement and protocol repair: dead holders are
+	// re-filled and re-granted their layer keys, so the joint scheme still
+	// delivers. Without Replace+Repair this configuration routinely loses
+	// missions.
+	net, err := NewNetwork(NetworkConfig{
+		Nodes:        120,
+		MeanLifetime: 8 * time.Hour,
+		Replace:      true,
+		Repair:       true,
+		Seed:         16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := net.Send([]byte("replaced but alive"), 4*time.Hour,
+		WithScheme(SchemeJoint), WithThreatModel(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RunUntil(msg.Release().Add(10 * time.Minute))
+	net.Settle()
+	if _, _, ok := net.Emerged(msg); !ok {
+		t.Fatal("message lost despite churn replacement and repair")
+	}
+	deaths, joins := net.ChurnEvents()
+	if deaths == 0 {
+		t.Fatal("churn configuration produced no deaths")
+	}
+	if joins != deaths {
+		t.Fatalf("%d deaths but %d joins", deaths, joins)
+	}
+}
+
+func TestTransientFlappingStillServes(t *testing.T) {
+	// Endpoints flap up/down at the transport layer (simnet down
+	// transitions driven by the churn process) but nodes never die; the
+	// fabric drops traffic to down endpoints, and the joint scheme's
+	// redundancy still delivers.
+	net, err := NewNetwork(NetworkConfig{
+		Nodes:        100,
+		MeanUptime:   3 * time.Hour,
+		MeanDowntime: 10 * time.Minute,
+		Seed:         17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := net.Send([]byte("up and down"), 4*time.Hour, WithScheme(SchemeJoint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RunUntil(msg.Release().Add(10 * time.Minute))
+	net.Settle()
+	if _, _, ok := net.Emerged(msg); !ok {
+		t.Fatal("message lost under transient flapping")
+	}
+	_, _, dropped := net.FabricStats()
+	if dropped == 0 {
+		t.Fatal("flapping endpoints dropped no traffic")
+	}
+}
+
 func TestSendValidation(t *testing.T) {
 	net, err := NewNetwork(NetworkConfig{Nodes: 10, Seed: 7})
 	if err != nil {

@@ -17,6 +17,7 @@ type sendConfig struct {
 	maliciousRate float64
 	budget        int
 	plan          *core.Plan
+	missionID     *protocol.MissionID
 }
 
 // WithScheme selects the routing scheme (default SchemeJoint).
@@ -41,12 +42,22 @@ func WithPlan(plan core.Plan) SendOption {
 	return func(c *sendConfig) { c.plan = &plan }
 }
 
+// WithMissionID fixes the mission identifier instead of drawing a random
+// one. The identifier determines the pseudo-random holder slot placement,
+// so scenario runs use it to make whole missions reproducible under a seed.
+func WithMissionID(id protocol.MissionID) SendOption {
+	return func(c *sendConfig) { c.missionID = &id }
+}
+
 // Message is a dispatched self-emerging message: the handle the receiver
 // uses to await emergence.
 type Message struct {
 	mission     protocol.Mission
 	cloudObject string
 }
+
+// Start returns the dispatch time ts.
+func (m *Message) Start() time.Time { return m.mission.Start }
 
 // Release returns the release time tr.
 func (m *Message) Release() time.Time { return m.mission.Release }
@@ -90,9 +101,14 @@ func (n *Network) Send(plaintext []byte, emerging time.Duration, opts ...SendOpt
 		return nil, err
 	}
 
-	missionID, err := protocol.NewMissionID()
-	if err != nil {
-		return nil, err
+	var missionID protocol.MissionID
+	if cfg.missionID != nil {
+		missionID = *cfg.missionID
+	} else {
+		missionID, err = protocol.NewMissionID()
+		if err != nil {
+			return nil, err
+		}
 	}
 	object := fmt.Sprintf("msg-%x", missionID[:8])
 	n.cloudSt.Put(object, ciphertext)
@@ -104,6 +120,7 @@ func (n *Network) Send(plaintext []byte, emerging time.Duration, opts ...SendOpt
 		Receiver: n.receiver.ID(),
 		Start:    n.simulator.Now(),
 		Release:  n.simulator.Now().Add(emerging),
+		Replicas: n.cfg.Replicas,
 	}
 	// Dispatch from a node that is neither the bootstrap nor the receiver.
 	if _, err := protocol.Dispatch(n.nodes[2], mission); err != nil {
