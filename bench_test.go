@@ -310,6 +310,40 @@ func BenchmarkDHTLookup(b *testing.B) {
 	}
 }
 
+// BenchmarkSimnetThroughput measures the raw simnet fabric hot path —
+// send, loss/jitter decision, delivery event, handler dispatch — and
+// reports messages per second of wall time.
+func BenchmarkSimnetThroughput(b *testing.B) {
+	s := sim.NewSimulator()
+	net := simnet.New(s, simnet.Config{BaseLatency: time.Millisecond, Jitter: time.Millisecond, Seed: 5})
+	const n = 64
+	addrs := make([]transport.Addr, n)
+	eps := make([]transport.Endpoint, n)
+	delivered := 0
+	for i := range addrs {
+		addrs[i] = transport.Addr(fmt.Sprintf("n%d", i))
+		eps[i] = net.Endpoint(addrs[i])
+		eps[i].SetHandler(func(transport.Addr, []byte) { delivered++ })
+	}
+	payload := make([]byte, 256)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eps[i%n].Send(addrs[(i+1)%n], payload); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 1023 {
+			s.Run() // drain in batches, keeping the event heap realistic
+		}
+	}
+	s.Run()
+	b.StopTimer()
+	if delivered == 0 {
+		b.Fatal("nothing delivered")
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/sec")
+}
+
 // BenchmarkEndToEndEmergence measures a full send->emerge cycle (100-node
 // network, joint scheme) in simulated time.
 func BenchmarkEndToEndEmergence(b *testing.B) {

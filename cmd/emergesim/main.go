@@ -1,19 +1,26 @@
-// Command emergesim regenerates the paper's evaluation (Section IV): every
-// panel of Figures 6, 7 and 8, as ASCII tables or CSV — and, with the
-// scenario subcommand, measures the same Rr/Rd quantities by running live
-// missions through the full protocol stack under churn and adversaries,
-// cross-checked against the Monte Carlo model.
+// Command emergesim regenerates the paper's evaluation (Section IV) through
+// the unified experiment engine: declarative parameter sweeps executed by
+// any of the three estimators — closed-form analytic, Monte Carlo, or the
+// live protocol stack (simnet + Kademlia + protocol hosts under churn and
+// adversaries, cross-checked against the matched Monte Carlo references).
 //
 // Usage:
 //
-//	emergesim [flags] fig6a|fig6b|fig6c|fig6d|fig7|fig8|all
+//	emergesim sweep -estimator live|mc|analytic -axis name=values ... [flags]
 //	emergesim scenario [flags]
+//	emergesim [flags] fig6a|fig6b|fig6c|fig6d|fig7|fig8|all
+//
+// An axis is "name=v1,v2,..." or "name=start:stop:step" over p, alpha,
+// network (alias: nodes), budget, k, l, sharen, replicas, scheme or drop;
+// the first axis is the X axis, the rest form the series. The figure names
+// remain as aliases for the canned full-resolution specs.
 //
 // Examples:
 //
 //	emergesim -trials 1000 -step 0.02 all        # full-resolution, all figures
-//	emergesim -alpha 5 fig7                      # one churn panel
 //	emergesim -csv fig8 > fig8.csv               # machine-readable series
+//	emergesim sweep -estimator live -axis p=0:0.3:0.1 -axis scheme=central,joint \
+//	    -nodes 500 -alpha 1 -k 3 -l 2 -missions 100 -format csv
 //	emergesim scenario -nodes 1000 -p 0.1 -alpha 1 -drop -k 3 -l 2 -missions 200
 package main
 
@@ -27,8 +34,164 @@ import (
 
 	"selfemerge/internal/bench"
 	"selfemerge/internal/core"
+	"selfemerge/internal/experiment"
 	"selfemerge/internal/scenario"
 )
+
+func fatalf(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "emergesim: "+format+"\n", args...)
+	os.Exit(code)
+}
+
+// planFlags declares the shared plan-shape flags and returns the spec
+// builder both subcommands use.
+func planFlags(fs *flag.FlagSet) func(p, alpha float64, budget int) (core.PlanSpec, error) {
+	var (
+		scheme = fs.String("scheme", "joint", "routing scheme: central|disjoint|joint|share")
+		k      = fs.Int("k", 3, "replication factor (paths); 0 with -l 0 lets the planner size the shape")
+		l      = fs.Int("l", 2, "path length (holder columns)")
+		shareN = fs.Int("sharen", 0, "share carriers per column (share scheme)")
+		shareM = fs.String("sharem", "", "comma-separated per-column thresholds (share scheme)")
+	)
+	return func(p, alpha float64, budget int) (core.PlanSpec, error) {
+		s, err := core.ParseScheme(*scheme)
+		if err != nil {
+			return core.PlanSpec{}, err
+		}
+		var thresholds []int
+		if *shareM != "" {
+			for _, part := range strings.Split(*shareM, ",") {
+				m, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil {
+					return core.PlanSpec{}, fmt.Errorf("bad -sharem %q: %w", *shareM, err)
+				}
+				thresholds = append(thresholds, m)
+			}
+		}
+		return core.PlanSpec{
+			Scheme: s, P: p, Alpha: alpha, Budget: budget,
+			K: *k, L: *l, ShareN: *shareN, ShareM: thresholds,
+		}, nil
+	}
+}
+
+// axisFlags collects repeatable -axis specs.
+type axisFlags struct {
+	axes []experiment.Axis
+}
+
+func (a *axisFlags) String() string { return fmt.Sprintf("%d axes", len(a.axes)) }
+
+func (a *axisFlags) Set(spec string) error {
+	ax, err := experiment.ParseAxis(spec)
+	if err != nil {
+		return err
+	}
+	a.axes = append(a.axes, ax)
+	return nil
+}
+
+// runSweep is the `emergesim sweep` subcommand: one declarative sweep on the
+// unified experiment runner.
+func runSweep(args []string) {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	var axes axisFlags
+	fs.Var(&axes, "axis", "swept axis, name=v1,v2,... or name=start:stop:step (repeatable; first = numeric X axis)")
+	var (
+		estimator = fs.String("estimator", "mc", "point estimator: analytic|mc|live")
+		nodes     = fs.Int("nodes", 1000, "DHT population N (base)")
+		budget    = fs.Int("budget", 0, "planner node budget (0 = nodes)")
+		p         = fs.Float64("p", 0.1, "malicious (Sybil) fraction (base)")
+		alpha     = fs.Float64("alpha", 0, "churn severity T/lifetime (base; 0 disables churn)")
+		drop      = fs.Bool("drop", false, "drop attack instead of spying (base)")
+		replicas  = fs.Int("replicas", 1, "packet replica count (live; 1 = model-faithful)")
+		trials    = fs.Int("trials", 1000, "Monte Carlo trials per point (mc estimator)")
+		missions  = fs.Int("missions", 100, "live emergence trials per point (live estimator)")
+		emerging  = fs.Duration("emerging", 2*time.Hour, "emerging period T (live estimator)")
+		mcTrials  = fs.Int("mc-trials", 0, "live reference trials (0 = missions)")
+		workers   = fs.Int("workers", 0, "concurrent sweep points (0 = GOMAXPROCS)")
+		format    = fs.String("format", "table", "output format: table|csv|json")
+		seed      = fs.Uint64("seed", 2017, "base RNG seed")
+		name      = fs.String("name", "sweep", "sweep name for the report header")
+	)
+	spec := planFlags(fs)
+	_ = fs.Parse(args)
+	if len(axes.axes) == 0 {
+		fatalf(2, "sweep needs at least one -axis (e.g. -axis p=0:0.5:0.05)")
+	}
+
+	// Reject explicitly-set flags the chosen estimator ignores: a silently
+	// dropped -trials or -missions would mislabel what was measured.
+	setFlags := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	irrelevant := map[string][]string{
+		"analytic": {"trials", "missions", "emerging", "mc-trials"},
+		"mc":       {"missions", "emerging", "mc-trials"},
+		"live":     {"trials"},
+	}
+	for _, name := range irrelevant[*estimator] {
+		if setFlags[name] {
+			fatalf(2, "-%s does not apply to the %s estimator", name, *estimator)
+		}
+	}
+
+	base, err := spec(*p, *alpha, *budget)
+	if err != nil {
+		fatalf(2, "%v", err)
+	}
+	sw := experiment.Sweep{
+		Name: *name,
+		Seed: *seed,
+		Base: experiment.Point{
+			Scheme: base.Scheme, P: base.P, Alpha: base.Alpha,
+			Network: *nodes, Budget: *budget,
+			K: base.K, L: base.L, ShareN: base.ShareN, ShareM: base.ShareM,
+			Replicas: *replicas, Drop: *drop,
+		},
+		Axes: axes.axes,
+	}
+
+	var est experiment.Estimator
+	switch *estimator {
+	case "analytic":
+		est = experiment.Analytic{}
+	case "mc":
+		// One trial worker per point: the runner parallelizes across points,
+		// and pinning the per-point partition makes the emitted sweep
+		// byte-identical across machines, not just across -workers values.
+		est = experiment.MonteCarlo{Trials: *trials, Workers: 1}
+	case "live":
+		est = &scenario.Estimator{Missions: *missions, Emerging: *emerging, MCTrials: *mcTrials}
+	default:
+		fatalf(2, "unknown estimator %q (want analytic|mc|live)", *estimator)
+	}
+
+	runner := experiment.Runner{Estimator: est, Parallel: *workers}
+	// Pre-flight the whole grid (plan shapes, estimator compatibility) so
+	// parameter mistakes exit as usage errors (2) before any compute runs.
+	if err := runner.Validate(sw); err != nil {
+		fatalf(2, "%v", err)
+	}
+	rs, err := runner.Run(sw)
+	if err != nil {
+		fatalf(1, "%v", err)
+	}
+	switch *format {
+	case "table":
+		err = rs.WriteTable(os.Stdout)
+	case "csv":
+		err = rs.WriteCSV(os.Stdout)
+	case "json":
+		err = rs.WriteJSON(os.Stdout)
+	default:
+		fatalf(2, "unknown format %q (want table|csv|json)", *format)
+	}
+	if err != nil {
+		fatalf(1, "%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "emergesim: %d points in %s (%s of summed point time)\n",
+		len(rs.Results), rs.Elapsed.Round(time.Millisecond), rs.PointElapsed.Round(time.Millisecond))
+}
 
 // runScenario is the `emergesim scenario` subcommand: one live-network
 // experiment point next to its Monte Carlo and analytic references.
@@ -39,23 +202,22 @@ func runScenario(args []string) {
 		p        = fs.Float64("p", 0.1, "malicious (Sybil) fraction")
 		alpha    = fs.Float64("alpha", 1, "churn severity T/lifetime (0 disables churn)")
 		drop     = fs.Bool("drop", false, "drop attack instead of spying")
-		scheme   = fs.String("scheme", "joint", "routing scheme: central|disjoint|joint|share")
-		k        = fs.Int("k", 3, "replication factor (paths)")
-		l        = fs.Int("l", 2, "path length (holder columns)")
-		shareN   = fs.Int("sharen", 0, "share carriers per column (share scheme)")
-		shareM   = fs.String("sharem", "", "comma-separated per-column thresholds (share scheme)")
 		missions = fs.Int("missions", 100, "live emergence trials")
 		emerging = fs.Duration("emerging", 2*time.Hour, "emerging period T")
 		replicas = fs.Int("replicas", 1, "packet replica count (1 = model-faithful)")
 		mcTrials = fs.Int("mc-trials", 2000, "Monte Carlo reference trials")
 		seed     = fs.Uint64("seed", 2017, "RNG seed")
 	)
+	spec := planFlags(fs)
 	_ = fs.Parse(args)
 
-	plan, err := scenarioPlan(*scheme, *k, *l, *shareN, *shareM)
+	planSpec, err := spec(*p, *alpha, *nodes)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "emergesim: %v\n", err)
-		os.Exit(2)
+		fatalf(2, "%v", err)
+	}
+	plan, err := planSpec.Plan()
+	if err != nil {
+		fatalf(2, "%v", err)
 	}
 	report, err := scenario.Run(scenario.Config{
 		Nodes:         *nodes,
@@ -70,58 +232,31 @@ func runScenario(args []string) {
 		Seed:          *seed,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "emergesim: %v\n", err)
-		os.Exit(1)
+		fatalf(1, "%v", err)
 	}
 	if err := report.WriteTable(os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "emergesim: %v\n", err)
-		os.Exit(1)
+		fatalf(1, "%v", err)
 	}
 }
 
-// scenarioPlan assembles the routing plan from subcommand flags.
-func scenarioPlan(scheme string, k, l, shareN int, shareM string) (core.Plan, error) {
-	switch scheme {
-	case "central":
-		return core.Plan{Scheme: core.SchemeCentral, K: 1, L: 1}, nil
-	case "disjoint":
-		return core.Plan{Scheme: core.SchemeDisjoint, K: k, L: l}, nil
-	case "joint":
-		return core.Plan{Scheme: core.SchemeJoint, K: k, L: l}, nil
-	case "share":
-		var thresholds []int
-		if shareM != "" {
-			for _, part := range strings.Split(shareM, ",") {
-				m, err := strconv.Atoi(strings.TrimSpace(part))
-				if err != nil {
-					return core.Plan{}, fmt.Errorf("bad -sharem %q: %w", shareM, err)
-				}
-				thresholds = append(thresholds, m)
-			}
-		}
-		return core.Plan{Scheme: core.SchemeKeyShare, K: k, L: l, ShareN: shareN, ShareM: thresholds}, nil
-	default:
-		return core.Plan{}, fmt.Errorf("unknown scheme %q", scheme)
-	}
-}
-
-func main() {
-	if len(os.Args) > 1 && os.Args[1] == "scenario" {
-		runScenario(os.Args[2:])
-		return
-	}
+// runFigures handles the canned figure aliases (fig6a..fig8, all): the
+// paper's full-resolution sweep specs on the shared runner.
+func runFigures(args []string) {
+	fs := flag.NewFlagSet("emergesim", flag.ExitOnError)
 	var (
-		trials    = flag.Int("trials", 1000, "Monte Carlo trials per data point (paper: 1000)")
-		step      = flag.Float64("step", 0.02, "malicious-rate grid step")
-		seed      = flag.Uint64("seed", 2017, "base RNG seed")
-		alpha     = flag.Float64("alpha", 3, "churn severity T/tlife for fig7")
-		csv       = flag.Bool("csv", false, "emit CSV instead of a table")
-		predicted = flag.Bool("predicted", false, "include closed-form curves next to measured ones (fig6)")
+		trials    = fs.Int("trials", 1000, "Monte Carlo trials per data point (paper: 1000)")
+		step      = fs.Float64("step", 0.02, "malicious-rate grid step")
+		seed      = fs.Uint64("seed", 2017, "base RNG seed")
+		alpha     = fs.Float64("alpha", 3, "churn severity T/tlife for fig7")
+		csv       = fs.Bool("csv", false, "emit CSV instead of a table")
+		predicted = fs.Bool("predicted", false, "include closed-form curves next to measured ones (fig6)")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: emergesim [flags] fig6a|fig6b|fig6c|fig6d|fig7|fig8|all")
-		flag.PrintDefaults()
+		fmt.Fprintln(os.Stderr, "       emergesim sweep -estimator analytic|mc|live -axis name=values ...")
+		fmt.Fprintln(os.Stderr, "       emergesim scenario [flags]")
+		fs.PrintDefaults()
 		os.Exit(2)
 	}
 
@@ -133,19 +268,16 @@ func main() {
 	}
 	emit := func(fig bench.Figure, err error) {
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "emergesim: %v\n", err)
-			os.Exit(1)
+			fatalf(1, "%v", err)
 		}
 		if *csv {
 			if err := fig.WriteCSV(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "emergesim: %v\n", err)
-				os.Exit(1)
+				fatalf(1, "%v", err)
 			}
 			return
 		}
 		if err := fig.WriteTable(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "emergesim: %v\n", err)
-			os.Exit(1)
+			fatalf(1, "%v", err)
 		}
 		fmt.Println()
 	}
@@ -158,7 +290,7 @@ func main() {
 		}
 	}
 
-	switch flag.Arg(0) {
+	switch fs.Arg(0) {
 	case "fig6a":
 		fig6(10000, true)
 	case "fig6b":
@@ -183,7 +315,20 @@ func main() {
 		}
 		emit(bench.Figure8(opts))
 	default:
-		fmt.Fprintf(os.Stderr, "emergesim: unknown figure %q\n", flag.Arg(0))
-		os.Exit(2)
+		fatalf(2, "unknown figure %q", fs.Arg(0))
 	}
+}
+
+func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "sweep":
+			runSweep(os.Args[2:])
+			return
+		case "scenario":
+			runScenario(os.Args[2:])
+			return
+		}
+	}
+	runFigures(os.Args[1:])
 }

@@ -23,6 +23,16 @@
 // (Figures 6, 7 and 8) regenerates via cmd/emergesim and the benchmarks in
 // bench_test.go.
 //
+// Evaluation is organized around the unified experiment engine
+// (internal/experiment): a declarative Sweep expands to a deterministic
+// per-point-seeded grid, and a worker-pool Runner measures every point
+// through one of three interchangeable estimators — the closed-form
+// equations (internal/analytic), the Monte Carlo model (internal/mc), or
+// live missions through the full protocol stack (internal/scenario), each
+// live point booting a private simulator so sweeps scale across cores.
+// The "emergesim sweep" subcommand exposes the engine on the command line;
+// the figure names (fig6a..fig8) are canned sweep specs.
+//
 // Quick start:
 //
 //	net, _ := selfemerge.NewNetwork(selfemerge.NetworkConfig{Nodes: 200})

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"selfemerge/internal/core"
-	"selfemerge/internal/mc"
+	"selfemerge/internal/experiment"
 )
 
 // Options tunes the experiment sweeps. The zero value reproduces the paper's
@@ -14,7 +14,7 @@ type Options struct {
 	Seed    uint64  // base RNG seed
 	PStep   float64 // malicious-rate grid step; default 0.02
 	PMax    float64 // sweep upper bound; default 0.5
-	Workers int     // default GOMAXPROCS
+	Workers int     // per-point Monte Carlo workers; default GOMAXPROCS
 	// IncludePredicted appends the closed-form (Equations (1)-(3),
 	// Algorithm 1) curves next to the measured ones, labelled "<scheme>/eq".
 	IncludePredicted bool
@@ -33,22 +33,31 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-func (o Options) grid() []float64 {
-	var ps []float64
-	// Build on integer steps to avoid floating-point drift in the grid.
-	steps := int(o.PMax/o.PStep + 0.5)
-	for i := 0; i <= steps; i++ {
-		ps = append(ps, float64(i)*o.PStep)
+// runner builds the shared experiment runner every figure sweep executes on.
+// Points run sequentially (Parallel 1): each point's Monte Carlo estimate
+// already spreads its trials over o.Workers (default GOMAXPROCS), exactly
+// the pre-runner execution profile — point-level parallelism on top would
+// square the goroutine count without adding throughput and perturb the
+// per-point trial partition the historical figure series were sampled with.
+func (o Options) runner() experiment.Runner {
+	return experiment.Runner{
+		Estimator: experiment.MonteCarlo{Trials: o.Trials, Workers: o.Workers},
+		Parallel:  1,
 	}
-	return ps
 }
 
-func (o Options) mcOptions(pointIndex int) mc.Options {
-	return mc.Options{
-		Trials:  o.Trials,
-		Seed:    o.Seed + uint64(pointIndex)*0x9e3779b97f4a7c15,
-		Workers: o.Workers,
+// pAxis is the malicious-rate X axis common to every figure.
+func (o Options) pAxis() experiment.Axis {
+	return experiment.RangeAxis("p", 0, o.PMax, o.PStep)
+}
+
+// seriesOf projects one sweep series onto a figure curve via y.
+func seriesOf(label string, results []experiment.Result, y func(experiment.Result) float64) Series {
+	s := Series{Label: label}
+	for _, r := range results {
+		s.Points = append(s.Points, Point{X: r.Point.X, Y: y(r)})
 	}
+	return s
 }
 
 // Figure6 reproduces Figure 6: attack resilience (panel a/c) and required
@@ -57,8 +66,18 @@ func (o Options) mcOptions(pointIndex int) mc.Options {
 // (10,000 for panels a-b, 100 for panels c-d). No churn.
 func Figure6(network int, opts Options) (resilience, cost Figure, err error) {
 	opts = opts.withDefaults()
-	grid := opts.grid()
-	schemes := []core.Scheme{core.SchemeCentral, core.SchemeDisjoint, core.SchemeJoint}
+	rs, err := opts.runner().Run(experiment.Sweep{
+		Name: fmt.Sprintf("fig6-%d", network),
+		Seed: opts.Seed,
+		Base: experiment.Point{Network: network},
+		Axes: []experiment.Axis{
+			opts.pAxis(),
+			experiment.SchemeAxis(core.SchemeCentral, core.SchemeDisjoint, core.SchemeJoint),
+		},
+	})
+	if err != nil {
+		return Figure{}, Figure{}, err
+	}
 
 	resilience = Figure{
 		ID:     fmt.Sprintf("fig6-resilience-%d", network),
@@ -72,29 +91,15 @@ func Figure6(network int, opts Options) (resilience, cost Figure, err error) {
 		XLabel: "p",
 		YLabel: "C",
 	}
-
-	for _, scheme := range schemes {
-		measured := Series{Label: scheme.String()}
-		costs := Series{Label: scheme.String()}
-		predicted := Series{Label: scheme.String() + "/eq"}
-		for i, p := range grid {
-			plan, planErr := planFor(scheme, p, network, 0, 0)
-			if planErr != nil {
-				return Figure{}, Figure{}, planErr
-			}
-			env := mc.Env{Population: network, Malicious: malCount(p, network)}
-			res, estErr := mc.Estimate(plan, env, opts.mcOptions(i))
-			if estErr != nil {
-				return Figure{}, Figure{}, estErr
-			}
-			measured.Points = append(measured.Points, Point{X: p, Y: res.MinR()})
-			costs.Points = append(costs.Points, Point{X: p, Y: float64(plan.NodesRequired())})
-			predicted.Points = append(predicted.Points, Point{X: p, Y: plan.Predicted.Min()})
-		}
-		resilience.Series = append(resilience.Series, measured)
-		cost.Series = append(cost.Series, costs)
+	for _, series := range rs.SeriesResults() {
+		label := series[0].Point.Series
+		resilience.Series = append(resilience.Series, seriesOf(label, series, experiment.Result.MinR))
+		cost.Series = append(cost.Series, seriesOf(label, series, func(r experiment.Result) float64 {
+			return float64(r.Cost)
+		}))
 		if opts.IncludePredicted {
-			resilience.Series = append(resilience.Series, predicted)
+			resilience.Series = append(resilience.Series, seriesOf(label+"/eq", series,
+				func(r experiment.Result) float64 { return r.Predicted.Min() }))
 		}
 	}
 	return resilience, cost, nil
@@ -105,30 +110,27 @@ func Figure6(network int, opts Options) (resilience, cost Figure, err error) {
 // lifetimes, for all four schemes in a 10,000-node DHT.
 func Figure7(alpha float64, opts Options) (Figure, error) {
 	opts = opts.withDefaults()
-	const network = 10000
-	grid := opts.grid()
+	rs, err := opts.runner().Run(experiment.Sweep{
+		Name: fmt.Sprintf("fig7-alpha%g", alpha),
+		Seed: opts.Seed,
+		Base: experiment.Point{Network: 10000, Alpha: alpha},
+		Axes: []experiment.Axis{
+			opts.pAxis(),
+			experiment.SchemeAxis(core.SchemeCentral, core.SchemeDisjoint, core.SchemeJoint, core.SchemeKeyShare),
+		},
+	})
+	if err != nil {
+		return Figure{}, err
+	}
 	fig := Figure{
 		ID:     fmt.Sprintf("fig7-alpha%g", alpha),
 		Title:  fmt.Sprintf("churn resilience, alpha = %g", alpha),
 		XLabel: "p",
 		YLabel: "R",
 	}
-	schemes := []core.Scheme{core.SchemeCentral, core.SchemeDisjoint, core.SchemeJoint, core.SchemeKeyShare}
-	for _, scheme := range schemes {
-		series := Series{Label: scheme.String()}
-		for i, p := range grid {
-			plan, err := planFor(scheme, p, network, alpha, 1)
-			if err != nil {
-				return Figure{}, err
-			}
-			env := mc.Env{Population: network, Malicious: malCount(p, network), Alpha: alpha}
-			res, err := mc.Estimate(plan, env, opts.mcOptions(i))
-			if err != nil {
-				return Figure{}, err
-			}
-			series.Points = append(series.Points, Point{X: p, Y: res.R()})
-		}
-		fig.Series = append(fig.Series, series)
+	for _, series := range rs.SeriesResults() {
+		fig.Series = append(fig.Series, seriesOf(series[0].Point.Series, series,
+			func(r experiment.Result) float64 { return r.R }))
 	}
 	return fig, nil
 }
@@ -138,55 +140,27 @@ func Figure7(alpha float64, opts Options) (Figure, error) {
 // 10,000 DHT nodes are available to construct the share-routing paths.
 func Figure8(opts Options) (Figure, error) {
 	opts = opts.withDefaults()
-	const network = 10000
-	const alpha = 3.0
-	grid := opts.grid()
+	rs, err := opts.runner().Run(experiment.Sweep{
+		Name: "fig8",
+		Seed: opts.Seed,
+		Base: experiment.Point{Network: 10000, Alpha: 3, Scheme: core.SchemeKeyShare},
+		Axes: []experiment.Axis{
+			opts.pAxis(),
+			experiment.IntAxis("budget", 100, 1000, 5000, 10000),
+		},
+	})
+	if err != nil {
+		return Figure{}, err
+	}
 	fig := Figure{
 		ID:     "fig8",
 		Title:  "key share routing cost (alpha = 3)",
 		XLabel: "p",
 		YLabel: "R",
 	}
-	for _, available := range []int{100, 1000, 5000, 10000} {
-		series := Series{Label: fmt.Sprintf("%d", available)}
-		for i, p := range grid {
-			plan, err := core.PlanKeyShare(p, alpha, 1, core.PlannerConfig{Budget: available})
-			if err != nil {
-				return Figure{}, err
-			}
-			env := mc.Env{Population: network, Malicious: malCount(p, network), Alpha: alpha}
-			res, err := mc.Estimate(plan, env, opts.mcOptions(i))
-			if err != nil {
-				return Figure{}, err
-			}
-			series.Points = append(series.Points, Point{X: p, Y: res.R()})
-		}
-		fig.Series = append(fig.Series, series)
+	for _, series := range rs.SeriesResults() {
+		fig.Series = append(fig.Series, seriesOf(series[0].Point.Series, series,
+			func(r experiment.Result) float64 { return r.R }))
 	}
 	return fig, nil
-}
-
-// planFor sizes scheme for malicious rate p under a node budget; alpha and
-// lifetime are used only by the key share scheme's Algorithm 1.
-func planFor(scheme core.Scheme, p float64, budget int, alpha, lifetime float64) (core.Plan, error) {
-	switch scheme {
-	case core.SchemeCentral:
-		return core.PlanCentral(p), nil
-	case core.SchemeDisjoint, core.SchemeJoint:
-		return core.PlanMultipath(scheme, p, core.PlannerConfig{Budget: budget})
-	case core.SchemeKeyShare:
-		if alpha <= 0 {
-			alpha = 1
-		}
-		if lifetime <= 0 {
-			lifetime = 1
-		}
-		return core.PlanKeyShare(p, alpha, lifetime, core.PlannerConfig{Budget: budget})
-	default:
-		return core.Plan{}, fmt.Errorf("bench: unknown scheme %v", scheme)
-	}
-}
-
-func malCount(p float64, network int) int {
-	return int(p * float64(network))
 }

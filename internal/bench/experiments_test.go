@@ -185,8 +185,8 @@ func TestFigureRenderingMisaligned(t *testing.T) {
 
 func TestOptionsGrid(t *testing.T) {
 	o := Options{PStep: 0.25, PMax: 0.5}.withDefaults()
-	grid := o.grid()
-	want := []float64{0, 0.25, 0.5}
+	grid := o.pAxis().Labels()
+	want := []string{"0", "0.25", "0.5"}
 	if len(grid) != len(want) {
 		t.Fatalf("grid = %v", grid)
 	}

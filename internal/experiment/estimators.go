@@ -1,0 +1,147 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"selfemerge/internal/analytic"
+	"selfemerge/internal/core"
+	"selfemerge/internal/mc"
+)
+
+// rejectLiveOnly refuses the point parameters only the live estimator
+// honors. The abstract models measure spy and drop outcomes of one trial at
+// once and have no packet replicas; silently accepting a drop or replicas
+// axis would emit byte-identical series under distinct labels.
+func rejectLiveOnly(pt Point, estimator string) error {
+	if pt.Drop {
+		return fmt.Errorf("experiment: the %s estimator measures spy and drop outcomes at once; the drop attack selector applies to the live estimator only", estimator)
+	}
+	if pt.Replicas > 1 {
+		return fmt.Errorf("experiment: the %s estimator has no packet replicas; the replicas axis applies to the live estimator only", estimator)
+	}
+	return nil
+}
+
+// Analytic estimates points from the closed forms: Equations (1)-(3) for the
+// centralized and multipath schemes, Algorithm 1 (plus the entry-column
+// churn correction) for planner-sized key share shapes. It is exact and
+// instantaneous, and ignores the point's seed.
+type Analytic struct{}
+
+// Name implements Estimator.
+func (Analytic) Name() string { return "analytic" }
+
+// checkPlan validates the point for closed-form estimation and builds its
+// plan, shared by CheckPoint and Estimate so the planner search runs once.
+func (a Analytic) checkPlan(pt Point) (core.Plan, error) {
+	if err := pt.Validate(); err != nil {
+		return core.Plan{}, err
+	}
+	if err := rejectLiveOnly(pt, a.Name()); err != nil {
+		return core.Plan{}, err
+	}
+	// Equations (1)-(3) are no-churn; only the key share scheme's Algorithm
+	// 1 consumes alpha. Accepting an alpha axis for the other schemes would
+	// emit identical series under distinct labels.
+	if pt.Alpha > 0 && pt.Scheme != core.SchemeKeyShare {
+		return core.Plan{}, fmt.Errorf("experiment: the closed forms for %v are no-churn; the alpha axis applies to the mc and live estimators", pt.Scheme)
+	}
+	plan, err := pt.Plan()
+	if err != nil {
+		return core.Plan{}, err
+	}
+	// Explicit key share shapes carry no closed form (Algorithm 1 sizes
+	// shapes, it does not evaluate given thresholds); reject at pre-flight
+	// so Runner.Validate fails before any compute runs.
+	if plan.Predicted == (analytic.Resilience{}) {
+		return core.Plan{}, fmt.Errorf("experiment: no closed form for %v shape %dx%d", plan.Scheme, plan.K, plan.L)
+	}
+	return plan, nil
+}
+
+// CheckPoint implements PointChecker.
+func (a Analytic) CheckPoint(pt Point) error {
+	_, err := a.checkPlan(pt)
+	return err
+}
+
+// Estimate implements Estimator.
+func (a Analytic) Estimate(pt Point) (Result, error) {
+	began := time.Now()
+	plan, err := a.checkPlan(pt)
+	if err != nil {
+		return Result{}, err
+	}
+	pred := plan.Predicted
+	return Result{
+		Point:     pt,
+		Plan:      plan,
+		Rr:        pred.ReleaseAhead,
+		Rd:        pred.Drop,
+		R:         pred.Min(),
+		Cost:      plan.NodesRequired(),
+		Predicted: pred,
+		Elapsed:   time.Since(began),
+	}, nil
+}
+
+// MonteCarlo estimates points by sampling the abstract model
+// (mc.Estimate): the engine behind Figures 6-8. The zero value matches the
+// paper's setup (1000 trials, all CPUs).
+type MonteCarlo struct {
+	// Trials per point (default 1000).
+	Trials int
+	// Workers parallelizes the trials of a single point (default
+	// GOMAXPROCS). Combine multi-point Runner parallelism with Workers 1
+	// (the trial partition is per-machine otherwise), and per-point workers
+	// with Runner.Parallel 1 — both layers wide at once merely
+	// oversubscribes the scheduler.
+	Workers int
+	// BinomialShareDeaths switches the key share scheme's churn losses to
+	// independent per-carrier deaths (the mc.Env ablation knob).
+	BinomialShareDeaths bool
+}
+
+// Name implements Estimator.
+func (MonteCarlo) Name() string { return "mc" }
+
+// CheckPoint implements PointChecker.
+func (m MonteCarlo) CheckPoint(pt Point) error {
+	if err := pt.Validate(); err != nil {
+		return err
+	}
+	return rejectLiveOnly(pt, m.Name())
+}
+
+// Estimate implements Estimator.
+func (m MonteCarlo) Estimate(pt Point) (Result, error) {
+	began := time.Now()
+	if err := m.CheckPoint(pt); err != nil {
+		return Result{}, err
+	}
+	plan, err := pt.Plan()
+	if err != nil {
+		return Result{}, err
+	}
+	env := pt.Env()
+	env.BinomialShareDeaths = m.BinomialShareDeaths
+	res, err := mc.Estimate(plan, env, mc.Options{Trials: m.Trials, Seed: pt.Seed, Workers: m.Workers})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Point:     pt,
+		Plan:      plan,
+		Samples:   res.Trials,
+		Released:  res.Released,
+		Delivered: res.Delivered,
+		Succeeded: res.Succeeded,
+		Rr:        res.Rr(),
+		Rd:        res.Rd(),
+		R:         res.R(),
+		Cost:      plan.NodesRequired(),
+		Predicted: plan.Predicted,
+		Elapsed:   time.Since(began),
+	}, nil
+}

@@ -1,0 +1,172 @@
+// Package experiment is the unified parallel experiment engine behind the
+// paper's evaluation: one sweep abstraction over the three ways this
+// repository measures a resilience point — the closed-form equations
+// (internal/analytic), the sampled Monte Carlo model (internal/mc), and the
+// live protocol stack (internal/scenario).
+//
+// A Sweep declares axes (malicious rate p, churn severity alpha, network
+// size, scheme, shape, node budget, replicas, attack kind) over a base
+// Point; it expands to a deterministic per-point-seeded grid. An Estimator
+// measures one Point; a Runner executes a sweep's points concurrently over a
+// worker pool and collects the Results in grid order, so the output is
+// byte-identical regardless of worker count. Live-scenario points each build
+// a private simulator and network fabric, which is what lets a full live
+// figure curve saturate every core instead of serializing one-at-a-time
+// runs.
+//
+// The figure generators of internal/bench are thin declarative sweep specs
+// on this runner, and cmd/emergesim's sweep subcommand exposes it on the
+// command line.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"selfemerge/internal/analytic"
+	"selfemerge/internal/core"
+	"selfemerge/internal/mc"
+)
+
+// Point is one fully-specified experiment point of a sweep grid: the scheme
+// shape parameters, the environment, and the seed that makes the point's
+// measurement reproducible.
+type Point struct {
+	Scheme core.Scheme
+	// P is the malicious (Sybil) rate.
+	P float64
+	// Alpha is the churn severity T/lifetime; zero disables churn.
+	Alpha float64
+	// Network is the DHT population N.
+	Network int
+	// Budget caps the nodes a planner-sized plan may consume (0 => Network).
+	Budget int
+	// K and L fix the plan shape explicitly; both zero lets the planner size
+	// it. ShareN/ShareM complete an explicit key share shape.
+	K, L   int
+	ShareN int
+	ShareM []int
+	// Replicas is the per-packet replica count for live estimation (0 => the
+	// estimator's default).
+	Replicas int
+	// Drop selects the drop attack instead of the spy adversary (live
+	// estimation; the abstract models measure both at once).
+	Drop bool
+
+	// Seed is the point's private base seed, assigned by the sweep
+	// expansion: points sharing an X value share seeds, so series differ
+	// only by the swept parameter (common random numbers).
+	Seed uint64
+	// Index is the point's flat position in the sweep grid; X and Series
+	// locate it on the figure: the first-axis value and the series label
+	// formed from the remaining axes.
+	Index  int
+	X      float64
+	Series string
+}
+
+// Spec returns the canonical plan-builder parameters of the point.
+func (pt Point) Spec() core.PlanSpec {
+	budget := pt.Budget
+	if budget == 0 {
+		budget = pt.Network
+	}
+	return core.PlanSpec{
+		Scheme: pt.Scheme,
+		P:      pt.P,
+		Alpha:  pt.Alpha,
+		Budget: budget,
+		K:      pt.K,
+		L:      pt.L,
+		ShareN: pt.ShareN,
+		ShareM: pt.ShareM,
+	}
+}
+
+// Plan builds the point's routing plan.
+func (pt Point) Plan() (core.Plan, error) { return pt.Spec().Plan() }
+
+// MaliciousCount is floor(p*N), the paper's Sybil head count.
+func (pt Point) MaliciousCount() int { return int(pt.P * float64(pt.Network)) }
+
+// Env is the point's abstract-model environment.
+func (pt Point) Env() mc.Env {
+	return mc.Env{Population: pt.Network, Malicious: pt.MaliciousCount(), Alpha: pt.Alpha}
+}
+
+// Validate checks the environment parameters an estimator relies on.
+func (pt Point) Validate() error {
+	if pt.Network < 1 {
+		return fmt.Errorf("experiment: network size %d must be >= 1", pt.Network)
+	}
+	if pt.P < 0 || pt.P > 1 || math.IsNaN(pt.P) {
+		return fmt.Errorf("experiment: malicious rate %v outside [0,1]", pt.P)
+	}
+	if pt.Alpha < 0 || math.IsNaN(pt.Alpha) {
+		return fmt.Errorf("experiment: alpha %v must be >= 0", pt.Alpha)
+	}
+	if pt.Replicas < 0 {
+		// Downstream defaults would quietly measure with 2 replicas while
+		// the emitters label the series with the negative value.
+		return fmt.Errorf("experiment: replicas %d must be >= 0", pt.Replicas)
+	}
+	if !pt.Scheme.Valid() {
+		return fmt.Errorf("experiment: invalid scheme %d", int(pt.Scheme))
+	}
+	return nil
+}
+
+// Estimator measures the resilience of one experiment point. Implementations
+// must be safe for concurrent use: the Runner calls Estimate from many
+// goroutines.
+type Estimator interface {
+	// Name identifies the estimator in reports ("analytic", "mc", "live").
+	Name() string
+	// Estimate measures pt. The result must be deterministic for a fixed
+	// point (including its seed) and independent of concurrent calls.
+	Estimate(pt Point) (Result, error)
+}
+
+// Result is one measured point. Sampled estimators fill the outcome counts;
+// the analytic estimator reports closed-form rates with zero Samples. Live
+// estimation additionally carries the matched Monte Carlo references and the
+// churn totals observed during the run.
+type Result struct {
+	Point Point
+	Plan  core.Plan
+
+	// Samples is the number of trials (MC) or missions (live); zero for the
+	// closed forms. Released/Delivered/Succeeded are outcome counts.
+	Samples   int
+	Released  int
+	Delivered int
+	Succeeded int
+
+	// Rr, Rd and R are the release-ahead, drop/loss and combined
+	// resiliences.
+	Rr float64
+	Rd float64
+	R  float64
+	// Cost is the number of DHT nodes the plan consumes (Figure 6's C).
+	Cost int
+	// Predicted is the plan's closed-form resilience, when one exists.
+	Predicted analytic.Resilience
+
+	// HasReference marks live results cross-checked against the matched
+	// Monte Carlo estimates; Agree* report the scenario.AgreesWithMC checks.
+	HasReference bool
+	RefRelease   mc.Result
+	RefDeliver   mc.Result
+	AgreeRelease bool
+	AgreeDeliver bool
+	// Deaths and Joins are the churn totals a live run observed.
+	Deaths, Joins int
+
+	// Elapsed is the wall-clock cost of the point. It is excluded from the
+	// deterministic emitters.
+	Elapsed time.Duration
+}
+
+// MinR returns min(Rr, Rd), Figure 6's plotting convention.
+func (r Result) MinR() float64 { return math.Min(r.Rr, r.Rd) }

@@ -1,0 +1,213 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"selfemerge/internal/core"
+)
+
+// fakeEstimator records call counts and fails on demand.
+type fakeEstimator struct {
+	calls   atomic.Int64
+	failAt  int // point index to fail on; -1 disables
+	failAt2 int
+}
+
+func (f *fakeEstimator) Name() string { return "fake" }
+
+func (f *fakeEstimator) Estimate(pt Point) (Result, error) {
+	f.calls.Add(1)
+	if pt.Index == f.failAt || pt.Index == f.failAt2 {
+		return Result{}, fmt.Errorf("boom at %d", pt.Index)
+	}
+	return Result{Point: pt, R: float64(pt.Index)}, nil
+}
+
+func testSweep() Sweep {
+	return Sweep{
+		Seed: 1,
+		Base: Point{Network: 100, K: 2, L: 2},
+		Axes: []Axis{
+			RangeAxis("p", 0, 0.3, 0.1),
+			SchemeAxis(core.SchemeCentral, core.SchemeDisjoint, core.SchemeJoint),
+		},
+	}
+}
+
+func TestRunnerGridOrder(t *testing.T) {
+	est := &fakeEstimator{failAt: -1, failAt2: -1}
+	rs, err := Runner{Estimator: est, Parallel: 5}.Run(testSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.calls.Load() != 12 {
+		t.Errorf("estimator called %d times, want 12", est.calls.Load())
+	}
+	for i, res := range rs.Results {
+		if res.Point.Index != i || res.R != float64(i) {
+			t.Errorf("result %d out of grid order: %+v", i, res.Point)
+		}
+	}
+	series := rs.SeriesResults()
+	if len(series) != 3 || len(series[0]) != 4 {
+		t.Fatalf("series layout %dx%d, want 3x4", len(series), len(series[0]))
+	}
+	if series[2][1].Point.Series != "joint" || series[2][1].Point.X != 0.1 {
+		t.Errorf("series grouping wrong: %+v", series[2][1].Point)
+	}
+}
+
+func TestRunnerFirstErrorByGridOrder(t *testing.T) {
+	// Two failing points: the reported error must be the earliest by grid
+	// order regardless of completion order.
+	est := &fakeEstimator{failAt: 7, failAt2: 3}
+	_, err := Runner{Estimator: est, Parallel: 4}.Run(testSweep())
+	if err == nil {
+		t.Fatal("runner swallowed the failure")
+	}
+	if want := "boom at 3"; !bytes.Contains([]byte(err.Error()), []byte(want)) {
+		t.Errorf("err = %v, want the earliest point's %q", err, want)
+	}
+}
+
+func TestRunnerNeedsEstimator(t *testing.T) {
+	if _, err := (Runner{}).Run(testSweep()); err == nil {
+		t.Error("runner without estimator accepted")
+	}
+}
+
+func TestRunnerAbortsAfterFailure(t *testing.T) {
+	// With one worker the schedule is deterministic: the failure at point 2
+	// must stop the run before the remaining 9 points execute.
+	est := &fakeEstimator{failAt: 2, failAt2: -1}
+	if _, err := (Runner{Estimator: est, Parallel: 1}).Run(testSweep()); err == nil {
+		t.Fatal("runner swallowed the failure")
+	}
+	if got := est.calls.Load(); got != 3 {
+		t.Errorf("estimator ran %d points after the failure at index 2, want 3 total", got)
+	}
+}
+
+func TestAbstractEstimatorsRejectLiveOnlyAxes(t *testing.T) {
+	drop := Point{Scheme: core.SchemeJoint, P: 0.1, Network: 100, K: 2, L: 2, Drop: true}
+	replicated := Point{Scheme: core.SchemeJoint, P: 0.1, Network: 100, K: 2, L: 2, Replicas: 2}
+	for _, est := range []Estimator{Analytic{}, MonteCarlo{Trials: 10}} {
+		if _, err := est.Estimate(drop); err == nil {
+			t.Errorf("%s estimator silently accepted a drop-attack point", est.Name())
+		}
+		if _, err := est.Estimate(replicated); err == nil {
+			t.Errorf("%s estimator silently accepted a replicated point", est.Name())
+		}
+	}
+}
+
+func TestRunnerValidatePreflightsWithoutEstimating(t *testing.T) {
+	est := &fakeEstimator{failAt: -1, failAt2: -1}
+	// An invalid share shape (no ShareN) fails plan construction for every
+	// point; Validate must report it without a single Estimate call.
+	sw := Sweep{
+		Base: Point{Scheme: core.SchemeKeyShare, Network: 100, K: 2, L: 3},
+		Axes: []Axis{RangeAxis("p", 0, 0.2, 0.1)},
+	}
+	if err := (Runner{Estimator: est}).Validate(sw); err == nil {
+		t.Error("Validate accepted an invalid share shape")
+	}
+	// Estimator-specific checks run through the PointChecker interface.
+	churned := Sweep{
+		Base: Point{Scheme: core.SchemeJoint, Network: 100, Alpha: 3, K: 2, L: 2},
+		Axes: []Axis{RangeAxis("p", 0, 0.2, 0.1)},
+	}
+	if err := (Runner{Estimator: Analytic{}}).Validate(churned); err == nil {
+		t.Error("Validate accepted an alpha sweep for the no-churn closed forms")
+	}
+	if err := (Runner{Estimator: est}).Validate(churned); err != nil {
+		t.Errorf("Validate rejected a valid sweep for a checker-less estimator: %v", err)
+	}
+	if est.calls.Load() != 0 {
+		t.Errorf("Validate ran %d estimates", est.calls.Load())
+	}
+}
+
+func TestAnalyticRejectsChurnForNoChurnSchemes(t *testing.T) {
+	churned := Point{Scheme: core.SchemeJoint, P: 0.1, Alpha: 3, Network: 100, K: 2, L: 2}
+	if _, err := (Analytic{}).Estimate(churned); err == nil {
+		t.Error("analytic estimator silently ignored alpha for a no-churn closed form")
+	}
+	// The key share scheme's Algorithm 1 does consume alpha.
+	share := Point{Scheme: core.SchemeKeyShare, P: 0.1, Alpha: 3, Network: 1000}
+	if _, err := (Analytic{}).Estimate(share); err != nil {
+		t.Errorf("analytic estimator rejected a churned key-share point: %v", err)
+	}
+}
+
+// TestSweepDeterministicAcrossWorkerCounts is the satellite determinism
+// guarantee: the same sweep, same seed, emitted byte-identically no matter
+// how many runner workers executed it. The Monte Carlo estimator pins its
+// per-point worker count so the trial partition is fixed too.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	sw := testSweep()
+	est := MonteCarlo{Trials: 120, Workers: 1}
+	var outputs [][]byte
+	for _, parallel := range []int{1, 4, 16} {
+		rs, err := Runner{Estimator: est, Parallel: parallel}.Run(sw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var csv, js bytes.Buffer
+		if err := rs.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		if err := rs.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, append(csv.Bytes(), js.Bytes()...))
+	}
+	for i := 1; i < len(outputs); i++ {
+		if !bytes.Equal(outputs[0], outputs[i]) {
+			t.Errorf("output with worker count %d differs from worker count 1", []int{1, 4, 16}[i])
+		}
+	}
+}
+
+func TestAnalyticEstimator(t *testing.T) {
+	res, err := Analytic{}.Estimate(Point{Scheme: core.SchemeCentral, P: 0.2, Network: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rr != 0.8 || res.Rd != 0.8 || res.R != 0.8 || res.Cost != 1 {
+		t.Errorf("central closed form = %+v", res)
+	}
+	// Explicit key share shapes have no closed form.
+	_, err = Analytic{}.Estimate(Point{
+		Scheme: core.SchemeKeyShare, P: 0.1, Network: 100,
+		K: 2, L: 3, ShareN: 5, ShareM: []int{2, 2},
+	})
+	if err == nil {
+		t.Error("analytic estimator accepted an explicit share shape")
+	}
+}
+
+func TestMonteCarloEstimator(t *testing.T) {
+	pt := Point{Scheme: core.SchemeJoint, P: 0.1, Network: 1000, K: 3, L: 2, Seed: 9}
+	res, err := MonteCarlo{Trials: 400, Workers: 1}.Estimate(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 400 {
+		t.Fatalf("samples = %d", res.Samples)
+	}
+	if res.Rr < 0.9 || res.Rd < 0.95 {
+		t.Errorf("joint 3x2 at p=0.1: Rr=%v Rd=%v, want high", res.Rr, res.Rd)
+	}
+	// Same point, same result (the estimator is deterministic and pure).
+	again, err := MonteCarlo{Trials: 400, Workers: 1}.Estimate(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Released != again.Released || res.Delivered != again.Delivered {
+		t.Error("Monte Carlo estimator not deterministic for a fixed point")
+	}
+}

@@ -1,0 +1,357 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"selfemerge/internal/core"
+)
+
+// seedStride decorrelates per-point seeds along the X axis; it is the same
+// golden-ratio stride the pre-runner figure sweeps used, so refactored
+// figures reproduce their historical series exactly.
+const seedStride = 0x9e3779b97f4a7c15
+
+// Sweep declares a parameter sweep: a base point and the axes that vary.
+// The first axis is the figure's X axis (numeric); the cartesian product of the
+// remaining axes (later axes varying faster) forms the series. Expansion is
+// deterministic: point i of series s has flat index s*len(X)+i, and every
+// point at X index i gets seed Seed + i*seedStride — series share random
+// numbers at matched X, the common-random-numbers variance reduction the
+// original figure loops applied.
+type Sweep struct {
+	Name string
+	Base Point
+	Axes []Axis
+	Seed uint64
+}
+
+// Axis is one swept dimension: a parameter name from the fixed vocabulary
+// (p, alpha, network, budget, k, l, sharen, replicas, scheme, drop) and the
+// values it takes.
+type Axis struct {
+	Name string
+	vals []axisValue
+}
+
+type axisValue struct {
+	num    float64
+	scheme core.Scheme
+	flag   bool
+	label  string
+}
+
+// Len returns the number of values on the axis.
+func (a Axis) Len() int { return len(a.vals) }
+
+// Labels returns the human-readable axis values.
+func (a Axis) Labels() []string {
+	out := make([]string, len(a.vals))
+	for i, v := range a.vals {
+		out[i] = v.label
+	}
+	return out
+}
+
+// FloatAxis declares a numeric axis from explicit values. Labels round to
+// six significant digits, matching the emitters, so range grids do not leak
+// floating-point noise (0.15000000000000002) into series labels.
+func FloatAxis(name string, values ...float64) Axis {
+	ax := Axis{Name: name}
+	for _, v := range values {
+		ax.vals = append(ax.vals, axisValue{num: v, label: strconv.FormatFloat(v, 'g', 6, 64)})
+	}
+	return ax
+}
+
+// RangeAxis declares a numeric axis over [start, stop] in step increments.
+// The grid is built on integer steps to avoid floating-point drift, and
+// never emits a value beyond stop: a step that does not evenly divide the
+// range truncates (0:10:4 yields 0, 4, 8).
+func RangeAxis(name string, start, stop, step float64) Axis {
+	if step <= 0 {
+		return FloatAxis(name, start)
+	}
+	r := (stop - start) / step
+	// Floor with a relative epsilon so exact divisions landing just below an
+	// integer (0.5/0.02 = 24.999...) still include their endpoint.
+	steps := int(r*(1+1e-12) + 1e-9)
+	values := make([]float64, 0, steps+1)
+	for i := 0; i <= steps; i++ {
+		values = append(values, start+float64(i)*step)
+	}
+	return FloatAxis(name, values...)
+}
+
+// IntAxis declares an integer-valued axis.
+func IntAxis(name string, values ...int) Axis {
+	ax := Axis{Name: name}
+	for _, v := range values {
+		ax.vals = append(ax.vals, axisValue{num: float64(v), label: strconv.Itoa(v)})
+	}
+	return ax
+}
+
+// SchemeAxis declares the routing-scheme axis.
+func SchemeAxis(schemes ...core.Scheme) Axis {
+	ax := Axis{Name: "scheme"}
+	for _, s := range schemes {
+		ax.vals = append(ax.vals, axisValue{scheme: s, label: s.String()})
+	}
+	return ax
+}
+
+// DropAxis declares the adversary-kind axis (spy vs drop attack).
+func DropAxis(values ...bool) Axis {
+	ax := Axis{Name: "drop"}
+	for _, v := range values {
+		label := "spy"
+		if v {
+			label = "drop"
+		}
+		ax.vals = append(ax.vals, axisValue{flag: v, label: label})
+	}
+	return ax
+}
+
+// ParseAxis parses a command-line axis spec: "name=v1,v2,..." or, for
+// numeric axes, a range "name=start:stop:step". Scheme values are the figure
+// labels (central, disjoint, joint, share); drop values are spy/drop (or
+// false/true).
+func ParseAxis(spec string) (Axis, error) {
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok || name == "" || rest == "" {
+		return Axis{}, fmt.Errorf("experiment: axis %q not of form name=values", spec)
+	}
+	name = strings.ToLower(strings.TrimSpace(name))
+	if name == "nodes" { // CLI alias
+		name = "network"
+	}
+	switch name {
+	case "scheme":
+		var schemes []core.Scheme
+		for _, part := range strings.Split(rest, ",") {
+			s, err := core.ParseScheme(strings.TrimSpace(part))
+			if err != nil {
+				return Axis{}, fmt.Errorf("experiment: axis %q: %w", spec, err)
+			}
+			schemes = append(schemes, s)
+		}
+		return SchemeAxis(schemes...), nil
+	case "drop":
+		var flags []bool
+		for _, part := range strings.Split(rest, ",") {
+			switch strings.ToLower(strings.TrimSpace(part)) {
+			case "spy", "false", "0":
+				flags = append(flags, false)
+			case "drop", "true", "1":
+				flags = append(flags, true)
+			default:
+				return Axis{}, fmt.Errorf("experiment: axis %q: drop values are spy|drop", spec)
+			}
+		}
+		return DropAxis(flags...), nil
+	case "p", "alpha", "network", "budget", "k", "l", "sharen", "replicas":
+		if start, stop, step, ok, err := parseRange(rest); err != nil {
+			return Axis{}, fmt.Errorf("experiment: axis %q: %w", spec, err)
+		} else if ok {
+			return RangeAxis(name, start, stop, step), nil
+		}
+		var values []float64
+		for _, part := range strings.Split(rest, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return Axis{}, fmt.Errorf("experiment: axis %q: %w", spec, err)
+			}
+			values = append(values, v)
+		}
+		return FloatAxis(name, values...), nil
+	default:
+		return Axis{}, fmt.Errorf("experiment: unknown axis %q", name)
+	}
+}
+
+// parseRange recognizes "start:stop:step"; ok is false for plain lists.
+func parseRange(s string) (start, stop, step float64, ok bool, err error) {
+	if !strings.Contains(s, ":") {
+		return 0, 0, 0, false, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, false, fmt.Errorf("range %q not of form start:stop:step", s)
+	}
+	vals := make([]float64, 3)
+	for i, p := range parts {
+		if vals[i], err = strconv.ParseFloat(strings.TrimSpace(p), 64); err != nil {
+			return 0, 0, 0, false, fmt.Errorf("range %q: %w", s, err)
+		}
+	}
+	if vals[2] <= 0 {
+		return 0, 0, 0, false, fmt.Errorf("range %q: step must be positive", s)
+	}
+	if vals[1] < vals[0] {
+		return 0, 0, 0, false, fmt.Errorf("range %q: stop below start", s)
+	}
+	return vals[0], vals[1], vals[2], true, nil
+}
+
+// apply writes the axis value into the point. Integer axes reject
+// fractional values: silently truncating would run a different parameter
+// than the series label claims.
+func (a Axis) apply(pt *Point, v axisValue) error {
+	integral := func() (int, error) {
+		if v.num != math.Trunc(v.num) {
+			return 0, fmt.Errorf("experiment: axis %q value %v is not an integer", a.Name, v.num)
+		}
+		return int(v.num), nil
+	}
+	var err error
+	switch a.Name {
+	case "p":
+		pt.P = v.num
+	case "alpha":
+		pt.Alpha = v.num
+	case "network":
+		pt.Network, err = integral()
+	case "budget":
+		pt.Budget, err = integral()
+	case "k":
+		pt.K, err = integral()
+	case "l":
+		pt.L, err = integral()
+	case "sharen":
+		pt.ShareN, err = integral()
+	case "replicas":
+		pt.Replicas, err = integral()
+	case "scheme":
+		pt.Scheme = v.scheme
+	case "drop":
+		pt.Drop = v.flag
+	default:
+		return fmt.Errorf("experiment: unknown axis %q", a.Name)
+	}
+	return err
+}
+
+// XValues returns the first axis's numeric values (the figure's X grid).
+func (s Sweep) XValues() []float64 {
+	if len(s.Axes) == 0 {
+		return nil
+	}
+	out := make([]float64, s.Axes[0].Len())
+	for i, v := range s.Axes[0].vals {
+		out[i] = v.num
+	}
+	return out
+}
+
+// SeriesLabels returns one label per series, in expansion order: the
+// "/"-joined labels of the non-X axes, or the base scheme's name for a
+// single-axis sweep.
+func (s Sweep) SeriesLabels() []string {
+	if len(s.Axes) <= 1 {
+		return []string{s.Base.Scheme.String()}
+	}
+	labels := []string{""}
+	for _, ax := range s.Axes[1:] {
+		next := make([]string, 0, len(labels)*ax.Len())
+		for _, prefix := range labels {
+			for _, v := range ax.vals {
+				label := v.label
+				if prefix != "" {
+					label = prefix + "/" + v.label
+				}
+				next = append(next, label)
+			}
+		}
+		labels = next
+	}
+	return labels
+}
+
+// Points expands the sweep into its deterministic grid.
+func (s Sweep) Points() ([]Point, error) {
+	if len(s.Axes) == 0 {
+		return nil, fmt.Errorf("experiment: sweep %q has no axes", s.Name)
+	}
+	// The first axis is the figure's X axis and must be numeric: categorical
+	// axes (scheme, drop) carry no X coordinate, so every row would plot at
+	// x=0 under an indistinguishable label.
+	switch s.Axes[0].Name {
+	case "scheme", "drop":
+		return nil, fmt.Errorf("experiment: first axis %q is categorical; lead with a numeric axis (p, alpha, network, ...)", s.Axes[0].Name)
+	}
+	seen := map[string]bool{}
+	for _, ax := range s.Axes {
+		if ax.Len() == 0 {
+			return nil, fmt.Errorf("experiment: axis %q has no values", ax.Name)
+		}
+		if seen[ax.Name] {
+			return nil, fmt.Errorf("experiment: axis %q declared twice", ax.Name)
+		}
+		seen[ax.Name] = true
+	}
+	// Reject axes no point of the sweep can consult — every value would
+	// emit the same series under a different label. A budget axis only
+	// matters to planner-sized non-central shapes; a sharen axis only to
+	// explicit key share shapes.
+	explicitShape := s.Base.K != 0 || s.Base.L != 0 || seen["k"] || seen["l"]
+	if seen["budget"] {
+		if explicitShape {
+			return nil, fmt.Errorf("experiment: budget axis requires planner-sized shapes (k = l = 0, no k/l axes)")
+		}
+		if s.Base.Scheme == core.SchemeCentral && !seen["scheme"] {
+			return nil, fmt.Errorf("experiment: the central scheme ignores the node budget")
+		}
+	}
+	if seen["sharen"] {
+		if s.Base.Scheme != core.SchemeKeyShare && !seen["scheme"] {
+			return nil, fmt.Errorf("experiment: the sharen axis applies to the share scheme only")
+		}
+		if !explicitShape {
+			return nil, fmt.Errorf("experiment: the sharen axis requires an explicit shape (planner-sized share plans compute it)")
+		}
+	}
+
+	xAxis := s.Axes[0]
+	labels := s.SeriesLabels()
+	// seriesCombo returns the value picked from each non-X axis for series
+	// index si, with later axes varying fastest (matching SeriesLabels).
+	combo := func(si int) []axisValue {
+		vals := make([]axisValue, len(s.Axes)-1)
+		for i := len(s.Axes) - 1; i >= 1; i-- {
+			n := s.Axes[i].Len()
+			vals[i-1] = s.Axes[i].vals[si%n]
+			si /= n
+		}
+		return vals
+	}
+
+	points := make([]Point, 0, len(labels)*xAxis.Len())
+	for si := range labels {
+		seriesVals := combo(si)
+		for xi, xv := range xAxis.vals {
+			pt := s.Base
+			pt.ShareM = append([]int(nil), s.Base.ShareM...)
+			if err := xAxis.apply(&pt, xv); err != nil {
+				return nil, err
+			}
+			for i, ax := range s.Axes[1:] {
+				if err := ax.apply(&pt, seriesVals[i]); err != nil {
+					return nil, err
+				}
+			}
+			pt.Seed = s.Seed + uint64(xi)*seedStride
+			pt.Index = len(points)
+			pt.X = xv.num
+			pt.Series = labels[si]
+			if err := pt.Validate(); err != nil {
+				return nil, fmt.Errorf("point %d (%s, x=%s): %w", pt.Index, pt.Series, xv.label, err)
+			}
+			points = append(points, pt)
+		}
+	}
+	return points, nil
+}

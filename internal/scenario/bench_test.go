@@ -1,0 +1,34 @@
+package scenario_test
+
+import (
+	"testing"
+
+	"selfemerge/internal/core"
+	"selfemerge/internal/scenario"
+)
+
+// BenchmarkScenarioMissions measures live-scenario throughput — a full
+// 120-node churn + adversary network driving 30 concurrent missions through
+// the real stack — and reports missions per second of wall time, the number
+// that bounds how fast live figure curves can be generated per core. The
+// baseline is recorded in BENCH_scenario.json at the repository root.
+func BenchmarkScenarioMissions(b *testing.B) {
+	const missions = 30
+	cfg := scenario.Config{
+		Nodes:         120,
+		MaliciousRate: 0.1,
+		Drop:          true,
+		Alpha:         1,
+		Missions:      missions,
+		Plan:          core.Plan{Scheme: core.SchemeJoint, K: 2, L: 2},
+		MCTrials:      1, // live throughput, not reference accuracy
+		Seed:          17,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(missions*b.N)/b.Elapsed().Seconds(), "missions/sec")
+}

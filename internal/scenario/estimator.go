@@ -1,0 +1,160 @@
+package scenario
+
+import (
+	"sync"
+	"time"
+
+	"selfemerge/internal/experiment"
+	"selfemerge/internal/mc"
+)
+
+// Estimator measures experiment points by running live missions through the
+// full protocol stack: the "live" leg of the unified experiment engine. Each
+// point boots a private network (its own discrete-event simulator and simnet
+// fabric), so the runner executes a whole live curve with one point per
+// core. Matched Monte Carlo references are computed once per distinct
+// environment and cached — points that share an environment (and, via the
+// sweep's common-random-numbers seeding, a seed) share the reference.
+//
+// The zero value works; it uses the scenario defaults (100 missions, 2h
+// emerging period, Missions-matched reference trials). Safe for concurrent
+// use by the runner's workers.
+type Estimator struct {
+	// Missions is the number of live emergence trials per point (default
+	// 100).
+	Missions int
+	// Emerging is the period T between dispatch and release (default 2h).
+	Emerging time.Duration
+	// Stagger spreads mission launches (default: one emerging period).
+	Stagger time.Duration
+	// Latency is the one-way simnet latency (default 5ms).
+	Latency time.Duration
+	// MCTrials sizes the Monte Carlo references (default: Missions, so the
+	// Wilson agreement check reflects the live sampling noise).
+	MCTrials int
+
+	mu   sync.Mutex
+	refs map[string]*refEntry
+}
+
+// refEntry is a singleflight cache slot: the first point needing the
+// reference computes it, concurrent points wait on the once.
+type refEntry struct {
+	once sync.Once
+	res  mc.Result
+	err  error
+}
+
+// Name implements experiment.Estimator.
+func (e *Estimator) Name() string { return "live" }
+
+// CheckPoint implements experiment.PointChecker: plan construction plus the
+// scenario config validation, without booting a network.
+func (e *Estimator) CheckPoint(pt experiment.Point) error {
+	if err := pt.Validate(); err != nil {
+		return err
+	}
+	cfg, err := e.config(pt)
+	if err != nil {
+		return err
+	}
+	_, err = cfg.withDefaults()
+	return err
+}
+
+// config translates an experiment point into a scenario config.
+func (e *Estimator) config(pt experiment.Point) (Config, error) {
+	plan, err := pt.Plan()
+	if err != nil {
+		return Config{}, err
+	}
+	mcTrials := e.MCTrials
+	if mcTrials == 0 {
+		mcTrials = e.Missions
+		if mcTrials == 0 {
+			mcTrials = 100 // the scenario default mission count
+		}
+	}
+	return Config{
+		Nodes:         pt.Network,
+		MaliciousRate: pt.P,
+		Drop:          pt.Drop,
+		Alpha:         pt.Alpha,
+		Emerging:      e.Emerging,
+		Missions:      e.Missions,
+		Stagger:       e.Stagger,
+		Plan:          plan,
+		Replicas:      pt.Replicas,
+		Latency:       e.Latency,
+		MCTrials:      mcTrials,
+		Seed:          pt.Seed,
+	}, nil
+}
+
+// Estimate implements experiment.Estimator: the live measurement of Measure
+// plus cached matched references and the AgreesWithMC cross-check.
+func (e *Estimator) Estimate(pt experiment.Point) (experiment.Result, error) {
+	if err := pt.Validate(); err != nil {
+		return experiment.Result{}, err
+	}
+	cfg, err := e.config(pt)
+	if err != nil {
+		return experiment.Result{}, err
+	}
+	report, err := Measure(cfg)
+	if err != nil {
+		return experiment.Result{}, err
+	}
+	relRef, delRef := report.Config.References()
+	if report.MC, err = e.reference(relRef); err != nil {
+		return experiment.Result{}, err
+	}
+	report.MCDelivery = report.MC
+	if !report.Config.Drop {
+		if report.MCDelivery, err = e.reference(delRef); err != nil {
+			return experiment.Result{}, err
+		}
+	}
+	agreeRel, agreeDel := report.AgreesWithMC()
+
+	live := report.Live
+	return experiment.Result{
+		Point:        pt,
+		Plan:         report.Config.Plan,
+		Samples:      live.Missions,
+		Released:     live.Released,
+		Delivered:    live.Delivered,
+		Succeeded:    live.Succeeded,
+		Rr:           live.Rr(),
+		Rd:           live.Rd(),
+		R:            live.R(),
+		Cost:         report.Config.Plan.NodesRequired(),
+		Predicted:    report.Predicted,
+		HasReference: true,
+		RefRelease:   report.MC,
+		RefDeliver:   report.MCDelivery,
+		AgreeRelease: agreeRel,
+		AgreeDeliver: agreeDel,
+		Deaths:       report.Deaths,
+		Joins:        report.Joins,
+		Elapsed:      report.Elapsed,
+	}, nil
+}
+
+// reference returns the cached estimate for ref, computing it exactly once
+// per distinct key across all concurrent points.
+func (e *Estimator) reference(ref Reference) (mc.Result, error) {
+	key := ref.Key()
+	e.mu.Lock()
+	if e.refs == nil {
+		e.refs = make(map[string]*refEntry)
+	}
+	entry, ok := e.refs[key]
+	if !ok {
+		entry = &refEntry{}
+		e.refs[key] = entry
+	}
+	e.mu.Unlock()
+	entry.once.Do(func() { entry.res, entry.err = ref.Estimate() })
+	return entry.res, entry.err
+}

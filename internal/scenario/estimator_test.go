@@ -1,0 +1,136 @@
+package scenario_test
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+
+	"selfemerge/internal/core"
+	"selfemerge/internal/experiment"
+	"selfemerge/internal/scenario"
+)
+
+// liveSweep is the headline live grid: the 1000-node churn + drop-attack
+// configuration of TestThousandNodeLiveScenario, swept as a multi-point
+// Rr/Rd curve through the full protocol stack.
+func liveSweep() experiment.Sweep {
+	return experiment.Sweep{
+		Name: "live-test",
+		Seed: 6,
+		Base: experiment.Point{Network: 1000, Alpha: 1, Drop: true, K: 3, L: 2, Scheme: core.SchemeJoint},
+		Axes: []experiment.Axis{experiment.RangeAxis("p", 0, 0.2, 0.1)},
+	}
+}
+
+// TestLiveSweepAgreesWithMC is the sweep-level cross-validation: every point
+// of a live curve must sit inside the 95% Wilson intervals of its matched
+// (runner-cached) Monte Carlo references — the same check scenario.Run's
+// AgreesWithMC applies to a single point.
+func TestLiveSweepAgreesWithMC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live sweeps are slow")
+	}
+	est := &scenario.Estimator{Missions: 250}
+	rs, err := experiment.Runner{Estimator: est}.Run(liveSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range rs.Results {
+		if !res.HasReference {
+			t.Fatalf("live point %d has no Monte Carlo reference", res.Point.Index)
+		}
+		if res.Samples != 250 || res.RefRelease.Trials != 250 {
+			t.Errorf("point %d: %d missions vs %d reference trials, want 250/250",
+				res.Point.Index, res.Samples, res.RefRelease.Trials)
+		}
+		if !res.AgreeRelease {
+			t.Errorf("p=%.2f: live release rate %.3f outside MC Wilson interval (ref Rr %.3f)",
+				res.Point.P, 1-res.Rr, res.RefRelease.Rr())
+		}
+		if !res.AgreeDeliver {
+			t.Errorf("p=%.2f: live delivery rate %.3f outside MC Wilson interval (ref Rd %.3f)",
+				res.Point.P, res.Rd, res.RefDeliver.Rd())
+		}
+	}
+	// The p=0 point shares one environment between release and delivery
+	// references under the drop attack — the cache must have coalesced them.
+	first := rs.Results[0]
+	if first.RefRelease != first.RefDeliver {
+		t.Error("drop-attack references not shared between release and delivery")
+	}
+	// Resilience must not improve as the Sybil fraction grows.
+	if rs.Results[0].Rr < rs.Results[2].Rr-0.05 {
+		t.Errorf("Rr grew with p: %.3f at p=0 vs %.3f at p=0.2", rs.Results[0].Rr, rs.Results[2].Rr)
+	}
+}
+
+// TestLiveSweepDeterministicAcrossWorkerCounts: each live point owns its
+// private simulator and fabric, so the emitted sweep must be byte-identical
+// whether points ran sequentially or in parallel.
+func TestLiveSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live sweeps are slow")
+	}
+	est := func() *scenario.Estimator { return &scenario.Estimator{Missions: 30} }
+	sw := experiment.Sweep{
+		Name: "live-det",
+		Seed: 11,
+		Base: experiment.Point{Network: 120, Alpha: 1, Drop: true, K: 2, L: 2, Scheme: core.SchemeJoint},
+		Axes: []experiment.Axis{experiment.RangeAxis("p", 0, 0.2, 0.2)},
+	}
+	var outputs [][]byte
+	for _, parallel := range []int{1, 4} {
+		rs, err := experiment.Runner{Estimator: est(), Parallel: parallel}.Run(sw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var csv bytes.Buffer
+		if err := rs.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, csv.Bytes())
+	}
+	if !bytes.Equal(outputs[0], outputs[1]) {
+		t.Errorf("live sweep differs across worker counts:\nseq:\n%s\npar:\n%s", outputs[0], outputs[1])
+	}
+}
+
+// TestLiveSweepWorkerScaling checks the tentpole's performance claim: a
+// multi-point live sweep on >= 4 cores finishes in well under half the
+// summed single-point wall times, because every point gets a private
+// simulator and the runner spreads points over the cores.
+func TestLiveSweepWorkerScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling measurement is slow")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock assertion unreliable under the race detector")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("need >= 4 cores, have %d", runtime.GOMAXPROCS(0))
+	}
+	sw := experiment.Sweep{
+		Name: "live-scaling",
+		Seed: 3,
+		Base: experiment.Point{Network: 250, Alpha: 1, Drop: true, K: 3, L: 2, Scheme: core.SchemeJoint},
+		Axes: []experiment.Axis{experiment.RangeAxis("p", 0, 0.15, 0.05)},
+	}
+
+	// Sequential baseline: summed single-point wall times.
+	seq, err := experiment.Runner{Estimator: &scenario.Estimator{Missions: 100}, Parallel: 1}.Run(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := experiment.Runner{Estimator: &scenario.Estimator{Missions: 100}, Parallel: 4}.Run(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("4 live points: sequential %s (summed %s), 4 workers %s",
+		seq.Elapsed.Round(time.Millisecond), seq.PointElapsed.Round(time.Millisecond),
+		par.Elapsed.Round(time.Millisecond))
+	if par.Elapsed >= seq.PointElapsed*6/10 {
+		t.Errorf("4-worker live sweep took %s, want < 0.6x the sequential sum %s",
+			par.Elapsed, seq.PointElapsed)
+	}
+}

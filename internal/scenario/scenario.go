@@ -100,6 +100,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Stagger < 0 {
 		c.Stagger = 0
 	}
+	if c.Replicas < 0 {
+		return c, fmt.Errorf("scenario: replicas %d must be >= 0", c.Replicas)
+	}
 	if c.Replicas == 0 {
 		c.Replicas = 1
 	}
@@ -131,6 +134,7 @@ type Result struct {
 	Missions  int
 	Released  int // missions where the release-ahead attack succeeded
 	Delivered int // missions where the key emerged on time
+	Succeeded int // missions with neither early release nor delivery failure
 }
 
 // Rr is the measured release-ahead resilience 1 - P[attack success].
@@ -139,6 +143,10 @@ func (r Result) Rr() float64 { return 1 - ratio(r.Released, r.Missions) }
 // Rd is the measured drop/loss resilience: the probability the key emerged
 // at the release time despite malicious holders and churn.
 func (r Result) Rd() float64 { return ratio(r.Delivered, r.Missions) }
+
+// R is the combined resilience P[delivered and not stolen], the single curve
+// plotted per scheme in Figures 7 and 8.
+func (r Result) R() float64 { return ratio(r.Succeeded, r.Missions) }
 
 // ReleaseCI returns the 95% Wilson interval for the release-ahead success
 // probability.
@@ -202,15 +210,14 @@ func (r *Report) AgreesWithMC() (release, deliver bool) {
 		liveDel >= delLo-eps && liveDel <= delHi+eps
 }
 
-// Run executes one scenario and returns its report. The run is fully
-// deterministic for a fixed Config.
-func Run(cfg Config) (*Report, error) {
+// Setup validates cfg, applies its defaults and boots the live network: the
+// first of the three phases (setup, drive, score) the experiment runner
+// composes. The returned Config is the defaulted one the later phases need.
+func Setup(cfg Config) (Config, *selfemerge.Network, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
-		return nil, err
+		return cfg, nil, err
 	}
-	began := time.Now()
-
 	var lifetime time.Duration
 	if cfg.Alpha > 0 {
 		lifetime = time.Duration(float64(cfg.Emerging) / cfg.Alpha)
@@ -228,9 +235,16 @@ func Run(cfg Config) (*Report, error) {
 		Seed:            cfg.Seed,
 	})
 	if err != nil {
-		return nil, err
+		return cfg, nil, err
 	}
+	return cfg, net, nil
+}
 
+// Drive launches cfg.Missions staggered missions through the live network
+// and advances simulated time until every mission's release has passed and
+// the final traffic has settled. cfg must be the defaulted Config Setup
+// returned.
+func Drive(cfg Config, net *selfemerge.Network) ([]*selfemerge.Message, error) {
 	// Launch every mission with a deterministic identifier (the identifier
 	// alone fixes the pseudo-random holder slot placement), staggered over
 	// the launch window.
@@ -263,52 +277,124 @@ func Run(cfg Config) (*Report, error) {
 	release := msgs[len(msgs)-1].Release()
 	net.RunUntil(release.Add(time.Minute))
 	net.Settle()
+	return msgs, nil
+}
 
-	// Score each mission like one Monte Carlo trial. Release-ahead success
-	// follows Equation (1)'s semantics: the adversary reconstructs the key
-	// from start-time material — pre-assigned layer keys (including churn
-	// re-grants) plus the entry package — which completes strictly before
-	// the first forwarding hop at ts + th. Recoveries after that instant
-	// involve capturing the onion mid-route, a strictly weaker partial
-	// attack (it shortens the wait by at most (l-1)/l of the period) that
-	// neither Equation (1) nor the Monte Carlo engine counts.
+// Score tallies each mission like one Monte Carlo trial. Release-ahead
+// success follows Equation (1)'s semantics: the adversary reconstructs the
+// key from start-time material — pre-assigned layer keys (including churn
+// re-grants) plus the entry package — which completes strictly before the
+// first forwarding hop at ts + th. Recoveries after that instant involve
+// capturing the onion mid-route, a strictly weaker partial attack (it
+// shortens the wait by at most (l-1)/l of the period) that neither Equation
+// (1) nor the Monte Carlo engine counts.
+func Score(cfg Config, net *selfemerge.Network, msgs []*selfemerge.Message) Result {
 	hold := cfg.Plan.HoldPeriod(cfg.Emerging)
-	res := Result{Missions: cfg.Missions}
+	res := Result{Missions: len(msgs)}
 	for _, msg := range msgs {
+		released := false
 		if at, ok := net.AdversaryRecovered(msg); ok && at.Before(msg.Start().Add(hold)) {
 			res.Released++
+			released = true
 		}
 		if _, at, ok := net.Emerged(msg); ok && !at.Before(msg.Release()) {
 			res.Delivered++
+			if !released {
+				res.Succeeded++
+			}
 		}
 	}
+	return res
+}
 
-	report := &Report{Config: cfg, Live: res, Elapsed: time.Since(began)}
+// Measure runs the live phases only — setup, drive, score — and returns a
+// report without the Monte Carlo references (Report.MC and MCDelivery stay
+// zero; Predicted and the churn/transport observability totals are filled).
+// The experiment runner uses it so matched references are computed once per
+// environment and shared across points instead of re-sampled inline.
+func Measure(cfg Config) (*Report, error) {
+	began := time.Now()
+	cfg, net, err := Setup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	msgs, err := Drive(cfg, net)
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{Config: cfg, Live: Score(cfg, net, msgs), Elapsed: time.Since(began)}
 	report.Deaths, report.Joins = net.ChurnEvents()
 	report.Sent, report.Recv, report.Dropped = net.FabricStats()
+	report.Predicted = predicted(cfg)
+	return report, nil
+}
 
-	// Matched Monte Carlo references and closed-form prediction.
+// Reference describes one matched Monte Carlo reference estimate: the
+// environment, trial count and seed that reproduce it. References with
+// equal keys yield identical estimates, which is what lets the experiment
+// runner compute each matched environment once and cache it.
+type Reference struct {
+	Plan   core.Plan
+	Env    mc.Env
+	Trials int
+	Seed   uint64
+}
+
+// Key returns a canonical cache key: two references with the same key
+// produce byte-identical estimates.
+func (r Reference) Key() string {
+	return fmt.Sprintf("%v/%d/%d/%d/%v|N%d m%d a%g b%v|t%d s%d",
+		r.Plan.Scheme, r.Plan.K, r.Plan.L, r.Plan.ShareN, r.Plan.ShareM,
+		r.Env.Population, r.Env.Malicious, r.Env.Alpha, r.Env.BinomialShareDeaths,
+		r.Trials, r.Seed)
+}
+
+// Estimate runs the reference on a single trial worker, so equal keys yield
+// identical estimates on every machine regardless of GOMAXPROCS (the trial
+// partition, and hence the sampled streams, would otherwise vary).
+func (r Reference) Estimate() (mc.Result, error) {
+	return mc.Estimate(r.Plan, r.Env, mc.Options{Trials: r.Trials, Seed: r.Seed, Workers: 1})
+}
+
+// References returns the matched Monte Carlo reference descriptors for the
+// (defaulted) config: the release reference at the live environment, and the
+// delivery reference — identical under the drop attack, malicious-free
+// (churn losses only) under a spy adversary, whose holders forward
+// faithfully.
+func (c Config) References() (release, deliver Reference) {
 	env := mc.Env{
-		Population:          cfg.Nodes,
-		Malicious:           cfg.maliciousCount(),
-		Alpha:               cfg.Alpha,
-		BinomialShareDeaths: cfg.Plan.Scheme == core.SchemeKeyShare,
+		Population:          c.Nodes,
+		Malicious:           c.maliciousCount(),
+		Alpha:               c.Alpha,
+		BinomialShareDeaths: c.Plan.Scheme == core.SchemeKeyShare,
 	}
-	report.MC, err = mc.Estimate(cfg.Plan, env, mc.Options{Trials: cfg.MCTrials, Seed: cfg.Seed + 101})
+	release = Reference{Plan: c.Plan, Env: env, Trials: c.MCTrials, Seed: c.Seed + 101}
+	if c.Drop {
+		return release, release
+	}
+	env.Malicious = 0
+	deliver = Reference{Plan: c.Plan, Env: env, Trials: c.MCTrials, Seed: c.Seed + 103}
+	return release, deliver
+}
+
+// Run executes one scenario — the live measurement plus its inline Monte
+// Carlo references — and returns its report. The run is fully deterministic
+// for a fixed Config.
+func Run(cfg Config) (*Report, error) {
+	report, err := Measure(cfg)
 	if err != nil {
+		return nil, err
+	}
+	relRef, delRef := report.Config.References()
+	if report.MC, err = relRef.Estimate(); err != nil {
 		return nil, fmt.Errorf("scenario: reference estimate: %w", err)
 	}
 	report.MCDelivery = report.MC
-	if !cfg.Drop {
-		// Spies forward faithfully: the delivery reference is the same
-		// environment with churn losses only.
-		env.Malicious = 0
-		report.MCDelivery, err = mc.Estimate(cfg.Plan, env, mc.Options{Trials: cfg.MCTrials, Seed: cfg.Seed + 103})
-		if err != nil {
+	if !report.Config.Drop {
+		if report.MCDelivery, err = delRef.Estimate(); err != nil {
 			return nil, fmt.Errorf("scenario: delivery reference estimate: %w", err)
 		}
 	}
-	report.Predicted = predicted(cfg)
 	return report, nil
 }
 

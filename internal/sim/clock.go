@@ -54,10 +54,10 @@ type Simulator struct {
 	queue eventHeap
 }
 
-// NewSimulator returns a simulator starting at the zero time plus one hour
+// NewSimulator returns a simulator starting at the Unix epoch plus one hour
 // (so negative offsets in tests stay valid).
 func NewSimulator() *Simulator {
-	return &Simulator{now: time.Unix(0, 0)}
+	return &Simulator{now: time.Unix(0, 0).Add(time.Hour)}
 }
 
 // Now returns the current virtual time.

@@ -1,0 +1,38 @@
+// Package testutil holds shared test helpers; it is imported only from
+// _test files.
+package testutil
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update is registered once per test binary that imports this package:
+// `go test -update` rewrites the golden files a test compares against.
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// Golden compares got against the golden file testdata/<name>, rewriting it
+// instead when the -update flag is set.
+func Golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden output\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}

@@ -41,9 +41,13 @@ type Network struct {
 	cfg   Config
 
 	mu        sync.Mutex
-	rng       *stats.RNG
 	endpoints map[transport.Addr]*endpoint
 	down      map[transport.Addr]bool
+
+	// The loss/jitter RNG serializes on its own lock so concurrent senders
+	// drawing randomness do not contend on the endpoint-map critical section.
+	rngMu sync.Mutex
+	rng   *stats.RNG
 
 	sent      int
 	delivered int
@@ -106,12 +110,22 @@ func (n *Network) Stats() (sent, delivered, dropped int) {
 func (n *Network) send(from transport.Addr, to transport.Addr, payload []byte) {
 	n.mu.Lock()
 	n.sent++
-	if n.down[from] || n.down[to] {
+	_, attached := n.endpoints[to]
+	if n.down[from] || n.down[to] || !attached {
+		// Immediate drop: no payload copy, no RNG draw, no delivery event.
+		// A detached destination can never receive — endpoint replacement
+		// (churn re-join) re-attaches within the same simulator event as the
+		// close, so no in-flight window observes the gap.
 		n.dropped++
 		n.mu.Unlock()
 		return
 	}
+	n.mu.Unlock()
+
+	n.rngMu.Lock()
 	if n.cfg.LossRate > 0 && n.rng.Bool(n.cfg.LossRate) {
+		n.rngMu.Unlock()
+		n.mu.Lock()
 		n.dropped++
 		n.mu.Unlock()
 		return
@@ -120,7 +134,7 @@ func (n *Network) send(from transport.Addr, to transport.Addr, payload []byte) {
 	if n.cfg.Jitter > 0 {
 		delay += time.Duration(n.rng.Uint64n(uint64(n.cfg.Jitter)))
 	}
-	n.mu.Unlock()
+	n.rngMu.Unlock()
 
 	// Copy the payload: the sender may reuse its buffer.
 	msg := make([]byte, len(payload))
