@@ -152,7 +152,7 @@ func BenchmarkAblationShareDeathModel(b *testing.B) {
 			b.Fatal(err)
 		}
 		envB := base
-		envB.BinomialShareDeaths = true
+		envB.ShareModel = mc.ShareModelBinomial
 		resB, err := mc.Estimate(plan, envB, mc.Options{Trials: 2000, Seed: 1})
 		if err != nil {
 			b.Fatal(err)

@@ -35,6 +35,7 @@ import (
 	"selfemerge/internal/bench"
 	"selfemerge/internal/core"
 	"selfemerge/internal/experiment"
+	"selfemerge/internal/mc"
 	"selfemerge/internal/scenario"
 )
 
@@ -109,6 +110,7 @@ func runSweep(args []string) {
 		missions  = fs.Int("missions", 100, "live emergence trials per point (live estimator)")
 		emerging  = fs.Duration("emerging", 2*time.Hour, "emerging period T (live estimator)")
 		mcTrials  = fs.Int("mc-trials", 0, "live reference trials (0 = missions)")
+		shareMod  = fs.String("share-model", "default", "key-share loss model: default|quota|binomial|live (mc points, live references)")
 		workers   = fs.Int("workers", 0, "concurrent sweep points (0 = GOMAXPROCS)")
 		format    = fs.String("format", "table", "output format: table|csv|json")
 		seed      = fs.Uint64("seed", 2017, "base RNG seed")
@@ -125,7 +127,7 @@ func runSweep(args []string) {
 	setFlags := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 	irrelevant := map[string][]string{
-		"analytic": {"trials", "missions", "emerging", "mc-trials"},
+		"analytic": {"trials", "missions", "emerging", "mc-trials", "share-model"},
 		"mc":       {"missions", "emerging", "mc-trials"},
 		"live":     {"trials"},
 	}
@@ -151,6 +153,10 @@ func runSweep(args []string) {
 		Axes: axes.axes,
 	}
 
+	model, err := mc.ParseShareModel(*shareMod)
+	if err != nil {
+		fatalf(2, "%v", err)
+	}
 	var est experiment.Estimator
 	switch *estimator {
 	case "analytic":
@@ -159,9 +165,9 @@ func runSweep(args []string) {
 		// One trial worker per point: the runner parallelizes across points,
 		// and pinning the per-point partition makes the emitted sweep
 		// byte-identical across machines, not just across -workers values.
-		est = experiment.MonteCarlo{Trials: *trials, Workers: 1}
+		est = experiment.MonteCarlo{Trials: *trials, Workers: 1, ShareModel: model}
 	case "live":
-		est = &scenario.Estimator{Missions: *missions, Emerging: *emerging, MCTrials: *mcTrials}
+		est = &scenario.Estimator{Missions: *missions, Emerging: *emerging, MCTrials: *mcTrials, ShareModel: model}
 	default:
 		fatalf(2, "unknown estimator %q (want analytic|mc|live)", *estimator)
 	}

@@ -16,6 +16,12 @@
 //     (Section III-C).
 //   - SchemeKeyShare: onion layer keys delivered just-in-time as Shamir
 //     shares (Section III-D, Algorithm 1) — the churn-resilient scheme.
+//     Holders recover keys from threshold-sized share subsets validated
+//     against the authenticated onion layers (so corrupt shares cannot
+//     poison recovery), and surviving custodians re-grant scattered shares
+//     to same-zone churn replacements once per holding period; the
+//     live-faithful Monte Carlo model (mc.ShareModelLive) mirrors these
+//     semantics and cross-validates against live scenario runs.
 //
 // The package offers an in-process network (simulated time, thousands of
 // nodes) for experimentation and testing; the same DHT and protocol code

@@ -98,9 +98,11 @@ type MonteCarlo struct {
 	// with Runner.Parallel 1 — both layers wide at once merely
 	// oversubscribes the scheduler.
 	Workers int
-	// BinomialShareDeaths switches the key share scheme's churn losses to
-	// independent per-carrier deaths (the mc.Env ablation knob).
-	BinomialShareDeaths bool
+	// ShareModel pins the key share scheme's churn-loss and
+	// release-exposure model (the mc.Env knob): the paper's quota model by
+	// default, the binomial ablation, or the live-faithful chained model the
+	// scenario estimator cross-validates against.
+	ShareModel mc.ShareModel
 }
 
 // Name implements Estimator.
@@ -125,7 +127,7 @@ func (m MonteCarlo) Estimate(pt Point) (Result, error) {
 		return Result{}, err
 	}
 	env := pt.Env()
-	env.BinomialShareDeaths = m.BinomialShareDeaths
+	env.ShareModel = m.ShareModel
 	res, err := mc.Estimate(plan, env, mc.Options{Trials: m.Trials, Seed: pt.Seed, Workers: m.Workers})
 	if err != nil {
 		return Result{}, err

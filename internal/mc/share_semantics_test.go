@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"math"
 	"testing"
 
 	"selfemerge/internal/core"
@@ -67,6 +68,96 @@ func TestShareChurnExposureIsOnePeriod(t *testing.T) {
 	if sr.R() < jr.R()+0.2 {
 		t.Errorf("share R=%.3f should dominate joint R=%.3f at alpha=%v by a wide margin",
 			sr.R(), jr.R(), alpha)
+	}
+}
+
+// TestShareLiveReleaseGatedByEntryColumn: under the live-faithful model the
+// release-ahead attack runs entirely on start-time material — the column-1
+// slot onions nest the whole share chain — so its success rate is
+// P[some main slot malicious AND at least max(m) malicious column-1
+// carriers], independent of the deeper columns, and far above the quota
+// model's every-column-thresholds rate.
+func TestShareLiveReleaseGatedByEntryColumn(t *testing.T) {
+	plan := sharePlan(2, 4, 6, 2) // k=2, l=4, n=6, m=2
+	const p = 0.3
+	env := bigEnv(p)
+	env.ShareModel = ShareModelLive
+	live, err := Estimate(plan, env, Options{Trials: testTrials, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.ShareModel = ShareModelQuota
+	quota, err := Estimate(plan, env, Options{Trials: testTrials, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closed form over the six column-1 carriers (binomial is accurate in a
+	// 10,000-node population): P[>=2 malicious] - P[>=2 but slots 0,1 honest].
+	atLeast2 := func(n int, p float64) float64 {
+		q := 1 - p
+		return 1 - math.Pow(q, float64(n)) - float64(n)*p*math.Pow(q, float64(n-1))
+	}
+	want := atLeast2(6, p) - (1-p)*(1-p)*atLeast2(4, p)
+	withinCI(t, "live-model release", 1-live.Rr(), want)
+	if liveRel, quotaRel := 1-live.Rr(), 1-quota.Rr(); liveRel < 3*quotaRel {
+		t.Errorf("live-model release %.4f not well above quota-model %.4f", liveRel, quotaRel)
+	}
+}
+
+// TestShareLiveChainedDeliveryBelowPerColumn: chained slot survival makes
+// the live model's churn delivery strictly more pessimistic than the
+// binomial per-column model at equal death rates — the live failure mode
+// the coarse models miss.
+func TestShareLiveChainedDeliveryBelowPerColumn(t *testing.T) {
+	plan := sharePlan(2, 4, 8, 3)
+	env := bigEnv(0)
+	env.Alpha = 2
+	env.ShareModel = ShareModelLive
+	live, err := Estimate(plan, env, Options{Trials: testTrials, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.ShareModel = ShareModelBinomial
+	binom, err := Estimate(plan, env, Options{Trials: testTrials, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Rd() >= binom.Rd()-0.05 {
+		t.Errorf("chained delivery %.4f not clearly below per-column %.4f", live.Rd(), binom.Rd())
+	}
+}
+
+// TestShareLiveBenign: no churn, no adversary — the live model must be
+// lossless and unreleasable like the others.
+func TestShareLiveBenign(t *testing.T) {
+	env := Env{Population: 1000, ShareModel: ShareModelLive}
+	res, err := Estimate(sharePlan(2, 3, 5, 2), env, Options{Trials: 2000, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rr() != 1 || res.Rd() != 1 {
+		t.Errorf("benign live model: Rr=%v Rd=%v, want 1/1", res.Rr(), res.Rd())
+	}
+}
+
+// TestShareModelValidation: unknown model values are rejected, known names
+// parse and print round-trip.
+func TestShareModelValidation(t *testing.T) {
+	env := Env{Population: 10, ShareModel: ShareModelLive + 1}
+	if err := env.Validate(); err == nil {
+		t.Error("unknown share model accepted")
+	}
+	for _, name := range []string{"default", "quota", "binomial", "live"} {
+		m, err := ParseShareModel(name)
+		if err != nil {
+			t.Fatalf("ParseShareModel(%q): %v", name, err)
+		}
+		if m != ShareModelDefault && m.String() != name {
+			t.Errorf("ParseShareModel(%q).String() = %q", name, m.String())
+		}
+	}
+	if _, err := ParseShareModel("bogus"); err == nil {
+		t.Error("bogus share model parsed")
 	}
 }
 

@@ -20,6 +20,82 @@ type Outcome struct {
 	Delivered bool
 }
 
+// ShareModel selects how the key-share scheme's trials sample churn losses
+// and release-ahead exposure. The zero value defers to the paper's model, so
+// existing callers (and the figure goldens) are unaffected.
+type ShareModel uint8
+
+const (
+	// ShareModelDefault leaves the choice to the caller's context; the mc
+	// engine itself resolves it to ShareModelQuota, the paper's model.
+	// internal/scenario's matched references resolve it to ShareModelLive for
+	// key-share plans, because that is what the executable protocol does.
+	ShareModelDefault ShareModel = iota
+	// ShareModelQuota is the paper's model: each column loses exactly
+	// d = floor(pdead*n) shares per holding period — the same quantity
+	// Algorithm 1 plans its thresholds against — and every column's carrier
+	// set is sampled independently.
+	ShareModelQuota
+	// ShareModelBinomial replaces the deterministic per-column quota with
+	// independent per-carrier exponential deaths, still with per-column
+	// independence. The added death-count variance is not budgeted by
+	// Algorithm 1's thresholds and visibly lowers the small-n (Figure 8, 100
+	// available nodes) curves; exposed for the ablation benchmarks.
+	ShareModelBinomial
+	// ShareModelLive mirrors the executable protocol (internal/protocol)
+	// closely enough to cross-validate against live scenario runs:
+	//
+	//   - Deaths are independent per carrier (as under exponential churn),
+	//     and a slot's carrier chain must survive *cumulatively*: the slot
+	//     onion of carrier (c, s) travels only down slot s, so one dead or
+	//     withholding ancestor kills the whole chain — per-column
+	//     independence, the coarse models' optimism, is gone.
+	//   - The main onion fans out to every carrier of the next column, so it
+	//     survives a column when any carrier there is honest and alive (and
+	//     the column key's share threshold was met one hop earlier).
+	//   - Release-ahead follows the nested-custody reality: the column-1
+	//     slot onions hold the entire future share chain, sealed under slot
+	//     keys whose shares ride in the same column, so an adversary with at
+	//     least max(m) malicious column-1 carriers — one of them a main
+	//     holder — unwraps everything at start time. Later columns add no
+	//     release opportunities before the scoring cutoff at ts + th.
+	ShareModelLive
+)
+
+// ParseShareModel parses a share model name: default, quota (the paper's
+// column-loss model), binomial (the per-carrier ablation) or live (the
+// protocol-faithful chained model).
+func ParseShareModel(s string) (ShareModel, error) {
+	switch s {
+	case "", "default":
+		return ShareModelDefault, nil
+	case "quota":
+		return ShareModelQuota, nil
+	case "binomial":
+		return ShareModelBinomial, nil
+	case "live":
+		return ShareModelLive, nil
+	default:
+		return 0, fmt.Errorf("mc: unknown share model %q (want default|quota|binomial|live)", s)
+	}
+}
+
+// String names the model.
+func (m ShareModel) String() string {
+	switch m {
+	case ShareModelDefault:
+		return "default"
+	case ShareModelQuota:
+		return "quota"
+	case ShareModelBinomial:
+		return "binomial"
+	case ShareModelLive:
+		return "live"
+	default:
+		return fmt.Sprintf("ShareModel(%d)", uint8(m))
+	}
+}
+
 // Env describes the simulated environment of one experiment point.
 type Env struct {
 	// Population is the DHT network size N (10,000 in most of the paper's
@@ -30,14 +106,9 @@ type Env struct {
 	// Alpha is the churn severity T/tlife: the emerging period expressed in
 	// mean node lifetimes. Zero disables churn (Figure 6's setting).
 	Alpha float64
-	// BinomialShareDeaths switches the key-share scheme's churn losses from
-	// the paper's model — exactly d = floor(pdead*n) shares lost per column,
-	// the same quantity Algorithm 1 plans its thresholds against — to
-	// independent per-carrier exponential deaths. The independent model adds
-	// death-count variance that Algorithm 1's thresholds do not budget for
-	// and visibly lowers the small-n (Figure 8, 100 available nodes) curves;
-	// it is exposed for the ablation benchmarks.
-	BinomialShareDeaths bool
+	// ShareModel selects the key-share scheme's churn-loss and
+	// release-exposure model; ignored by the other schemes.
+	ShareModel ShareModel
 }
 
 // Validate checks the environment parameters.
@@ -50,6 +121,9 @@ func (e Env) Validate() error {
 	}
 	if e.Alpha < 0 || math.IsNaN(e.Alpha) {
 		return fmt.Errorf("mc: alpha %v must be >= 0", e.Alpha)
+	}
+	if e.ShareModel > ShareModelLive {
+		return fmt.Errorf("mc: unknown share model %d", e.ShareModel)
 	}
 	return nil
 }
@@ -74,7 +148,10 @@ func RunTrial(plan core.Plan, env Env, rng *stats.RNG) Outcome {
 	case core.SchemeJoint:
 		return multipathTrial(plan, true, q, sampler, rng)
 	case core.SchemeKeyShare:
-		return shareTrial(plan, q, env.BinomialShareDeaths, sampler, rng)
+		if env.ShareModel == ShareModelLive {
+			return shareLiveTrial(plan, q, sampler, rng)
+		}
+		return shareTrial(plan, q, env.ShareModel == ShareModelBinomial, sampler, rng)
 	default:
 		panic(fmt.Sprintf("mc: unknown scheme %v", plan.Scheme))
 	}
@@ -242,7 +319,7 @@ func conditionalDeaths(rng *stats.RNG, k int, q float64) int {
 //
 // Churn losses follow the paper's model by default: each column loses
 // exactly floor(q*n) shares per holding period, the quantity d that
-// Algorithm 1 budgets its thresholds against (see Env.BinomialShareDeaths).
+// Algorithm 1 budgets its thresholds against (see Env.ShareModel).
 func shareTrial(plan core.Plan, q float64, binomialDeaths bool, sampler *maliciousSampler, rng *stats.RNG) Outcome {
 	k, l, n := plan.K, plan.L, plan.ShareN
 
@@ -302,6 +379,91 @@ func shareTrial(plan core.Plan, q float64, binomialDeaths bool, sampler *malicio
 		// malicious holder reads the key immediately.
 		released = terminalCompromised
 	}
+
+	return Outcome{Released: released, Delivered: delivered}
+}
+
+// shareLiveTrial simulates the key share scheme with the semantics the
+// executable protocol actually exhibits (ShareModelLive); see the constant's
+// doc for the three points where it departs from the coarse per-column
+// models. The outcome cross-validates against internal/scenario's live
+// measurements within Wilson intervals.
+//
+// Per column c and slot s one occupant is drawn (malicious?) and one death
+// coin is flipped (dies during its single holding period of custody?).
+// ok[s] = honest and surviving is what lets the occupant forward; chains
+// additionally require every ancestor ok, the main onion only some occupant
+// ok per column. Share re-grant repair (protocol churn repair) re-delivers
+// key material to replacement occupants but cannot re-create the
+// single-custody packages that died with their holder, so it adds no
+// delivery term here — which the live cross-validation confirms.
+func shareLiveTrial(plan core.Plan, q float64, sampler *maliciousSampler, rng *stats.RNG) Outcome {
+	k, l, n := plan.K, plan.L, plan.ShareN
+
+	// Column 1: occupants receive everything directly at start time. Their
+	// maliciousness alone decides release-ahead (the nested-custody attack
+	// runs entirely on start-time material); deaths only affect forwarding.
+	maxM := 0
+	for _, m := range plan.ShareM {
+		if m > maxM {
+			maxM = m
+		}
+	}
+	maliciousCount := 0
+	mainMalicious := false
+	chain := make([]bool, n) // slot chain still intact and delivering
+	alive := 0               // chains that forwarded out of the current column
+	mainAlive := false       // main onion custody survives, some holder can peel
+	for s := 0; s < n; s++ {
+		malicious := sampler.Draw()
+		if malicious {
+			maliciousCount++
+			if s < k {
+				mainMalicious = true
+			}
+		}
+		ok := !malicious && !(q > 0 && rng.Float64() < q)
+		chain[s] = ok
+		if ok {
+			alive++
+			if s < k {
+				mainAlive = true
+			}
+		}
+	}
+	if l == 1 {
+		// Degenerate single-column plan: the k main holders alone store the
+		// secret for one period; any malicious one reads it outright.
+		return Outcome{Released: mainMalicious, Delivered: mainAlive}
+	}
+	released := mainMalicious && maliciousCount >= maxM
+
+	// Columns 2..l: the threshold gate of the previous column's scattered
+	// shares applies to main and slot custody alike (CK_c and the SK_{c,s}
+	// are split with the same threshold and scattered by the same carriers).
+	delivered := true
+	for c := 2; c <= l; c++ {
+		if alive < plan.ShareM[c-2] {
+			delivered = false
+			break
+		}
+		columnOK := false
+		nextAlive := 0
+		for s := 0; s < n; s++ {
+			malicious := sampler.Draw()
+			ok := !malicious && !(q > 0 && rng.Float64() < q)
+			if ok {
+				columnOK = true
+			}
+			chain[s] = chain[s] && ok
+			if chain[s] {
+				nextAlive++
+			}
+		}
+		mainAlive = mainAlive && columnOK
+		alive = nextAlive
+	}
+	delivered = delivered && mainAlive
 
 	return Outcome{Released: released, Delivered: delivered}
 }

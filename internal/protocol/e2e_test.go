@@ -54,8 +54,9 @@ type testbed struct {
 }
 
 // newTestbed boots n nodes; maliciousFrac of them are adversary-controlled
-// (spy mode, or drop mode when drop is set).
-func newTestbed(t *testing.T, n int, maliciousFrac float64, drop bool) *testbed {
+// (spy mode, or drop mode when drop is set). Optional hooks mutate each
+// node's host configuration before the host is built.
+func newTestbed(t *testing.T, n int, maliciousFrac float64, drop bool, hooks ...func(*HostConfig)) *testbed {
 	t.Helper()
 	tb := &testbed{
 		t:           t,
@@ -70,35 +71,8 @@ func newTestbed(t *testing.T, n int, maliciousFrac float64, drop bool) *testbed 
 	malCount := int(maliciousFrac * float64(n))
 	for i := 0; i < n; i++ {
 		addr := transport.Addr(fmt.Sprintf("n%d", i))
-		ep := tb.net.Endpoint(addr)
 		id := dht.RandomID(rng)
-		host := NewHost(HostConfig{
-			Clock:     tb.sim,
-			Malicious: i < malCount,
-			Drop:      drop && i < malCount,
-			Reporter:  tb.collector,
-			OnSecret: func(mission MissionID, secret []byte) {
-				tb.mu.Lock()
-				defer tb.mu.Unlock()
-				if _, dup := tb.deliveries[mission]; !dup {
-					tb.deliveries[mission] = tb.sim.Now()
-					tb.secrets[mission] = append([]byte(nil), secret...)
-					tb.deliveredTo[mission] = id
-				}
-			},
-		})
-		node, err := dht.NewNode(dht.Config{
-			ID:       id,
-			Endpoint: ep,
-			Clock:    tb.sim,
-			OnApp:    host.HandleApp,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		host.Attach(node)
-		tb.nodes = append(tb.nodes, node)
-		tb.hosts = append(tb.hosts, host)
+		tb.spawn(addr, id, i < malCount, drop, hooks...)
 	}
 	seed := []dht.Contact{tb.nodes[0].Contact()}
 	for _, node := range tb.nodes[1:] {
@@ -106,6 +80,45 @@ func newTestbed(t *testing.T, n int, maliciousFrac float64, drop bool) *testbed 
 	}
 	tb.sim.Run()
 	return tb
+}
+
+// spawn creates one live node+host at the given address and identifier,
+// appending it to the testbed (reusing an address models a same-zone
+// replacement join: fresh state, same DHT zone).
+func (tb *testbed) spawn(addr transport.Addr, id dht.ID, malicious, drop bool, hooks ...func(*HostConfig)) (*dht.Node, *Host) {
+	tb.t.Helper()
+	cfg := HostConfig{
+		Clock:     tb.sim,
+		Malicious: malicious,
+		Drop:      drop && malicious,
+		Reporter:  tb.collector,
+		OnSecret: func(mission MissionID, secret []byte) {
+			tb.mu.Lock()
+			defer tb.mu.Unlock()
+			if _, dup := tb.deliveries[mission]; !dup {
+				tb.deliveries[mission] = tb.sim.Now()
+				tb.secrets[mission] = append([]byte(nil), secret...)
+				tb.deliveredTo[mission] = id
+			}
+		},
+	}
+	for _, hook := range hooks {
+		hook(&cfg)
+	}
+	host := NewHost(cfg)
+	node, err := dht.NewNode(dht.Config{
+		ID:       id,
+		Endpoint: tb.net.Endpoint(addr),
+		Clock:    tb.sim,
+		OnApp:    host.HandleApp,
+	})
+	if err != nil {
+		tb.t.Fatal(err)
+	}
+	host.Attach(node)
+	tb.nodes = append(tb.nodes, node)
+	tb.hosts = append(tb.hosts, host)
+	return node, host
 }
 
 // ownerOf returns the cluster node whose ID is closest to the given key.

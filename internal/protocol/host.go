@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"bytes"
 	"sort"
 	"sync"
 	"time"
@@ -41,10 +42,11 @@ type HostConfig struct {
 	// column width and holding period are periodically re-pushed to the
 	// current owners of their column's slots, so replacements of dead
 	// holders regain the layer key from a surviving custodian — the repair
-	// process of Section II-C that the Monte Carlo model assumes. Only the
-	// multipath schemes' grants carry repair metadata; the key share
-	// scheme's just-in-time keys have no column-wide custodian to re-grant
-	// them and rely on their Shamir thresholds instead, as in the model.
+	// process of Section II-C that the Monte Carlo model assumes. The key
+	// share scheme repairs its just-in-time material the same way: column-1
+	// key grants refresh through this path, and scattered Shamir shares are
+	// re-granted to same-zone replacement custodians once per holding
+	// period (scheduleShareRefresh).
 	Repair bool
 }
 
@@ -72,6 +74,10 @@ type missionState struct {
 	// Per-slot key material (SK_{c,s}).
 	slotKeys   map[slotRef]seal.Key
 	slotShares map[slotRef][]shamir.Share
+	// Share collections with an armed churn-repair refresh (one per holding
+	// period, see scheduleShareRefresh).
+	colRepair  map[int]bool
+	slotRepair map[slotRef]bool
 
 	// Main onion custody, one per column (joint/share copies are deduped).
 	mainSealed map[int]*heldPackage
@@ -89,6 +95,10 @@ type heldPackage struct {
 	due    bool
 	done   bool
 	timer  sim.Timer
+	// triedShares memoizes the size of the share collection the last failed
+	// recovery attempt ran against, so advance() re-enumerates candidate
+	// keys only after new share material arrives.
+	triedShares int
 }
 
 // NewHost creates a host; call Attach to bind it to its node after the
@@ -145,6 +155,8 @@ func (h *Host) state(id MissionID) *missionState {
 			colShares:  make(map[int][]shamir.Share),
 			slotKeys:   make(map[slotRef]seal.Key),
 			slotShares: make(map[slotRef][]shamir.Share),
+			colRepair:  make(map[int]bool),
+			slotRepair: make(map[slotRef]bool),
 			mainSealed: make(map[int]*heldPackage),
 			slotSealed: make(map[slotRef]*heldPackage),
 		}
@@ -217,17 +229,28 @@ func (h *Host) scheduleGrantRefresh(pkt Packet) {
 	// arrives, and the re-grant exposure lands strictly inside the waiting
 	// period it repairs — the window Equation (1)'s release-ahead
 	// bookkeeping (and the Monte Carlo engine) attributes it to.
+	//
+	// Multipath grants stop refreshing at the boundary before their
+	// column's onion arrives: repairing storage periods only is what the
+	// Monte Carlo replacement-draw bookkeeping models. The share scheme's
+	// column-1 grants (X != 0) live a single period — custody and carry
+	// coincide — so their one refresh fires inside it, just before the
+	// forward deadline.
 	margin := time.Duration(pkt.Step / 16)
+	deadline := pkt.HoldUntil - int64(margin)
+	if pkt.X != 0 {
+		deadline = pkt.HoldUntil
+	}
 	var tick func()
 	tick = func() {
-		if h.cfg.Clock.Now().UnixNano() >= pkt.HoldUntil-int64(margin) {
+		if h.cfg.Clock.Now().UnixNano() >= deadline {
 			return
 		}
 		if pkt.X == keyGrantSlot {
-			// Slot keys are per-carrier: only this slot can be repaired.
-			// Inert today — no sender attaches repair metadata to slot
-			// grants (the share scheme relies on thresholds, not repair) —
-			// but kept so slot-granting schemes inherit correct semantics.
+			// Slot keys are per-carrier: only this slot can be repaired. The
+			// share scheme's direct column-1 SK grants arrive with repair
+			// metadata, so a replacement entry carrier regains its slot key
+			// from the surviving custodian within the first holding period.
 			h.node.SendToOwners(SlotID(pkt.Mission, int(pkt.Column), int(pkt.Slot)),
 				pkt.Encode(), h.replicas(), nil)
 		} else {
@@ -286,10 +309,16 @@ func (h *Host) onColShare(pkt Packet) {
 	h.mu.Lock()
 	ms := h.state(pkt.Mission)
 	col := int(pkt.Column)
-	if !hasShare(ms.colShares[col], x) {
-		ms.colShares[col] = append(ms.colShares[col], shamir.Share{X: x, Data: data})
+	fresh := false
+	ms.colShares[col], fresh = addShare(ms.colShares[col], x, data)
+	repair := fresh && h.repairableShare(pkt) && !ms.colRepair[col]
+	if repair {
+		ms.colRepair[col] = true
 	}
 	h.mu.Unlock()
+	if repair {
+		h.scheduleShareRefresh(pkt)
+	}
 	h.advance(pkt.Mission)
 }
 
@@ -301,20 +330,118 @@ func (h *Host) onSlotShare(pkt Packet) {
 	h.mu.Lock()
 	ms := h.state(pkt.Mission)
 	ref := slotRef{int(pkt.Column), int(pkt.Slot)}
-	if !hasShare(ms.slotShares[ref], x) {
-		ms.slotShares[ref] = append(ms.slotShares[ref], shamir.Share{X: x, Data: data})
+	fresh := false
+	ms.slotShares[ref], fresh = addShare(ms.slotShares[ref], x, data)
+	repair := fresh && h.repairableShare(pkt) && !ms.slotRepair[ref]
+	if repair {
+		ms.slotRepair[ref] = true
 	}
 	h.mu.Unlock()
+	if repair {
+		h.scheduleShareRefresh(pkt)
+	}
 	h.advance(pkt.Mission)
 }
 
-func hasShare(shares []shamir.Share, x uint8) bool {
+// addShare merges one received share into the collection. Only exact
+// duplicates (same X, same payload) are dropped: a conflicting payload for
+// an already-seen X is kept as an additional variant, so a corrupt or stale
+// early arrival cannot shadow the honest share — the subset recovery of
+// shareKeyCandidates picks whichever variants the onion-layer oracle
+// validates.
+func addShare(shares []shamir.Share, x uint8, data []byte) ([]shamir.Share, bool) {
 	for _, s := range shares {
-		if s.X == x {
-			return true
+		if s.X == x && bytes.Equal(s.Data, data) {
+			return shares, false
 		}
 	}
-	return false
+	return append(shares, shamir.Share{X: x, Data: data}), true
+}
+
+// repairableShare reports whether a received share participates in churn
+// repair: the host repairs, the packet carries its holding period, and the
+// share is still ahead of its forward deadline.
+func (h *Host) repairableShare(pkt Packet) bool {
+	return h.cfg.Repair && pkt.Step > 0 && pkt.HoldUntil > h.cfg.Clock.Now().UnixNano()
+}
+
+// scheduleShareRefresh arms the just-in-time share repair for a column (or
+// slot) whose first share just arrived: once per holding period — which for
+// shares, living exactly one period between scatter and consumption, means
+// once, slightly before the forward deadline — the custodian re-pushes every
+// share it holds to the current owners of the column's slots. A same-zone
+// replacement that took over a died custodian's slot mid-period thereby
+// regains the key material from a surviving sibling (column-key shares
+// fan out to every carrier, so any survivor can repair the whole column),
+// mirroring the multipath schemes' column-key re-grant of Section II-C. The
+// packages themselves (slot onions, the main onion copy) are single-custody
+// and die with their holder — repair restores shares, not onions — so the
+// delivery model gains no repair term; the margin (1/16 of a holding period)
+// keeps the re-grant exposure strictly inside the period it repairs.
+func (h *Host) scheduleShareRefresh(pkt Packet) {
+	margin := time.Duration(pkt.Step / 16)
+	delay := time.Duration(pkt.HoldUntil-h.cfg.Clock.Now().UnixNano()) - margin
+	if delay <= 0 {
+		return // received during the repair window itself (a re-grant)
+	}
+	h.cfg.Clock.AfterFunc(delay, func() { h.regrantShares(pkt) })
+}
+
+// regrantShares is one share-repair tick: re-push the currently-held shares
+// of the packet's column (PkColShare, to every slot the scatter covered) or
+// slot (PkSlotShare, to its own slot) to the slots' current owners.
+func (h *Host) regrantShares(pkt Packet) {
+	h.mu.Lock()
+	ms, ok := h.missions[pkt.Mission]
+	if !ok {
+		h.mu.Unlock()
+		return
+	}
+	col := int(pkt.Column)
+	var shares []shamir.Share
+	slots := []int{int(pkt.Slot)}
+	if pkt.Kind == PkColShare {
+		shares = append(shares, ms.colShares[col]...)
+		if pkt.Width > 1 {
+			slots = slots[:0]
+			for s := 0; s < int(pkt.Width); s++ {
+				slots = append(slots, s)
+			}
+		}
+	} else {
+		shares = append(shares, ms.slotShares[slotRef{col, int(pkt.Slot)}]...)
+	}
+	h.mu.Unlock()
+
+	for _, s := range slots {
+		for _, sh := range shares {
+			p := pkt
+			p.Slot = uint16(s)
+			p.Data = shareBlob(sh.X, sh.Data)
+			h.node.SendToOwners(SlotID(pkt.Mission, col, s), p.Encode(), h.replicas(), nil)
+		}
+	}
+}
+
+// ShareInventory reports how many distinct column-key and slot-key share
+// coordinates the host currently holds for one mission column/slot —
+// conflicting variants of one coordinate count once. Exposed for tests and
+// churn-repair observability.
+func (h *Host) ShareInventory(mission MissionID, column, slot int) (colShares, slotShares int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ms, ok := h.missions[mission]
+	if !ok {
+		return 0, 0
+	}
+	distinct := func(shares []shamir.Share) int {
+		seen := make(map[uint8]bool, len(shares))
+		for _, s := range shares {
+			seen[s.X] = true
+		}
+		return len(seen)
+	}
+	return distinct(ms.colShares[column]), distinct(ms.slotShares[slotRef{column, slot}])
 }
 
 // scheduleHold arms the package's hold timer.
@@ -362,40 +489,20 @@ func (h *Host) advance(mission MissionID) {
 		return slotRefs[i].slot < slotRefs[j].slot
 	})
 
-	// Try peeling main onions with available column keys (granted, or
-	// recovered from shares).
+	// Try peeling main onions with available column keys: granted directly,
+	// or recovered from shares and validated against the onion itself.
 	for _, col := range mainCols {
-		hp := ms.mainSealed[col]
-		if hp.peeled != nil {
-			continue
-		}
-		key, ok := h.columnKeyLocked(ms, col)
-		if !ok {
-			continue
-		}
-		layer, err := onion.Peel(key, hp.pkt.Data)
-		if err != nil {
-			continue
-		}
-		layerCopy := layer
-		hp.peeled = &layerCopy
+		key, direct := ms.colKeys[col]
+		peelLocked(ms.mainSealed[col], key, direct, ms.colShares[col], func(k seal.Key) {
+			ms.colKeys[col] = k
+		})
 	}
 	// Slot onions likewise with slot keys.
 	for _, ref := range slotRefs {
-		hp := ms.slotSealed[ref]
-		if hp.peeled != nil {
-			continue
-		}
-		key, ok := h.slotKeyLocked(ms, ref)
-		if !ok {
-			continue
-		}
-		layer, err := onion.Peel(key, hp.pkt.Data)
-		if err != nil {
-			continue
-		}
-		layerCopy := layer
-		hp.peeled = &layerCopy
+		key, direct := ms.slotKeys[ref]
+		peelLocked(ms.slotSealed[ref], key, direct, ms.slotShares[ref], func(k seal.Key) {
+			ms.slotKeys[ref] = k
+		})
 	}
 
 	// Forward anything peeled and due.
@@ -420,46 +527,121 @@ func (h *Host) advance(mission MissionID) {
 	}
 }
 
-// columnKeyLocked returns the column key, recovering it from shares when
-// enough have arrived. Interpolating through all collected shares yields
-// the true key once the (unknown to the holder) threshold is met — the
-// authenticated onion layer is the success oracle.
-func (h *Host) columnKeyLocked(ms *missionState, col int) (seal.Key, bool) {
-	if key, ok := ms.colKeys[col]; ok {
-		return key, true
+// peelLocked attempts to open the held package with the directly-granted
+// key or, failing that, with candidate keys recovered from subsets of the
+// collected shares — the authenticated onion layer is the success oracle
+// that tells a true threshold interpolation from garbage, so stale,
+// churn-duplicated or adversary-injected shares can delay recovery but
+// never poison it. A key the oracle confirms is cached through cache so
+// later peels (and re-grants) skip the search. Callers hold h.mu.
+func peelLocked(hp *heldPackage, key seal.Key, direct bool, shares []shamir.Share, cache func(seal.Key)) {
+	if hp == nil || hp.peeled != nil {
+		return
 	}
-	shares := ms.colShares[col]
-	if len(shares) == 0 {
-		return seal.Key{}, false
+	if direct {
+		if layer, err := onion.Peel(key, hp.pkt.Data); err == nil {
+			hp.peeled = &layer
+		}
+		return
 	}
-	raw, err := shamir.Combine(shares, len(shares))
-	if err != nil {
-		return seal.Key{}, false
+	if len(shares) == hp.triedShares {
+		return // nothing new since the last failed recovery
 	}
-	key, err := seal.KeyFromBytes(raw)
-	if err != nil {
-		return seal.Key{}, false
+	hp.triedShares = len(shares)
+	for _, cand := range shareKeyCandidates(shares) {
+		if layer, err := onion.Peel(cand, hp.pkt.Data); err == nil {
+			hp.peeled = &layer
+			cache(cand)
+			return
+		}
 	}
-	return key, true
 }
 
-func (h *Host) slotKeyLocked(ms *missionState, ref slotRef) (seal.Key, bool) {
-	if key, ok := ms.slotKeys[ref]; ok {
-		return key, true
+// maxShareCombines bounds the subset interpolations of one recovery attempt:
+// the honest no-conflict path needs a single combine, one poisoned share
+// needs a leave-one-out round, and anything past the bound (mass injection)
+// degrades to waiting for more honest material rather than burning CPU.
+const maxShareCombines = 512
+
+// shareKeyCandidates interpolates candidate keys from subsets of the
+// collected shares, larger subsets first: with h consistent honest shares at
+// or above the (holder-unknown) threshold, the all-honest subset of size h
+// is reached before any smaller — and therefore underdetermined — one.
+// Subsets carrying duplicate X coordinates (conflicting variants) are
+// rejected by Combine itself and skipped; candidate keys are deduplicated.
+// The order is deterministic, which keeps whole-scenario runs reproducible.
+func shareKeyCandidates(shares []shamir.Share) []seal.Key {
+	n := len(shares)
+	if n == 0 {
+		return nil
 	}
-	shares := ms.slotShares[ref]
-	if len(shares) == 0 {
-		return seal.Key{}, false
+	var (
+		out      []seal.Key
+		seen     map[seal.Key]bool
+		combines int
+	)
+	try := func(sub []shamir.Share) {
+		combines++
+		raw, err := shamir.Combine(sub, len(sub))
+		if err != nil {
+			return
+		}
+		key, err := seal.KeyFromBytes(raw)
+		if err != nil {
+			return
+		}
+		if seen == nil {
+			seen = make(map[seal.Key]bool)
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, key)
+		}
 	}
-	raw, err := shamir.Combine(shares, len(shares))
-	if err != nil {
-		return seal.Key{}, false
+	if n <= 16 {
+		sub := make([]shamir.Share, 0, n)
+		var rec func(start, size int)
+		rec = func(start, size int) {
+			if combines >= maxShareCombines {
+				return
+			}
+			if len(sub) == size {
+				try(sub)
+				return
+			}
+			for i := start; i <= n-(size-len(sub)); i++ {
+				sub = append(sub, shares[i])
+				rec(i+1, size)
+				sub = sub[:len(sub)-1]
+			}
+		}
+		for size := n; size >= 1 && combines < maxShareCombines; size-- {
+			rec(0, size)
+		}
+		return out
 	}
-	key, err := seal.KeyFromBytes(raw)
-	if err != nil {
-		return seal.Key{}, false
+	// Collections too large to enumerate exhaustively: the full set, then
+	// every single and pair exclusion — tolerating up to two poisoned shares
+	// without an exponential search.
+	try(shares)
+	sub := make([]shamir.Share, 0, n-1)
+	for i := 0; i < n && combines < maxShareCombines; i++ {
+		sub = append(sub[:0], shares[:i]...)
+		sub = append(sub, shares[i+1:]...)
+		try(sub)
 	}
-	return key, true
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n && combines < maxShareCombines; j++ {
+			sub = sub[:0]
+			for t, s := range shares {
+				if t != i && t != j {
+					sub = append(sub, s)
+				}
+			}
+			try(sub)
+		}
+	}
+	return out
 }
 
 // forwardMainLocked builds the forwarding action for a peeled, due main
@@ -527,12 +709,16 @@ func (h *Host) forwardSlotLocked(mission MissionID, ref slotRef, hp *heldPackage
 			}
 			switch blob[0] {
 			case shareTagColumn:
+				// Width rides along so any receiving custodian can repair
+				// the whole column's share custody (column-key shares fan
+				// out to every carrier).
 				for s, hop := range hops {
 					node.SendToOwners(hop, Packet{
 						Mission:   mission,
 						Kind:      PkColShare,
 						Column:    uint16(nextCol),
 						Slot:      uint16(s),
+						Width:     uint16(len(hops)),
 						HoldUntil: pkt.HoldUntil + pkt.Step,
 						Step:      pkt.Step,
 						Data:      blob[1:],

@@ -155,6 +155,13 @@ func ParseShare(blob []byte) (x uint8, data []byte, err error) {
 	return parseShareBlob(blob)
 }
 
+// EncodeShareBlob renders a Shamir share coordinate as the payload of a
+// PkColShare/PkSlotShare packet — the inverse of ParseShare. Exported for
+// the packet fuzz targets.
+func EncodeShareBlob(x uint8, data []byte) []byte {
+	return shareBlob(x, data)
+}
+
 // ShareKind discriminates the tagged share blobs embedded in slot-onion
 // layers.
 type ShareKind uint8

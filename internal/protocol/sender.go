@@ -335,20 +335,21 @@ func dispatchShare(node *dht.Node, m Mission) (int, error) {
 			Data:      wrapped,
 		})
 		sent++
-		// Column 1 keys are delivered directly at start time. Share-scheme
-		// grants deliberately carry no Width/Step repair metadata: layer
-		// keys for columns >= 2 exist only as Shamir shares scattered
-		// across carriers, so no single custodian could re-grant them, and
-		// the scheme's churn tolerance comes from its thresholds instead —
-		// matching the Monte Carlo model, which applies repair only to the
-		// multipath schemes.
+		// Column 1 keys are delivered directly at start time, with repair
+		// metadata so replacement entry carriers regain them within the
+		// first holding period (layer keys for columns >= 2 exist only as
+		// Shamir shares, which repair through the share re-grant path of
+		// scheduleShareRefresh instead).
 		send(node, SlotID(m.ID, 1, s), m, Packet{
-			Mission: m.ID,
-			Kind:    PkKeyGrant,
-			Column:  1,
-			Slot:    uint16(s),
-			X:       keyGrantSlot,
-			Data:    slotKeys[1][s].Bytes(),
+			Mission:   m.ID,
+			Kind:      PkKeyGrant,
+			Column:    1,
+			Slot:      uint16(s),
+			Width:     1,
+			X:         keyGrantSlot,
+			HoldUntil: m.Start.Add(hold).UnixNano(),
+			Step:      int64(hold),
+			Data:      slotKeys[1][s].Bytes(),
 		})
 		sent++
 	}
@@ -389,12 +390,15 @@ func dispatchShare(node *dht.Node, m Mission) (int, error) {
 		})
 		sent++
 		send(node, SlotID(m.ID, 1, s), m, Packet{
-			Mission: m.ID,
-			Kind:    PkKeyGrant,
-			Column:  1,
-			Slot:    uint16(s),
-			X:       keyGrantColumn,
-			Data:    columnKeys[1].Bytes(),
+			Mission:   m.ID,
+			Kind:      PkKeyGrant,
+			Column:    1,
+			Slot:      uint16(s),
+			Width:     uint16(k),
+			X:         keyGrantColumn,
+			HoldUntil: firstHold,
+			Step:      int64(hold),
+			Data:      columnKeys[1].Bytes(),
 		})
 		sent++
 	}

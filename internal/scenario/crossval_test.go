@@ -1,6 +1,7 @@
 package scenario_test
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -18,9 +19,10 @@ import (
 // live measurement carries.
 //
 // Live/model agreement holds at the ~2% level for the central and multipath
-// schemes; the key share scheme's just-in-time share machinery has live
-// failure modes the coarse column-loss model does not capture and is
-// exercised, but not cross-validated, here.
+// schemes against their shared model, and for the key share scheme against
+// the live-faithful mc.ShareModelLive references (the coarse column-loss
+// models miss both the nested-custody release exposure and the chained
+// per-slot survival the executable protocol exhibits).
 
 // run executes a scenario and logs its comparison table.
 func run(t *testing.T, cfg scenario.Config) *scenario.Report {
@@ -105,6 +107,106 @@ func TestCrossValidateJointPureChurn(t *testing.T) {
 	lo, hi := report.Live.DeliverCI()
 	if mcRd := report.MCDelivery.Rd(); mcRd < lo || mcRd > hi {
 		t.Errorf("model delivery %.3f outside live 95%% Wilson interval [%.3f, %.3f]", mcRd, lo, hi)
+	}
+}
+
+// TestCrossValidateShareNoChurn cross-validates the key share scheme's
+// release-ahead exposure: at p = 0.15 the live adversary recovers ~14% of
+// missions at start time — twenty times the coarse column-loss model's
+// prediction, because the column-1 slot onions nest the whole future share
+// chain — and the live-faithful reference model must agree, in both
+// directions. Delivery without churn or drop is lossless on both sides.
+func TestCrossValidateShareNoChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation is slow")
+	}
+	report := run(t, scenario.Config{
+		Nodes:         500,
+		MaliciousRate: 0.15,
+		Missions:      300,
+		Plan:          core.Plan{Scheme: core.SchemeKeyShare, K: 2, L: 3, ShareN: 5, ShareM: []int{2, 2}},
+		MCTrials:      300,
+		Seed:          5,
+	})
+	assertAgreement(t, report)
+	if report.Live.Delivered != report.Live.Missions {
+		t.Errorf("share scheme lost %d/%d missions without churn or drop",
+			report.Live.Missions-report.Live.Delivered, report.Live.Missions)
+	}
+	// The release exposure is real and well-centered: the live rate sits
+	// within the per-seed network-level scatter (+-0.06, measured across
+	// seeds: the 300 missions of one run share a zone map, so their
+	// effective Sybil rate is a network-level random variable) of a
+	// high-precision live-model estimate, and far above the coarse quota
+	// model's every-column-thresholds rate.
+	precise, err := mc.Estimate(report.Config.Plan, mc.Env{
+		Population: 500, Malicious: 75, ShareModel: mc.ShareModelLive,
+	}, mc.Options{Trials: 50000, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveRel := 1 - report.Live.Rr()
+	if preciseRel := 1 - precise.Rr(); math.Abs(liveRel-preciseRel) > 0.06 {
+		t.Errorf("live release %.4f vs precise live-model %.4f: outside the network-level scatter band",
+			liveRel, preciseRel)
+	}
+	quota, err := mc.Estimate(report.Config.Plan, mc.Env{
+		Population: 500, Malicious: 75, ShareModel: mc.ShareModelQuota,
+	}, mc.Options{Trials: 50000, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liveRel < 5*(1-quota.Rr()) {
+		t.Errorf("live release %.3f vs quota-model %.3f: nested-custody exposure vanished?",
+			liveRel, 1-quota.Rr())
+	}
+}
+
+// TestCrossValidateShareChurn is the churn cross-validation of the key
+// share scheme: a 1000-node network at alpha = 1 under a 10% Sybil drop
+// attack. Delivery is dominated by chained slot survival (the live model's
+// refinement over per-column independence — the coarse models sit 15-30
+// points too high here), and agreement must hold per-point in the Wilson
+// sense for both release and delivery.
+func TestCrossValidateShareChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation is slow")
+	}
+	report := run(t, scenario.Config{
+		Nodes:         1000,
+		MaliciousRate: 0.1,
+		Drop:          true,
+		Alpha:         1,
+		Missions:      250,
+		Plan:          core.Plan{Scheme: core.SchemeKeyShare, K: 2, L: 3, ShareN: 5, ShareM: []int{2, 2}},
+		MCTrials:      250,
+		Seed:          6,
+	})
+	assertAgreement(t, report)
+	// Churn really ran: alpha = 1 over the mission span kills the population
+	// roughly twice, and every death was replaced.
+	if report.Deaths < 1000 {
+		t.Errorf("only %d deaths in a 1000-node alpha=1 scenario", report.Deaths)
+	}
+	if report.Joins != report.Deaths {
+		t.Errorf("%d deaths but %d replacement joins", report.Deaths, report.Joins)
+	}
+	// The chained live model must beat the per-column models decisively: its
+	// delivery estimate sits close to the live rate, the binomial ablation's
+	// far above it.
+	env := mc.Env{Population: 1000, Malicious: 100, Alpha: 1, ShareModel: mc.ShareModelLive}
+	live, err := mc.Estimate(report.Config.Plan, env, mc.Options{Trials: 50000, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.ShareModel = mc.ShareModelBinomial
+	binom, err := mc.Estimate(report.Config.Plan, env, mc.Options{Trials: 50000, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveRate := report.Live.Rd()
+	if gapLive, gapBinom := math.Abs(liveRate-live.Rd()), math.Abs(liveRate-binom.Rd()); gapLive > gapBinom/2 {
+		t.Errorf("chained model gap %.3f not clearly below per-column model gap %.3f", gapLive, gapBinom)
 	}
 }
 

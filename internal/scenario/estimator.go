@@ -32,6 +32,11 @@ type Estimator struct {
 	// MCTrials sizes the Monte Carlo references (default: Missions, so the
 	// Wilson agreement check reflects the live sampling noise).
 	MCTrials int
+	// ShareModel pins the key-share model of the matched references for
+	// every point of the sweep (default: Config.ShareModel's resolution,
+	// mc.ShareModelLive for key-share plans). Part of the reference cache
+	// key, so pinned and unpinned sweeps never share entries.
+	ShareModel mc.ShareModel
 
 	mu   sync.Mutex
 	refs map[string]*refEntry
@@ -87,6 +92,7 @@ func (e *Estimator) config(pt experiment.Point) (Config, error) {
 		Replicas:      pt.Replicas,
 		Latency:       e.Latency,
 		MCTrials:      mcTrials,
+		ShareModel:    e.ShareModel,
 		Seed:          pt.Seed,
 	}, nil
 }

@@ -67,7 +67,10 @@ func TestLiveSweepAgreesWithMC(t *testing.T) {
 
 // TestLiveSweepDeterministicAcrossWorkerCounts: each live point owns its
 // private simulator and fabric, so the emitted sweep must be byte-identical
-// whether points ran sequentially or in parallel.
+// whether points ran sequentially or in parallel. The scheme axis includes
+// the key share scheme, exercising the live share path — just-in-time share
+// scatter, oracle-validated threshold recovery, share re-grant repair — and
+// its matched live-model references under both execution shapes.
 func TestLiveSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("live sweeps are slow")
@@ -76,14 +79,25 @@ func TestLiveSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	sw := experiment.Sweep{
 		Name: "live-det",
 		Seed: 11,
-		Base: experiment.Point{Network: 120, Alpha: 1, Drop: true, K: 2, L: 2, Scheme: core.SchemeJoint},
-		Axes: []experiment.Axis{experiment.RangeAxis("p", 0, 0.2, 0.2)},
+		Base: experiment.Point{
+			Network: 120, Alpha: 1, Drop: true,
+			K: 2, L: 2, ShareN: 4, ShareM: []int{2}, Scheme: core.SchemeJoint,
+		},
+		Axes: []experiment.Axis{
+			experiment.RangeAxis("p", 0, 0.2, 0.2),
+			experiment.SchemeAxis(core.SchemeJoint, core.SchemeKeyShare),
+		},
 	}
 	var outputs [][]byte
 	for _, parallel := range []int{1, 4} {
 		rs, err := experiment.Runner{Estimator: est(), Parallel: parallel}.Run(sw)
 		if err != nil {
 			t.Fatal(err)
+		}
+		for _, res := range rs.Results {
+			if !res.HasReference {
+				t.Fatalf("live point %d (%s) has no Monte Carlo reference", res.Point.Index, res.Point.Series)
+			}
 		}
 		var csv bytes.Buffer
 		if err := rs.WriteCSV(&csv); err != nil {

@@ -64,6 +64,15 @@ type Config struct {
 	Latency time.Duration
 	// MCTrials sizes the Monte Carlo reference estimate (default 2000).
 	MCTrials int
+	// ShareModel pins the key-share churn-loss and release-exposure model of
+	// the matched Monte Carlo references. The default (mc.ShareModelDefault)
+	// resolves to mc.ShareModelLive for key-share plans — the chained,
+	// protocol-faithful model that the live measurements cross-validate
+	// against — and is ignored for the other schemes. Sweeps that want the
+	// paper's coarse column-loss reference instead pin mc.ShareModelQuota
+	// (or mc.ShareModelBinomial for the ablation); the pinned value is part
+	// of the reference cache key.
+	ShareModel mc.ShareModel
 	// Seed makes the whole run — node IDs, malicious marking, lifetimes,
 	// mission placement — reproducible.
 	Seed uint64
@@ -116,6 +125,20 @@ func (c Config) withDefaults() (Config, error) {
 		return c, fmt.Errorf("scenario: %w", err)
 	}
 	return c, nil
+}
+
+// shareModel resolves the reference share model: an explicitly pinned value
+// wins; otherwise key-share plans default to the live-faithful chained model
+// (that is what the protocol stack being measured does) and the remaining
+// schemes, which ignore the knob, stay on the zero value.
+func (c Config) shareModel() mc.ShareModel {
+	if c.ShareModel != mc.ShareModelDefault {
+		return c.ShareModel
+	}
+	if c.Plan.Scheme == core.SchemeKeyShare {
+		return mc.ShareModelLive
+	}
+	return mc.ShareModelDefault
 }
 
 // maliciousCount mirrors the Network's marking: floor(p*N), capped to the
@@ -343,9 +366,9 @@ type Reference struct {
 // Key returns a canonical cache key: two references with the same key
 // produce byte-identical estimates.
 func (r Reference) Key() string {
-	return fmt.Sprintf("%v/%d/%d/%d/%v|N%d m%d a%g b%v|t%d s%d",
+	return fmt.Sprintf("%v/%d/%d/%d/%v|N%d m%d a%g sm%v|t%d s%d",
 		r.Plan.Scheme, r.Plan.K, r.Plan.L, r.Plan.ShareN, r.Plan.ShareM,
-		r.Env.Population, r.Env.Malicious, r.Env.Alpha, r.Env.BinomialShareDeaths,
+		r.Env.Population, r.Env.Malicious, r.Env.Alpha, r.Env.ShareModel,
 		r.Trials, r.Seed)
 }
 
@@ -363,10 +386,10 @@ func (r Reference) Estimate() (mc.Result, error) {
 // faithfully.
 func (c Config) References() (release, deliver Reference) {
 	env := mc.Env{
-		Population:          c.Nodes,
-		Malicious:           c.maliciousCount(),
-		Alpha:               c.Alpha,
-		BinomialShareDeaths: c.Plan.Scheme == core.SchemeKeyShare,
+		Population: c.Nodes,
+		Malicious:  c.maliciousCount(),
+		Alpha:      c.Alpha,
+		ShareModel: c.shareModel(),
 	}
 	release = Reference{Plan: c.Plan, Env: env, Trials: c.MCTrials, Seed: c.Seed + 101}
 	if c.Drop {
