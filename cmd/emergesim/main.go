@@ -22,6 +22,12 @@
 //	emergesim sweep -estimator live -axis p=0:0.3:0.1 -axis scheme=central,joint \
 //	    -nodes 500 -alpha 1 -k 3 -l 2 -missions 100 -format csv
 //	emergesim scenario -nodes 1000 -p 0.1 -alpha 1 -drop -k 3 -l 2 -missions 200
+//	emergesim scenario -nodes 10000 -missions 1000 -shards 8 -p 0.1 -alpha 1
+//
+// Live points accept -shards S: the point's missions are partitioned over S
+// independent network replicas executed concurrently across cores (each with
+// its own zone map), merged deterministically — the lever for very large
+// network-size and mission-count axes.
 package main
 
 import (
@@ -108,6 +114,7 @@ func runSweep(args []string) {
 		replicas  = fs.Int("replicas", 1, "packet replica count (live; 1 = model-faithful)")
 		trials    = fs.Int("trials", 1000, "Monte Carlo trials per point (mc estimator)")
 		missions  = fs.Int("missions", 100, "live emergence trials per point (live estimator)")
+		shards    = fs.Int("shards", 1, "independent network replicas per live point, run in parallel (live estimator)")
 		emerging  = fs.Duration("emerging", 2*time.Hour, "emerging period T (live estimator)")
 		mcTrials  = fs.Int("mc-trials", 0, "live reference trials (0 = missions)")
 		shareMod  = fs.String("share-model", "default", "key-share loss model: default|quota|binomial|live (mc points, live references)")
@@ -127,8 +134,8 @@ func runSweep(args []string) {
 	setFlags := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 	irrelevant := map[string][]string{
-		"analytic": {"trials", "missions", "emerging", "mc-trials", "share-model"},
-		"mc":       {"missions", "emerging", "mc-trials"},
+		"analytic": {"trials", "missions", "shards", "emerging", "mc-trials", "share-model"},
+		"mc":       {"missions", "shards", "emerging", "mc-trials"},
 		"live":     {"trials"},
 	}
 	for _, name := range irrelevant[*estimator] {
@@ -167,7 +174,7 @@ func runSweep(args []string) {
 		// byte-identical across machines, not just across -workers values.
 		est = experiment.MonteCarlo{Trials: *trials, Workers: 1, ShareModel: model}
 	case "live":
-		est = &scenario.Estimator{Missions: *missions, Emerging: *emerging, MCTrials: *mcTrials, ShareModel: model}
+		est = &scenario.Estimator{Missions: *missions, Shards: *shards, Emerging: *emerging, MCTrials: *mcTrials, ShareModel: model}
 	default:
 		fatalf(2, "unknown estimator %q (want analytic|mc|live)", *estimator)
 	}
@@ -209,6 +216,7 @@ func runScenario(args []string) {
 		alpha    = fs.Float64("alpha", 1, "churn severity T/lifetime (0 disables churn)")
 		drop     = fs.Bool("drop", false, "drop attack instead of spying")
 		missions = fs.Int("missions", 100, "live emergence trials")
+		shards   = fs.Int("shards", 1, "independent network replicas run in parallel (each gets its own zone map)")
 		emerging = fs.Duration("emerging", 2*time.Hour, "emerging period T")
 		replicas = fs.Int("replicas", 1, "packet replica count (1 = model-faithful)")
 		mcTrials = fs.Int("mc-trials", 2000, "Monte Carlo reference trials")
@@ -232,6 +240,7 @@ func runScenario(args []string) {
 		Alpha:         *alpha,
 		Emerging:      *emerging,
 		Missions:      *missions,
+		Shards:        *shards,
 		Plan:          plan,
 		Replicas:      *replicas,
 		MCTrials:      *mcTrials,

@@ -36,6 +36,13 @@
 // equations (internal/analytic), the Monte Carlo model (internal/mc), or
 // live missions through the full protocol stack (internal/scenario), each
 // live point booting a private simulator so sweeps scale across cores.
+// A single live point scales across cores too: scenario.Config.Shards = S
+// partitions its missions over S independent network replicas (each a
+// private simulator, fabric and zone map seeded from a substream of the
+// point seed), run concurrently and merged in fixed shard order — results
+// are byte-identical regardless of GOMAXPROCS or worker counts, and S is
+// part of the point descriptor: it selects S independent network
+// compositions to average over, shrinking per-network scatter ~sqrt(S).
 // The "emergesim sweep" subcommand exposes the engine on the command line;
 // the figure names (fig6a..fig8) are canned sweep specs.
 //

@@ -9,6 +9,7 @@ package dht
 import (
 	"bytes"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
 	"math/bits"
@@ -104,5 +105,35 @@ func (id ID) BucketIndex(peer ID) (int, bool) {
 
 // CloserTo reports whether a is closer to id than b under XOR distance.
 func (id ID) CloserTo(a, b ID) bool {
-	return id.XOR(a).Less(id.XOR(b))
+	return id.DistanceCompare(a, b) < 0
+}
+
+// DistanceCompare orders a and b by XOR distance from id: -1 when a is
+// closer, +1 when b is, 0 at equal distance (only when a == b). It is the
+// comparison at the core of every routing decision — bucket sorts, shortlist
+// sorts, owner resolution — so it works word-wise on big-endian lanes
+// without materializing the distance arrays XOR would build.
+func (id ID) DistanceCompare(a, b ID) int {
+	for ofs := 0; ofs+8 <= IDBytes; ofs += 8 {
+		w := binary.BigEndian.Uint64(id[ofs:])
+		wa := binary.BigEndian.Uint64(a[ofs:]) ^ w
+		wb := binary.BigEndian.Uint64(b[ofs:]) ^ w
+		if wa != wb {
+			if wa < wb {
+				return -1
+			}
+			return 1
+		}
+	}
+	w := binary.BigEndian.Uint32(id[IDBytes-4:])
+	wa := binary.BigEndian.Uint32(a[IDBytes-4:]) ^ w
+	wb := binary.BigEndian.Uint32(b[IDBytes-4:]) ^ w
+	switch {
+	case wa < wb:
+		return -1
+	case wa > wb:
+		return 1
+	default:
+		return 0
+	}
 }

@@ -3,7 +3,7 @@ package dht
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -138,7 +138,7 @@ func (n *Node) Close() error {
 	for id := range pending {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	for _, id := range ids {
 		p := pending[id]
 		p.timer.Stop()

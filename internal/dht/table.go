@@ -1,7 +1,8 @@
 package dht
 
 import (
-	"sort"
+	"bytes"
+	"slices"
 	"sync"
 	"time"
 
@@ -98,23 +99,65 @@ func (t *Table) Remove(id ID) {
 }
 
 // Closest returns up to count contacts closest to target under XOR
-// distance.
+// distance. This is the per-message hot path (every FIND_NODE handler and
+// every lookup bootstrap runs it), so instead of sorting the whole table it
+// runs an exact bounded selection: a count-sized max-heap on precomputed
+// distances — most contacts fall to one comparison against the heap root —
+// followed by a final sort of just the survivors. Distances are unique
+// (distinct IDs), so the selected set and its order match a full sort
+// exactly.
 func (t *Table) Closest(target ID, count int) []Contact {
+	type ranked struct {
+		dist ID
+		c    Contact
+	}
+	farther := func(a, b ranked) bool { return bytes.Compare(a.dist[:], b.dist[:]) > 0 }
+	heap := make([]ranked, 0, count)
 	t.mu.Lock()
-	all := make([]Contact, 0, count*2)
 	for i := range t.buckets {
 		for _, e := range t.buckets[i] {
-			all = append(all, e.Contact)
+			r := ranked{dist: target.XOR(e.ID), c: e.Contact}
+			if len(heap) < count {
+				// Grow phase: sift the newcomer up the max-heap.
+				heap = append(heap, r)
+				for j := len(heap) - 1; j > 0; {
+					parent := (j - 1) / 2
+					if !farther(heap[j], heap[parent]) {
+						break
+					}
+					heap[j], heap[parent] = heap[parent], heap[j]
+					j = parent
+				}
+			} else if len(heap) > 0 && farther(heap[0], r) {
+				// Replacement phase: evict the farthest kept contact.
+				heap[0] = r
+				for j := 0; ; {
+					l, rgt := 2*j+1, 2*j+2
+					largest := j
+					if l < len(heap) && farther(heap[l], heap[largest]) {
+						largest = l
+					}
+					if rgt < len(heap) && farther(heap[rgt], heap[largest]) {
+						largest = rgt
+					}
+					if largest == j {
+						break
+					}
+					heap[j], heap[largest] = heap[largest], heap[j]
+					j = largest
+				}
+			}
 		}
 	}
 	t.mu.Unlock()
-	sort.Slice(all, func(i, j int) bool {
-		return target.CloserTo(all[i].ID, all[j].ID)
+	slices.SortFunc(heap, func(a, b ranked) int {
+		return bytes.Compare(a.dist[:], b.dist[:])
 	})
-	if len(all) > count {
-		all = all[:count]
+	out := make([]Contact, len(heap))
+	for i, r := range heap {
+		out[i] = r.c
 	}
-	return all
+	return out
 }
 
 // Len returns the number of tracked contacts.

@@ -1,11 +1,29 @@
 package scenario_test
 
 import (
+	"runtime"
 	"testing"
 
 	"selfemerge/internal/core"
 	"selfemerge/internal/scenario"
 )
+
+// benchCfg is the shared shape of the scenario throughput benchmarks: a
+// 120-node live network under alpha=1 replacement churn and a 10% Sybil
+// drop attack, 30 missions, joint 2x2 plan.
+func benchCfg(missions, shards int) scenario.Config {
+	return scenario.Config{
+		Nodes:         120,
+		MaliciousRate: 0.1,
+		Drop:          true,
+		Alpha:         1,
+		Missions:      missions,
+		Shards:        shards,
+		Plan:          core.Plan{Scheme: core.SchemeJoint, K: 2, L: 2},
+		MCTrials:      1, // live throughput, not reference accuracy
+		Seed:          17,
+	}
+}
 
 // BenchmarkScenarioMissions measures live-scenario throughput — a full
 // 120-node churn + adversary network driving 30 concurrent missions through
@@ -14,16 +32,7 @@ import (
 // baseline is recorded in BENCH_scenario.json at the repository root.
 func BenchmarkScenarioMissions(b *testing.B) {
 	const missions = 30
-	cfg := scenario.Config{
-		Nodes:         120,
-		MaliciousRate: 0.1,
-		Drop:          true,
-		Alpha:         1,
-		Missions:      missions,
-		Plan:          core.Plan{Scheme: core.SchemeJoint, K: 2, L: 2},
-		MCTrials:      1, // live throughput, not reference accuracy
-		Seed:          17,
-	}
+	cfg := benchCfg(missions, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := scenario.Run(cfg); err != nil {
@@ -31,4 +40,25 @@ func BenchmarkScenarioMissions(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(missions*b.N)/b.Elapsed().Seconds(), "missions/sec")
+}
+
+// BenchmarkScenarioMissionsParallel is the sharded counterpart: the same
+// point partitioned over GOMAXPROCS independent network replicas executed
+// concurrently. The mission count scales with the shard count so every
+// shard drives the same per-network load as the serial benchmark, making
+// missions/sec directly comparable: on an S-core runner the sharded point
+// should approach S times the serial number. Baselined next to the serial
+// benchmark in BENCH_scenario.json.
+func BenchmarkScenarioMissionsParallel(b *testing.B) {
+	shards := runtime.GOMAXPROCS(0)
+	missions := 30 * shards
+	cfg := benchCfg(missions, shards)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(missions*b.N)/b.Elapsed().Seconds(), "missions/sec")
+	b.ReportMetric(float64(shards), "shards")
 }

@@ -110,6 +110,24 @@ func TestCrossValidateJointPureChurn(t *testing.T) {
 	}
 }
 
+// Seed selection for the share-scheme cross-validations. A live share point
+// carries network-level scatter on top of per-mission noise: all missions of
+// one network share a zone map, so the effective Sybil fraction the share
+// chain meets is a per-network random variable (measured at +-0.06 release
+// rate across seeds at N=500, p=0.15). The rule for picking a seed is
+// therefore two-sided: (1) the live rates must fall inside the matched
+// reference's 95% Wilson interval — the assertAgreement bound every seed
+// must clear — and (2) the candidate must not be a lucky outlier, checked by
+// validating the same config across at least three seeds (PR 3 used {3, 6,
+// 7} for the churn point and committed 6) and, where the test asserts it,
+// by requiring the live rate within the scatter band of a high-precision
+// live-model estimate. Sharding tightens, never loosens, this rule: a
+// Shards=S point averages S independent zone maps, shrinking the
+// network-level scatter roughly by sqrt(S), so the unsharded seeds remain
+// valid for their unsharded tests (shards=1 leaves their streams untouched)
+// and the sharded variant below re-validated seed 6 — along with 3 and 7 —
+// under its S=5 shard streams before committing it.
+
 // TestCrossValidateShareNoChurn cross-validates the key share scheme's
 // release-ahead exposure: at p = 0.15 the live adversary recovers ~14% of
 // missions at start time — twenty times the coarse column-loss model's
@@ -207,6 +225,40 @@ func TestCrossValidateShareChurn(t *testing.T) {
 	liveRate := report.Live.Rd()
 	if gapLive, gapBinom := math.Abs(liveRate-live.Rd()), math.Abs(liveRate-binom.Rd()); gapLive > gapBinom/2 {
 		t.Errorf("chained model gap %.3f not clearly below per-column model gap %.3f", gapLive, gapBinom)
+	}
+}
+
+// TestCrossValidateShareChurnSharded is the sharded replica of the share
+// churn cross-validation: the same 1000-node alpha=1 drop-attack point, its
+// 250 missions partitioned over 5 independent network replicas (50 missions
+// and a private zone map each). Agreement must hold exactly as for the
+// single-network point — the shards change which random streams are sampled,
+// not what they estimate — and the shard fan-out itself must merge
+// deterministically (covered structurally by the shard engine tests; here
+// the statistical contract is on trial).
+func TestCrossValidateShareChurnSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation is slow")
+	}
+	report := run(t, scenario.Config{
+		Nodes:         1000,
+		MaliciousRate: 0.1,
+		Drop:          true,
+		Alpha:         1,
+		Missions:      250,
+		Shards:        5,
+		Plan:          core.Plan{Scheme: core.SchemeKeyShare, K: 2, L: 3, ShareN: 5, ShareM: []int{2, 2}},
+		MCTrials:      250,
+		Seed:          6, // re-validated across seeds {3, 6, 7} under S=5; see the seed rule above
+	})
+	assertAgreement(t, report)
+	// Five populations of 1000 under alpha=1 churn: the merged death count
+	// spans all shards, roughly 5x the single-network trajectory.
+	if report.Deaths < 5000 {
+		t.Errorf("only %d deaths across 5 sharded 1000-node alpha=1 networks", report.Deaths)
+	}
+	if report.Joins != report.Deaths {
+		t.Errorf("%d deaths but %d replacement joins", report.Deaths, report.Joins)
 	}
 }
 

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"runtime"
 	"sync"
 	"time"
 
@@ -37,6 +38,19 @@ type Estimator struct {
 	// mc.ShareModelLive for key-share plans). Part of the reference cache
 	// key, so pinned and unpinned sweeps never share entries.
 	ShareModel mc.ShareModel
+	// Shards partitions every point's missions across this many independent
+	// network replicas, executed concurrently under the sweep-wide budget
+	// (default 1). Part of each point's descriptor and reference cache key.
+	Shards int
+	// Concurrency caps how many shard event loops run at once across the
+	// whole sweep (default GOMAXPROCS) — the shared budget between the
+	// runner's point-level workers and the shards inside each point, so
+	// Parallel x Shards goroutines never oversubscribe the cores. Execution
+	// detail only: results are byte-identical for any value.
+	Concurrency int
+
+	budgetOnce sync.Once
+	budget     *Budget
 
 	mu   sync.Mutex
 	refs map[string]*refEntry
@@ -93,8 +107,22 @@ func (e *Estimator) config(pt experiment.Point) (Config, error) {
 		Latency:       e.Latency,
 		MCTrials:      mcTrials,
 		ShareModel:    e.ShareModel,
+		Shards:        e.Shards,
+		Budget:        e.sharedBudget(),
 		Seed:          pt.Seed,
 	}, nil
+}
+
+// sharedBudget lazily builds the sweep-wide shard concurrency budget.
+func (e *Estimator) sharedBudget() *Budget {
+	e.budgetOnce.Do(func() {
+		slots := e.Concurrency
+		if slots <= 0 {
+			slots = runtime.GOMAXPROCS(0)
+		}
+		e.budget = NewBudget(slots)
+	})
+	return e.budget
 }
 
 // Estimate implements experiment.Estimator: the live measurement of Measure

@@ -66,16 +66,19 @@ func TestLiveSweepAgreesWithMC(t *testing.T) {
 }
 
 // TestLiveSweepDeterministicAcrossWorkerCounts: each live point owns its
-// private simulator and fabric, so the emitted sweep must be byte-identical
-// whether points ran sequentially or in parallel. The scheme axis includes
-// the key share scheme, exercising the live share path — just-in-time share
-// scatter, oracle-validated threshold recovery, share re-grant repair — and
-// its matched live-model references under both execution shapes.
+// private simulator and fabric — and with Shards > 1, several of them — so
+// the emitted sweep must be byte-identical across every execution shape: the
+// runner's worker count {1, 4} crossed with GOMAXPROCS {1, NumCPU}. The
+// scheme axis includes the key share scheme, exercising the live share path
+// — just-in-time share scatter, oracle-validated threshold recovery, share
+// re-grant repair — and its matched live-model references under all shapes;
+// Shards=2 on the estimator makes every point fan out inside the worker
+// pool through the shared concurrency budget.
 func TestLiveSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("live sweeps are slow")
 	}
-	est := func() *scenario.Estimator { return &scenario.Estimator{Missions: 30} }
+	est := func() *scenario.Estimator { return &scenario.Estimator{Missions: 30, Shards: 2} }
 	sw := experiment.Sweep{
 		Name: "live-det",
 		Seed: 11,
@@ -88,9 +91,18 @@ func TestLiveSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 			experiment.SchemeAxis(core.SchemeJoint, core.SchemeKeyShare),
 		},
 	}
+	type shape struct{ gomaxprocs, parallel int }
+	var shapes []shape
+	for _, gmp := range []int{1, runtime.NumCPU()} {
+		for _, parallel := range []int{1, 4} {
+			shapes = append(shapes, shape{gmp, parallel})
+		}
+	}
 	var outputs [][]byte
-	for _, parallel := range []int{1, 4} {
-		rs, err := experiment.Runner{Estimator: est(), Parallel: parallel}.Run(sw)
+	for _, sh := range shapes {
+		prev := runtime.GOMAXPROCS(sh.gomaxprocs)
+		rs, err := experiment.Runner{Estimator: est(), Parallel: sh.parallel}.Run(sw)
+		runtime.GOMAXPROCS(prev)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,14 +111,20 @@ func TestLiveSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 				t.Fatalf("live point %d (%s) has no Monte Carlo reference", res.Point.Index, res.Point.Series)
 			}
 		}
-		var csv bytes.Buffer
-		if err := rs.WriteCSV(&csv); err != nil {
+		var out bytes.Buffer
+		if err := rs.WriteCSV(&out); err != nil {
 			t.Fatal(err)
 		}
-		outputs = append(outputs, csv.Bytes())
+		if err := rs.WriteJSON(&out); err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, out.Bytes())
 	}
-	if !bytes.Equal(outputs[0], outputs[1]) {
-		t.Errorf("live sweep differs across worker counts:\nseq:\n%s\npar:\n%s", outputs[0], outputs[1])
+	for i := 1; i < len(outputs); i++ {
+		if !bytes.Equal(outputs[0], outputs[i]) {
+			t.Errorf("live sweep differs between shape %+v and %+v:\n%s\nvs:\n%s",
+				shapes[0], shapes[i], outputs[0], outputs[i])
+		}
 	}
 }
 

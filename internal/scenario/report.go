@@ -17,9 +17,9 @@ func (r *Report) WriteTable(w io.Writer) error {
 		attack = "drop"
 	}
 	if _, err := fmt.Fprintf(w,
-		"scenario %s k=%d l=%d: N=%d p=%.3f alpha=%.2f attack=%s replicas=%d missions=%d emerging=%s seed=%d\n",
+		"scenario %s k=%d l=%d: N=%d p=%.3f alpha=%.2f attack=%s replicas=%d missions=%d shards=%d emerging=%s seed=%d\n",
 		cfg.Plan.Scheme, cfg.Plan.K, cfg.Plan.L, cfg.Nodes, cfg.MaliciousRate,
-		cfg.Alpha, attack, cfg.Replicas, cfg.Missions, cfg.Emerging, cfg.Seed); err != nil {
+		cfg.Alpha, attack, cfg.Replicas, cfg.Missions, cfg.Shards, cfg.Emerging, cfg.Seed); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w,

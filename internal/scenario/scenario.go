@@ -13,6 +13,13 @@
 // holder slots by re-granting layer keys once per holding period. M missions
 // run concurrently through the live network; each is scored like one Monte
 // Carlo trial.
+//
+// A point may be sharded: Config.Shards = S partitions the M missions across
+// S independent network replicas, each with its own simulator, simnet fabric
+// and zone map, executed concurrently across cores and merged in fixed shard
+// order — so one huge live point is no longer bound to a single core, and
+// its missions average over S independent network compositions instead of
+// sharing one.
 package scenario
 
 import (
@@ -46,8 +53,24 @@ type Config struct {
 	// how much simulated time the run spans.
 	Emerging time.Duration
 	// Missions is the number of live emergence trials M (default 100). All
-	// missions run concurrently through the same network.
+	// of a shard's missions run concurrently through that shard's network.
 	Missions int
+	// Shards partitions the M missions across this many independent network
+	// replicas (default 1), each booted from its own substream of Seed with
+	// a private simulator and simnet fabric, executed concurrently across
+	// cores and merged in fixed shard order. S is part of the point
+	// descriptor, not an execution detail: changing it changes which random
+	// streams are sampled (S independent zone maps instead of one), but the
+	// merged result is byte-identical for a given (Config, S) regardless of
+	// GOMAXPROCS or how callers schedule the shards. Shards=1 reproduces the
+	// historical single-network run exactly. Clamped to Missions so every
+	// shard runs at least one mission.
+	Shards int
+	// Budget optionally caps how many shard event loops run at once; nil
+	// uses a private budget of min(Shards, GOMAXPROCS). The live estimator
+	// shares one budget across every point of a sweep. Execution throttle
+	// only — results never depend on it.
+	Budget *Budget
 	// Stagger spreads mission launches uniformly over this window (default:
 	// one emerging period). Missions sharing one network see the same churn
 	// trajectory; staggering exposes each to a different time slice, which
@@ -102,6 +125,15 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Missions < 1 {
 		return c, fmt.Errorf("scenario: missions %d must be >= 1", c.Missions)
+	}
+	if c.Shards < 0 {
+		return c, fmt.Errorf("scenario: shards %d must be >= 0", c.Shards)
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Shards > c.Missions {
+		c.Shards = c.Missions
 	}
 	if c.Stagger == 0 {
 		c.Stagger = c.Emerging
@@ -236,11 +268,23 @@ func (r *Report) AgreesWithMC() (release, deliver bool) {
 // Setup validates cfg, applies its defaults and boots the live network: the
 // first of the three phases (setup, drive, score) the experiment runner
 // composes. The returned Config is the defaulted one the later phases need.
+// Setup boots exactly one network, so it rejects multi-shard configs; use
+// Measure (or Run), which splits the point into per-shard configs and feeds
+// each through these same phases.
 func Setup(cfg Config) (Config, *selfemerge.Network, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return cfg, nil, err
 	}
+	if cfg.Shards > 1 {
+		return cfg, nil, fmt.Errorf("scenario: Setup boots one network; %d shards need Measure", cfg.Shards)
+	}
+	return boot(cfg)
+}
+
+// boot builds the single live network of one (already defaulted) shard
+// config.
+func boot(cfg Config) (Config, *selfemerge.Network, error) {
 	var lifetime time.Duration
 	if cfg.Alpha > 0 {
 		lifetime = time.Duration(float64(cfg.Emerging) / cfg.Alpha)
@@ -330,25 +374,26 @@ func Score(cfg Config, net *selfemerge.Network, msgs []*selfemerge.Message) Resu
 	return res
 }
 
-// Measure runs the live phases only — setup, drive, score — and returns a
-// report without the Monte Carlo references (Report.MC and MCDelivery stay
-// zero; Predicted and the churn/transport observability totals are filled).
-// The experiment runner uses it so matched references are computed once per
-// environment and shared across points instead of re-sampled inline.
+// Measure runs the live phases only — setup, drive, score, once per shard —
+// and returns a report without the Monte Carlo references (Report.MC and
+// MCDelivery stay zero; Predicted and the churn/transport observability
+// totals are filled). The experiment runner uses it so matched references
+// are computed once per environment and shared across points instead of
+// re-sampled inline. With Shards > 1 the shards execute concurrently (up to
+// the budget) and their outcomes merge in fixed shard order, so the report
+// is identical no matter how the shards were scheduled.
 func Measure(cfg Config) (*Report, error) {
 	began := time.Now()
-	cfg, net, err := Setup(cfg)
+	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	msgs, err := Drive(cfg, net)
-	if err != nil {
+	report := &Report{Config: cfg}
+	if err := measureShards(cfg, report); err != nil {
 		return nil, err
 	}
-	report := &Report{Config: cfg, Live: Score(cfg, net, msgs), Elapsed: time.Since(began)}
-	report.Deaths, report.Joins = net.ChurnEvents()
-	report.Sent, report.Recv, report.Dropped = net.FabricStats()
 	report.Predicted = predicted(cfg)
+	report.Elapsed = time.Since(began)
 	return report, nil
 }
 
@@ -361,15 +406,20 @@ type Reference struct {
 	Env    mc.Env
 	Trials int
 	Seed   uint64
+	// Shards is the live point's shard count. The abstract model has no
+	// network replicas, so Estimate ignores it — but it is part of the point
+	// descriptor, so it keys the cache: points that differ only in S never
+	// share a cached reference entry.
+	Shards int
 }
 
 // Key returns a canonical cache key: two references with the same key
 // produce byte-identical estimates.
 func (r Reference) Key() string {
-	return fmt.Sprintf("%v/%d/%d/%d/%v|N%d m%d a%g sm%v|t%d s%d",
+	return fmt.Sprintf("%v/%d/%d/%d/%v|N%d m%d a%g sm%v|t%d s%d S%d",
 		r.Plan.Scheme, r.Plan.K, r.Plan.L, r.Plan.ShareN, r.Plan.ShareM,
 		r.Env.Population, r.Env.Malicious, r.Env.Alpha, r.Env.ShareModel,
-		r.Trials, r.Seed)
+		r.Trials, r.Seed, r.Shards)
 }
 
 // Estimate runs the reference on a single trial worker, so equal keys yield
@@ -391,12 +441,16 @@ func (c Config) References() (release, deliver Reference) {
 		Alpha:      c.Alpha,
 		ShareModel: c.shareModel(),
 	}
-	release = Reference{Plan: c.Plan, Env: env, Trials: c.MCTrials, Seed: c.Seed + 101}
+	shards := c.Shards
+	if shards < 1 {
+		shards = 1 // un-defaulted config: the descriptor's canonical form
+	}
+	release = Reference{Plan: c.Plan, Env: env, Trials: c.MCTrials, Seed: c.Seed + 101, Shards: shards}
 	if c.Drop {
 		return release, release
 	}
 	env.Malicious = 0
-	deliver = Reference{Plan: c.Plan, Env: env, Trials: c.MCTrials, Seed: c.Seed + 103}
+	deliver = Reference{Plan: c.Plan, Env: env, Trials: c.MCTrials, Seed: c.Seed + 103, Shards: shards}
 	return release, deliver
 }
 

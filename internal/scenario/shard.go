@@ -1,0 +1,137 @@
+package scenario
+
+import (
+	"runtime"
+	"sync"
+
+	"selfemerge/internal/stats"
+)
+
+// Budget caps how many shard event loops run at once across every scenario
+// sharing it. The live estimator hands one budget (sized to the core count)
+// to all points of a sweep, so the runner's point-level workers and the
+// shards inside each point draw from a single concurrency pool instead of
+// multiplying into oversubscription. It is purely an execution throttle:
+// shard results are merged in fixed shard order, so any budget — including
+// none — yields byte-identical results.
+type Budget struct {
+	sem chan struct{}
+}
+
+// NewBudget returns a budget with the given number of concurrent slots
+// (minimum 1).
+func NewBudget(slots int) *Budget {
+	if slots < 1 {
+		slots = 1
+	}
+	return &Budget{sem: make(chan struct{}, slots)}
+}
+
+func (b *Budget) acquire() { b.sem <- struct{}{} }
+func (b *Budget) release() { <-b.sem }
+
+// ShardSeed derives the seed of shard i from the point seed. Shard 0 keeps
+// the point seed itself, so a one-shard point is byte-identical to the
+// historical single-network run; higher shards draw decorrelated SplitMix64
+// substreams. The derivation depends only on (seed, shard) — never on the
+// shard count or any execution-time state — which is what makes the merged
+// point result a pure function of its descriptor, and lets any single shard
+// be re-run standalone as a Shards=1 config with this seed.
+func ShardSeed(seed uint64, shard int) uint64 {
+	if shard == 0 {
+		return seed
+	}
+	return stats.Mix64(seed, uint64(shard))
+}
+
+// shardConfigs splits a defaulted config into its per-shard single-network
+// configs: shard i runs Missions/Shards missions (the first Missions mod
+// Shards shards carry one extra) through a private network seeded from
+// substream i. Each shard staggers its own missions over the full launch
+// window, so the point spans the same simulated time regardless of S.
+func (c Config) shardConfigs() []Config {
+	base, extra := c.Missions/c.Shards, c.Missions%c.Shards
+	out := make([]Config, c.Shards)
+	for i := range out {
+		sc := c
+		sc.Shards = 1
+		sc.Budget = nil
+		sc.Missions = base
+		if i < extra {
+			sc.Missions++
+		}
+		sc.Seed = ShardSeed(c.Seed, i)
+		out[i] = sc
+	}
+	return out
+}
+
+// shardOutcome is one shard's complete contribution to the merged report.
+type shardOutcome struct {
+	res                 Result
+	deaths, joins       int
+	sent, recv, dropped int
+	err                 error
+}
+
+// runShard executes the three live phases for one single-network shard
+// config.
+func runShard(cfg Config) shardOutcome {
+	cfg, net, err := boot(cfg)
+	if err != nil {
+		return shardOutcome{err: err}
+	}
+	msgs, err := Drive(cfg, net)
+	if err != nil {
+		return shardOutcome{err: err}
+	}
+	out := shardOutcome{res: Score(cfg, net, msgs)}
+	out.deaths, out.joins = net.ChurnEvents()
+	out.sent, out.recv, out.dropped = net.FabricStats()
+	return out
+}
+
+// measureShards runs every shard of the defaulted config — concurrently, up
+// to the budget — and merges their outcomes in fixed shard order into the
+// report. The goroutine schedule never leaks into the result: each shard is
+// deterministic under its derived seed, and the merge order is the shard
+// index, so the merged point is identical under GOMAXPROCS=1 and a full
+// multi-core run.
+func measureShards(cfg Config, report *Report) error {
+	budget := cfg.Budget
+	if budget == nil {
+		slots := cfg.Shards
+		if max := runtime.GOMAXPROCS(0); slots > max {
+			slots = max
+		}
+		budget = NewBudget(slots)
+	}
+	shards := cfg.shardConfigs()
+	outs := make([]shardOutcome, len(shards))
+	var wg sync.WaitGroup
+	for i, sc := range shards {
+		wg.Add(1)
+		go func(i int, sc Config) {
+			defer wg.Done()
+			budget.acquire()
+			defer budget.release()
+			outs[i] = runShard(sc)
+		}(i, sc)
+	}
+	wg.Wait()
+	for _, out := range outs {
+		if out.err != nil {
+			return out.err
+		}
+		report.Live.Missions += out.res.Missions
+		report.Live.Released += out.res.Released
+		report.Live.Delivered += out.res.Delivered
+		report.Live.Succeeded += out.res.Succeeded
+		report.Deaths += out.deaths
+		report.Joins += out.joins
+		report.Sent += out.sent
+		report.Recv += out.recv
+		report.Dropped += out.dropped
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ package sim
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -47,24 +48,35 @@ func (rt realTimer) Stop() bool { return rt.t.Stop() }
 // Events scheduled for the same instant run in scheduling order. All methods
 // are safe for concurrent use, but Run itself must be called from a single
 // goroutine.
+//
+// The event loop is the inner loop of every live-scenario shard, so its hot
+// path is tuned accordingly: the virtual clock and the pending-event counter
+// are atomics (Now and Pending never take the queue lock), event records are
+// recycled through a pool with generation-checked timer handles instead of
+// allocating per schedule, and cancellation is a single compare-and-swap on
+// the event's packed state word rather than a per-event mutex.
 type Simulator struct {
-	mu    sync.Mutex
-	now   time.Time
+	now  atomic.Int64 // virtual time, Unix nanoseconds
+	live atomic.Int64 // queued events that have not run and are not cancelled
+
+	mu    sync.Mutex // guards seq and queue
 	seq   uint64
 	queue eventHeap
+
+	pool sync.Pool // recycled *event records
 }
 
 // NewSimulator returns a simulator starting at the Unix epoch plus one hour
 // (so negative offsets in tests stay valid).
 func NewSimulator() *Simulator {
-	return &Simulator{now: time.Unix(0, 0).Add(time.Hour)}
+	s := &Simulator{}
+	s.now.Store(time.Unix(0, 0).Add(time.Hour).UnixNano())
+	return s
 }
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() time.Time {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.now
+	return time.Unix(0, s.now.Load())
 }
 
 // AfterFunc schedules fn at now+d. Non-positive d runs fn at the current
@@ -73,28 +85,52 @@ func (s *Simulator) AfterFunc(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
+	var ev *event
+	if v := s.pool.Get(); v != nil {
+		ev = v.(*event)
+	} else {
+		ev = &event{sim: s}
+	}
+	// Re-arm under the generation the release bumped: handles to the
+	// record's previous life see a generation mismatch and become no-ops.
+	gen := ev.state.Load() >> stateGenShift
+	ev.at = s.now.Load() + int64(d)
+	ev.fn = fn
+	ev.state.Store(gen<<stateGenShift | statusPending)
+	s.live.Add(1)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	ev := &event{at: s.now.Add(d), seq: s.seq, fn: fn}
+	ev.seq = s.seq
 	s.seq++
 	s.queue.push(ev)
-	return ev
+	s.mu.Unlock()
+	return timerHandle{ev: ev, gen: gen}
 }
 
 // Step executes the next pending event, advancing the clock to its
 // timestamp. It reports whether an event was executed.
 func (s *Simulator) Step() bool {
+	return s.step(1<<63 - 1)
+}
+
+// step pops and runs the earliest pending event with at <= bound, reporting
+// whether one ran.
+func (s *Simulator) step(bound int64) bool {
 	s.mu.Lock()
-	ev := s.queue.popRunnable()
+	ev := s.popRunnable(bound)
 	if ev == nil {
 		s.mu.Unlock()
 		return false
 	}
-	if ev.at.After(s.now) {
-		s.now = ev.at
+	if ev.at > s.now.Load() {
+		s.now.Store(ev.at)
 	}
 	s.mu.Unlock()
-	ev.fn()
+	fn := ev.fn
+	// Release before dispatch: the record is out of the heap and marked done,
+	// so fn (and any concurrent scheduler) may reuse it immediately; stale
+	// timer handles fail their generation check.
+	s.release(ev)
+	fn()
 	return true
 }
 
@@ -107,19 +143,15 @@ func (s *Simulator) Run() {
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock to the deadline.
 func (s *Simulator) RunUntil(deadline time.Time) {
-	for {
-		s.mu.Lock()
-		next := s.queue.peekRunnable()
-		if next == nil || next.at.After(deadline) {
-			if s.now.Before(deadline) {
-				s.now = deadline
-			}
-			s.mu.Unlock()
-			return
-		}
-		s.mu.Unlock()
-		s.Step()
+	bound := deadline.UnixNano()
+	for s.step(bound) {
 	}
+	// No runnable event at or before the deadline is left; advance the clock.
+	s.mu.Lock()
+	if s.now.Load() < bound {
+		s.now.Store(bound)
+	}
+	s.mu.Unlock()
 }
 
 // RunFor advances the simulation by d.
@@ -127,51 +159,83 @@ func (s *Simulator) RunFor(d time.Duration) {
 	s.RunUntil(s.Now().Add(d))
 }
 
-// Pending returns the number of queued events (cancelled ones excluded).
+// Pending returns the number of queued events (cancelled ones excluded) in
+// O(1): the counter moves on schedule, cancel and dispatch, so lazily
+// deleted cancelled records still in the heap never distort it.
 func (s *Simulator) Pending() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := 0
-	for _, ev := range s.queue.items {
-		if !ev.cancelled {
-			n++
+	return int(s.live.Load())
+}
+
+// release returns a finished (run or cancelled) event record to the pool,
+// bumping its generation so any still-held timer handle turns inert.
+func (s *Simulator) release(ev *event) {
+	gen := ev.state.Load() >> stateGenShift
+	ev.fn = nil                                // do not retain the closure while pooled
+	ev.state.Store((gen + 1) << stateGenShift) // next life, pending
+	s.pool.Put(ev)
+}
+
+// Event state is a packed word: the low two bits hold the status, the rest a
+// generation counter bumped each time the record is recycled. Cancellation
+// and dispatch race through compare-and-swap on this word alone.
+const (
+	statusPending   = 0
+	statusCancelled = 1
+	statusDone      = 2
+	stateStatusMask = 3
+	stateGenShift   = 2
+)
+
+// event is a pooled scheduled callback record.
+type event struct {
+	at    int64 // Unix nanoseconds
+	seq   uint64
+	fn    func()
+	sim   *Simulator
+	state atomic.Uint64
+}
+
+// timerHandle is the Timer for one generation of a pooled event record.
+type timerHandle struct {
+	ev  *event
+	gen uint64
+}
+
+// Stop cancels the event; it reports true if the call prevented the callback
+// from running. A handle whose record was dispatched and recycled observes a
+// generation mismatch and reports false without touching the new occupant.
+func (h timerHandle) Stop() bool {
+	for {
+		st := h.ev.state.Load()
+		if st>>stateGenShift != h.gen || st&stateStatusMask != statusPending {
+			return false
+		}
+		if h.ev.state.CompareAndSwap(st, h.gen<<stateGenShift|statusCancelled) {
+			h.ev.sim.live.Add(-1)
+			return true
 		}
 	}
-	return n
 }
 
-// event is a scheduled callback; it doubles as the Timer handle.
-type event struct {
-	at        time.Time
-	seq       uint64
-	fn        func()
-	cancelled bool
-	heapIdx   int
-	owner     *eventHeap
-	mu        sync.Mutex
-}
-
-// Stop cancels the event; it reports true if the event had not yet run.
-func (e *event) Stop() bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.cancelled || e.owner == nil {
-		return false
+// popRunnable pops the earliest pending event with at <= bound, discarding
+// lazily cancelled records along the way. The caller must hold s.mu.
+func (s *Simulator) popRunnable(bound int64) *event {
+	for {
+		ev := s.queue.peek()
+		if ev == nil || ev.at > bound {
+			return nil
+		}
+		s.queue.pop()
+		st := ev.state.Load()
+		if st&stateStatusMask == statusPending &&
+			ev.state.CompareAndSwap(st, st&^uint64(stateStatusMask)|statusDone) {
+			s.live.Add(-1)
+			return ev
+		}
+		// Lost the race to a concurrent Stop (which already decremented the
+		// live counter): drop the cancelled record and keep looking.
+		s.release(ev)
 	}
-	e.cancelled = true
-	return true
-}
-
-func (e *event) ran() {
-	e.mu.Lock()
-	e.owner = nil
-	e.mu.Unlock()
-}
-
-func (e *event) isCancelled() bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.cancelled
 }
 
 // eventHeap is a binary min-heap ordered by (at, seq).
@@ -181,21 +245,20 @@ type eventHeap struct {
 
 func (h *eventHeap) less(i, j int) bool {
 	a, b := h.items[i], h.items[j]
-	if a.at.Equal(b.at) {
+	if a.at == b.at {
 		return a.seq < b.seq
 	}
-	return a.at.Before(b.at)
+	return a.at < b.at
 }
 
-func (h *eventHeap) swap(i, j int) {
-	h.items[i], h.items[j] = h.items[j], h.items[i]
-	h.items[i].heapIdx = i
-	h.items[j].heapIdx = j
+func (h *eventHeap) peek() *event {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
 }
 
 func (h *eventHeap) push(ev *event) {
-	ev.owner = h
-	ev.heapIdx = len(h.items)
 	h.items = append(h.items, ev)
 	h.up(len(h.items) - 1)
 }
@@ -206,7 +269,7 @@ func (h *eventHeap) up(i int) {
 		if !h.less(i, parent) {
 			break
 		}
-		h.swap(i, parent)
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
 		i = parent
 	}
 }
@@ -225,7 +288,7 @@ func (h *eventHeap) down(i int) {
 		if smallest == i {
 			return
 		}
-		h.swap(i, smallest)
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
 		i = smallest
 	}
 }
@@ -236,35 +299,11 @@ func (h *eventHeap) pop() *event {
 	}
 	top := h.items[0]
 	last := len(h.items) - 1
-	h.swap(0, last)
+	h.items[0] = h.items[last]
+	h.items[last] = nil
 	h.items = h.items[:last]
 	if last > 0 {
 		h.down(0)
 	}
-	top.ran()
 	return top
-}
-
-// popRunnable pops events until a non-cancelled one is found.
-func (h *eventHeap) popRunnable() *event {
-	for {
-		ev := h.pop()
-		if ev == nil {
-			return nil
-		}
-		if !ev.isCancelled() {
-			return ev
-		}
-	}
-}
-
-// peekRunnable returns the earliest non-cancelled event without removing it.
-func (h *eventHeap) peekRunnable() *event {
-	for len(h.items) > 0 {
-		if !h.items[0].isCancelled() {
-			return h.items[0]
-		}
-		h.pop()
-	}
-	return nil
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -129,6 +130,112 @@ func TestPending(t *testing.T) {
 	a.Stop()
 	if got := s.Pending(); got != 1 {
 		t.Fatalf("Pending after cancel = %d", got)
+	}
+}
+
+func TestPendingCancelThenDispatch(t *testing.T) {
+	// The O(1) pending counter must track all three transitions: schedule,
+	// cancel (even though the cancelled record stays lazily queued in the
+	// heap) and dispatch.
+	s := NewSimulator()
+	timers := make([]Timer, 6)
+	for i := range timers {
+		timers[i] = s.AfterFunc(time.Duration(i+1)*time.Second, func() {})
+	}
+	if got := s.Pending(); got != 6 {
+		t.Fatalf("Pending = %d, want 6", got)
+	}
+	for _, tm := range timers[:3] {
+		if !tm.Stop() {
+			t.Fatal("Stop on a queued timer returned false")
+		}
+	}
+	if got := s.Pending(); got != 3 {
+		t.Fatalf("Pending after 3 cancels = %d, want 3", got)
+	}
+	// Double-Stop must not decrement twice.
+	if timers[0].Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	if got := s.Pending(); got != 3 {
+		t.Fatalf("Pending after double cancel = %d, want 3", got)
+	}
+	s.Step()
+	if got := s.Pending(); got != 2 {
+		t.Fatalf("Pending after one dispatch = %d, want 2", got)
+	}
+	s.Run()
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", got)
+	}
+}
+
+func TestStaleHandleCannotTouchRecycledEvent(t *testing.T) {
+	// Event records are pooled: after a timer fires, its record may be
+	// re-armed for an unrelated callback. A held handle from the earlier
+	// life must observe the generation bump and become a no-op instead of
+	// cancelling the new occupant.
+	s := NewSimulator()
+	stale := s.AfterFunc(time.Second, func() {})
+	s.Run() // fires and recycles the record
+	// Schedule until the pool hands the same record back (single-threaded,
+	// so the first schedule already reuses it; loop defensively).
+	ran := false
+	var fresh Timer
+	for i := 0; i < 8; i++ {
+		fresh = s.AfterFunc(time.Second, func() { ran = true })
+		if fresh.(timerHandle).ev == stale.(timerHandle).ev {
+			break
+		}
+	}
+	if fresh.(timerHandle).ev != stale.(timerHandle).ev {
+		t.Skip("pool did not recycle the record; nothing to check")
+	}
+	if stale.Stop() {
+		t.Fatal("stale handle claimed to cancel the recycled event")
+	}
+	before := s.Pending()
+	stale.Stop() // must not corrupt the pending counter either
+	if got := s.Pending(); got != before {
+		t.Fatalf("stale Stop moved Pending from %d to %d", before, got)
+	}
+	s.Run()
+	if !ran {
+		t.Fatal("stale handle cancelled the new occupant's callback")
+	}
+}
+
+func TestConcurrentStopRace(t *testing.T) {
+	// Many goroutines race Stop against the dispatch loop; exactly one side
+	// wins each event, and the pending counter ends at zero.
+	s := NewSimulator()
+	const n = 400
+	var fired atomic.Int64
+	timers := make([]Timer, n)
+	for i := range timers {
+		timers[i] = s.AfterFunc(time.Duration(i)*time.Millisecond, func() { fired.Add(1) })
+	}
+	var stopped atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := g; i < n; i += 4 {
+				if timers[i].Stop() {
+					stopped.Add(1)
+				}
+			}
+		}()
+	}
+	s.Run()
+	wg.Wait()
+	if got := fired.Load() + stopped.Load(); got != n {
+		t.Fatalf("fired %d + stopped %d = %d, want %d", fired.Load(), stopped.Load(), got, n)
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after drain = %d", got)
 	}
 }
 

@@ -62,6 +62,18 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64())
 }
 
+// Mix64 derives a decorrelated substream seed from a base seed and a stream
+// index, without constructing a generator: splitMix64 evaluated at the base
+// advanced stream golden-ratio increments (the same constant splitMix64
+// itself steps by, so distinct streams sample well-separated points of the
+// sequence). The scenario engine keys each shard's private network off
+// Mix64(pointSeed, shard), making every shard an independent replica that is
+// still a pure function of the point seed.
+func Mix64(seed, stream uint64) uint64 {
+	_, out := splitMix64(seed + stream*0x9e3779b97f4a7c15)
+	return out
+}
+
 // Float64 returns a uniform float64 in [0, 1).
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
