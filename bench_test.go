@@ -344,6 +344,73 @@ func BenchmarkSimnetThroughput(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/sec")
 }
 
+// BenchmarkMissionAllocs measures allocations over one complete mission
+// cycle — dispatch, hold, release, delivery check — through a pre-booted
+// 60-node network with the joint 2x2 plan. This is the allocation gate for
+// the zero-allocation crypto & wire path: CI fails if allocs/op regresses
+// above the baseline committed in BENCH_scenario.json (an exact allocation
+// count, not a timing).
+func BenchmarkMissionAllocs(b *testing.B) {
+	net, err := NewNetwork(NetworkConfig{Nodes: 60, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := core.Plan{Scheme: core.SchemeJoint, K: 2, L: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg, err := net.Send([]byte("alloc probe"), time.Hour, WithPlan(plan))
+		if err != nil {
+			b.Fatal(err)
+		}
+		net.RunUntil(msg.Release().Add(time.Minute))
+		net.Settle()
+		if _, _, ok := net.Emerged(msg); !ok {
+			b.Fatal("mission did not emerge")
+		}
+	}
+}
+
+// BenchmarkShamirSplitSeeded is BenchmarkShamirSplit on the deterministic
+// stream with the batched coefficient draw — the mission dispatch path of
+// seeded live runs (one Read per split instead of one per secret byte, no
+// syscalls).
+func BenchmarkShamirSplitSeeded(b *testing.B) {
+	secret := make([]byte, seal.KeySize)
+	stream := stats.NewByteStream(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := shamir.SplitRand(stream, secret, 10, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnionBuildSealers is BenchmarkOnionBuild through cached Sealer
+// handles and a seeded nonce stream: the key schedules are paid once outside
+// the loop and the intermediate layers run through pooled scratch, so one
+// build allocates only its output.
+func BenchmarkOnionBuildSealers(b *testing.B) {
+	ls, keys := onionFixture(b)
+	stream := stats.NewByteStream(4)
+	sealers := make([]*seal.Sealer, len(keys))
+	for i, k := range keys {
+		s, err := seal.NewSealerRand(k, stream)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sealers[i] = s
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := onion.BuildSealers(ls, sealers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEndToEndEmergence measures a full send->emerge cycle (100-node
 // network, joint scheme) in simulated time.
 func BenchmarkEndToEndEmergence(b *testing.B) {

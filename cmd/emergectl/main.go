@@ -40,6 +40,9 @@ func main() {
 		DropAttack:    *drop,
 		MeanLifetime:  *churn,
 		Seed:          *seed,
+		// Real deployment default: key material from crypto/rand, not the
+		// seed-derived stream (the seed only shapes the simulated network).
+		SystemRand: true,
 	})
 	if err != nil {
 		fatal(err)

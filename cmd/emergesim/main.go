@@ -34,6 +34,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -122,6 +124,8 @@ func runSweep(args []string) {
 		format    = fs.String("format", "table", "output format: table|csv|json")
 		seed      = fs.Uint64("seed", 2017, "base RNG seed")
 		name      = fs.String("name", "sweep", "sweep name for the report header")
+		cpuprof   = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
+		memprof   = fs.String("memprofile", "", "write a post-sweep heap profile to this file (go tool pprof)")
 	)
 	spec := planFlags(fs)
 	_ = fs.Parse(args)
@@ -180,27 +184,54 @@ func runSweep(args []string) {
 	}
 
 	runner := experiment.Runner{Estimator: est, Parallel: *workers}
-	// Pre-flight the whole grid (plan shapes, estimator compatibility) so
-	// parameter mistakes exit as usage errors (2) before any compute runs.
+	// Pre-flight the whole grid (plan shapes, estimator compatibility) and
+	// the output format so parameter mistakes exit as usage errors (2)
+	// before any compute runs.
 	if err := runner.Validate(sw); err != nil {
 		fatalf(2, "%v", err)
 	}
-	rs, err := runner.Run(sw)
-	if err != nil {
-		fatalf(1, "%v", err)
-	}
-	switch *format {
-	case "table":
-		err = rs.WriteTable(os.Stdout)
-	case "csv":
-		err = rs.WriteCSV(os.Stdout)
-	case "json":
-		err = rs.WriteJSON(os.Stdout)
-	default:
+	emit, ok := map[string]func(*experiment.ResultSet) error{
+		"table": func(rs *experiment.ResultSet) error { return rs.WriteTable(os.Stdout) },
+		"csv":   func(rs *experiment.ResultSet) error { return rs.WriteCSV(os.Stdout) },
+		"json":  func(rs *experiment.ResultSet) error { return rs.WriteJSON(os.Stdout) },
+	}[*format]
+	if !ok {
 		fatalf(2, "unknown format %q (want table|csv|json)", *format)
 	}
+	// Profiling brackets exactly the sweep execution, so the profile shows
+	// the estimator hot path, not flag parsing or emission.
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fatalf(1, "cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf(1, "cpuprofile: %v", err)
+		}
+		defer f.Close()
+	}
+	rs, err := runner.Run(sw)
+	if *cpuprof != "" {
+		pprof.StopCPUProfile()
+	}
 	if err != nil {
 		fatalf(1, "%v", err)
+	}
+	if err := emit(rs); err != nil {
+		fatalf(1, "%v", err)
+	}
+	// The heap profile is written after the results are out: a sweep's
+	// output must never be lost to a profiling side-channel failure.
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			fatalf(1, "memprofile: %v", err)
+		}
+		runtime.GC() // settle the heap so the profile shows retained state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf(1, "memprofile: %v", err)
+		}
+		f.Close()
 	}
 	fmt.Fprintf(os.Stderr, "emergesim: %d points in %s (%s of summed point time)\n",
 		len(rs.Results), rs.Elapsed.Round(time.Millisecond), rs.PointElapsed.Round(time.Millisecond))

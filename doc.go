@@ -46,6 +46,19 @@
 // The "emergesim sweep" subcommand exposes the engine on the command line;
 // the figure names (fig6a..fig8) are canned sweep specs.
 //
+// The mission hot path is tuned to run live scenarios as fast as the
+// hardware allows: wire codecs are append-style over pooled buffers (the
+// transports recycle delivery buffers; handlers clone what they keep),
+// AES-GCM state is cached per key (seal.Sealer, onion.BuildSealers),
+// Shamir splitting draws whole polynomial sets in one batch, and the
+// simulator schedules per-message events without closures or timer
+// handles. Simulation networks draw every sender-side cryptographic byte —
+// mission IDs, keys, nonces, share polynomials — from a ChaCha8 stream
+// derived from NetworkConfig.Seed, making a live run a pure function of
+// its seed down to the ciphertexts; real deployments (cmd/emergectl with
+// NetworkConfig.SystemRand, cmd/dhtnode) keep crypto/rand. Baselines and
+// the CI allocation gate live in BENCH_scenario.json.
+//
 // Quick start:
 //
 //	net, _ := selfemerge.NewNetwork(selfemerge.NetworkConfig{Nodes: 200})

@@ -74,12 +74,13 @@ func (c *Collector) Report(now time.Time, _ dht.ID, pkt protocol.Packet) {
 		}
 	case protocol.PkMainOnion:
 		if _, ok := in.mainOnions[col]; !ok {
-			in.mainOnions[col] = pkt.Data
+			// Clone: observed packet payloads alias recycled delivery buffers.
+			in.mainOnions[col] = append([]byte(nil), pkt.Data...)
 		}
 	case protocol.PkSlotOnion:
 		ref := slotRef{col, int(pkt.Slot)}
 		if _, ok := in.slotOnions[ref]; !ok {
-			in.slotOnions[ref] = pkt.Data
+			in.slotOnions[ref] = append([]byte(nil), pkt.Data...)
 		}
 	case protocol.PkColShare:
 		if x, data, err := protocol.ParseShare(pkt.Data); err == nil {
@@ -153,12 +154,15 @@ func (in *intel) note(secret []byte, now time.Time) {
 	in.recoveredAt = now
 }
 
+// addColShare keeps the first variant seen for each X coordinate, cloning
+// the data (packet payloads alias recycled delivery buffers).
 func (in *intel) addColShare(col int, s shamir.Share) {
 	for _, have := range in.colShares[col] {
 		if have.X == s.X {
 			return
 		}
 	}
+	s.Data = append([]byte(nil), s.Data...)
 	in.colShares[col] = append(in.colShares[col], s)
 }
 
@@ -168,6 +172,7 @@ func (in *intel) addSlotShare(ref slotRef, s shamir.Share) {
 			return
 		}
 	}
+	s.Data = append([]byte(nil), s.Data...)
 	in.slotShares[ref] = append(in.slotShares[ref], s)
 }
 

@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"selfemerge/internal/crypto/seal"
 )
@@ -42,25 +43,66 @@ const maxSection = 1 << 24 // sanity cap on any encoded field length
 
 // Build wraps the given layers (outermost first) under the corresponding
 // keys (keys[0] seals layers[0]). The innermost layer is layers[len-1].
-// Build returns the fully wrapped onion ciphertext.
+// Build returns the fully wrapped onion ciphertext. It is a one-shot
+// wrapper around BuildSealers; callers wrapping several onions under the
+// same keys should construct the sealers once.
 func Build(layers []Layer, keys []seal.Key) ([]byte, error) {
-	if len(layers) == 0 {
-		return nil, ErrNoLayers
-	}
 	if len(layers) != len(keys) {
 		return nil, fmt.Errorf("onion: %d layers but %d keys", len(layers), len(keys))
 	}
+	sealers := make([]*seal.Sealer, len(keys))
+	for i, k := range keys {
+		s, err := seal.NewSealer(k)
+		if err != nil {
+			return nil, err
+		}
+		sealers[i] = s
+	}
+	return BuildSealers(layers, sealers)
+}
+
+// buildBufs pools the two scratch buffers one Build needs (the plaintext
+// layer encoding and the intermediate sealed onion).
+var buildBufs = sync.Pool{New: func() any { return new(buildScratch) }}
+
+type buildScratch struct{ plain, sealed []byte }
+
+// BuildSealers is Build over pre-constructed Sealer handles: the AES key
+// schedule for each layer key is paid once per Sealer, not once per onion,
+// and nonce randomness comes from the sealers' source. Only the returned
+// outermost ciphertext is freshly allocated; all intermediate layers run
+// through pooled scratch buffers.
+func BuildSealers(layers []Layer, sealers []*seal.Sealer) ([]byte, error) {
+	if len(layers) == 0 {
+		return nil, ErrNoLayers
+	}
+	if len(layers) != len(sealers) {
+		return nil, fmt.Errorf("onion: %d layers but %d sealers", len(layers), len(sealers))
+	}
+	scratch := buildBufs.Get().(*buildScratch)
+	defer buildBufs.Put(scratch)
 	var inner []byte
 	for i := len(layers) - 1; i >= 0; i-- {
 		layer := layers[i]
 		layer.Rest = inner
-		plain, err := encodeLayer(layer)
+		plain, err := appendLayer(scratch.plain[:0], layer)
 		if err != nil {
 			return nil, err
 		}
-		sealed, err := seal.Encrypt(keys[i], plain, nil)
+		scratch.plain = plain[:0]
+		// The innermost iterations seal into the pooled scratch (the layer
+		// encoding above has already copied the previous ciphertext out of
+		// it); the outermost seals into a fresh slice the caller keeps.
+		var dst []byte
+		if i > 0 {
+			dst = scratch.sealed[:0]
+		}
+		sealed, err := sealers[i].AppendEncrypt(dst, plain, nil)
 		if err != nil {
 			return nil, fmt.Errorf("onion: sealing layer %d: %w", i, err)
+		}
+		if i > 0 {
+			scratch.sealed = sealed[:0]
 		}
 		inner = sealed
 	}
@@ -78,25 +120,24 @@ func Peel(key seal.Key, wrapped []byte) (Layer, error) {
 	return decodeLayer(plain)
 }
 
-func encodeLayer(l Layer) ([]byte, error) {
-	size := 4 + 4 + 4 + len(l.Payload) + 4 + len(l.Rest)
-	for _, h := range l.NextHops {
-		size += 4 + len(h)
-	}
-	for _, s := range l.Shares {
-		size += 4 + len(s)
-	}
-	buf := make([]byte, 0, size)
+// appendLayer appends the wire form of one layer plaintext to buf.
+func appendLayer(buf []byte, l Layer) ([]byte, error) {
 	var err error
+	appendItem := func(item []byte) {
+		if len(item) > maxSection {
+			err = fmt.Errorf("onion: section of %d bytes exceeds limit", len(item))
+			return
+		}
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(item)))
+		buf = append(buf, item...)
+	}
 	appendList := func(list [][]byte) {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(len(list)))
 		for _, item := range list {
-			if len(item) > maxSection {
-				err = fmt.Errorf("onion: section of %d bytes exceeds limit", len(item))
+			appendItem(item)
+			if err != nil {
 				return
 			}
-			buf = binary.BigEndian.AppendUint32(buf, uint32(len(item)))
-			buf = append(buf, item...)
 		}
 	}
 	appendList(l.NextHops)
@@ -107,7 +148,14 @@ func encodeLayer(l Layer) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	appendList([][]byte{l.Payload, l.Rest})
+	// The payload/rest tail is a two-item list, appended without
+	// materializing a [][]byte.
+	buf = binary.BigEndian.AppendUint32(buf, 2)
+	appendItem(l.Payload)
+	if err != nil {
+		return nil, err
+	}
+	appendItem(l.Rest)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,13 @@
 // self-emerging data protocol: AES-256-GCM with random nonces. Onion layers,
 // cloud payloads and the secret key envelope are all sealed with this
 // package.
+//
+// The Sealer handle caches the expanded AES-GCM state for one key, so a
+// mission that seals many layers (or many onions) under the same key pays
+// the key schedule once; it also carries the nonce randomness source, which
+// defaults to crypto/rand and can be a deterministic seeded stream
+// (stats.ByteStream) for reproducible simulation runs. The package-level
+// Encrypt/Decrypt are thin one-shot wrappers.
 package seal
 
 import (
@@ -29,8 +36,16 @@ type Key [KeySize]byte
 
 // NewKey generates a fresh random key from crypto/rand.
 func NewKey() (Key, error) {
+	return NewKeyFrom(nil)
+}
+
+// NewKeyFrom generates a fresh key from r (nil means crypto/rand).
+func NewKeyFrom(r io.Reader) (Key, error) {
+	if r == nil {
+		r = rand.Reader
+	}
 	var k Key
-	if _, err := io.ReadFull(rand.Reader, k[:]); err != nil {
+	if _, err := io.ReadFull(r, k[:]); err != nil {
 		return Key{}, fmt.Errorf("seal: generating key: %w", err)
 	}
 	return k, nil
@@ -53,18 +68,82 @@ func (k Key) Bytes() []byte {
 	return out
 }
 
+// Sealer is the cached cipher state for one key: the expanded AES-GCM AEAD
+// plus the nonce randomness source. Reuse one Sealer for every seal/open
+// under the same key instead of re-running the key schedule per call. Not
+// safe for concurrent use when the nonce source is a deterministic stream.
+type Sealer struct {
+	key  Key
+	aead cipher.AEAD
+	rand io.Reader
+}
+
+// NewSealer builds the cached AEAD for k with crypto/rand nonces.
+func NewSealer(k Key) (*Sealer, error) {
+	return NewSealerRand(k, nil)
+}
+
+// NewSealerRand builds the cached AEAD for k drawing nonces from r (nil
+// means crypto/rand).
+func NewSealerRand(k Key, r io.Reader) (*Sealer, error) {
+	aead, err := newAEAD(k)
+	if err != nil {
+		return nil, err
+	}
+	if r == nil {
+		r = rand.Reader
+	}
+	return &Sealer{key: k, aead: aead, rand: r}, nil
+}
+
+// Key returns the sealer's key.
+func (s *Sealer) Key() Key { return s.key }
+
+// Encrypt seals plaintext with optional additional authenticated data. The
+// returned ciphertext embeds the nonce prefix.
+func (s *Sealer) Encrypt(plaintext, aad []byte) ([]byte, error) {
+	return s.AppendEncrypt(nil, plaintext, aad)
+}
+
+// AppendEncrypt seals plaintext and appends the ciphertext (nonce prefix
+// included) to dst, returning the extended slice — the allocation-free form
+// for callers that reuse a scratch buffer.
+func (s *Sealer) AppendEncrypt(dst, plaintext, aad []byte) ([]byte, error) {
+	nonceAt := len(dst)
+	var pad [16]byte
+	dst = append(dst, pad[:s.aead.NonceSize()]...)
+	nonce := dst[nonceAt:]
+	if _, err := io.ReadFull(s.rand, nonce); err != nil {
+		return nil, fmt.Errorf("seal: generating nonce: %w", err)
+	}
+	return s.aead.Seal(dst, nonce, plaintext, aad), nil
+}
+
+// Decrypt opens a ciphertext produced by Encrypt/AppendEncrypt. It returns
+// ErrDecrypt for any authentication failure.
+func (s *Sealer) Decrypt(ciphertext, aad []byte) ([]byte, error) {
+	if len(ciphertext) < s.aead.NonceSize() {
+		return nil, ErrDecrypt
+	}
+	nonce, box := ciphertext[:s.aead.NonceSize()], ciphertext[s.aead.NonceSize():]
+	plaintext, err := s.aead.Open(nil, nonce, box, aad)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return plaintext, nil
+}
+
 // Encrypt seals plaintext under k with optional additional authenticated
-// data. The returned ciphertext embeds the nonce prefix.
+// data: a one-shot wrapper that builds the AEAD on the stack, seals once
+// and discards the state. Callers sealing repeatedly under one key should
+// hold a Sealer.
 func Encrypt(k Key, plaintext, aad []byte) ([]byte, error) {
 	aead, err := newAEAD(k)
 	if err != nil {
 		return nil, err
 	}
-	nonce := make([]byte, aead.NonceSize())
-	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
-		return nil, fmt.Errorf("seal: generating nonce: %w", err)
-	}
-	return aead.Seal(nonce, nonce, plaintext, aad), nil
+	s := Sealer{key: k, aead: aead, rand: rand.Reader}
+	return s.AppendEncrypt(nil, plaintext, aad)
 }
 
 // Decrypt opens a ciphertext produced by Encrypt. It returns ErrDecrypt for
@@ -74,15 +153,8 @@ func Decrypt(k Key, ciphertext, aad []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(ciphertext) < aead.NonceSize() {
-		return nil, ErrDecrypt
-	}
-	nonce, box := ciphertext[:aead.NonceSize()], ciphertext[aead.NonceSize():]
-	plaintext, err := aead.Open(nil, nonce, box, aad)
-	if err != nil {
-		return nil, ErrDecrypt
-	}
-	return plaintext, nil
+	s := Sealer{key: k, aead: aead, rand: rand.Reader}
+	return s.Decrypt(ciphertext, aad)
 }
 
 // Overhead is the ciphertext expansion of one Encrypt call (nonce + GCM tag).

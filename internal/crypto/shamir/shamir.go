@@ -33,26 +33,43 @@ var (
 	ErrShareMismatch = errors.New("shamir: inconsistent shares")
 )
 
-// Split shares secret into n shares with reconstruction threshold m.
-// The secret may be any non-empty byte string.
+// Split shares secret into n shares with reconstruction threshold m,
+// drawing the polynomial coefficients from crypto/rand. The secret may be
+// any non-empty byte string.
 func Split(secret []byte, m, n int) ([]Share, error) {
+	return SplitRand(nil, secret, m, n)
+}
+
+// SplitRand is Split with an explicit randomness source (nil means
+// crypto/rand): deterministic sharing under a seeded stream. The whole
+// polynomial set — (m-1) coefficients for each of the len(secret) byte
+// positions — is sampled in one batched draw, so splitting a 32-byte key
+// costs one Read instead of one syscall per secret byte. The byte-to-
+// coefficient mapping matches the historical per-byte draws exactly: the
+// coefficients of position i are the next m-1 stream bytes.
+func SplitRand(r io.Reader, secret []byte, m, n int) ([]Share, error) {
 	if m < 1 || n < m || n > 255 {
 		return nil, ErrThreshold
 	}
 	if len(secret) == 0 {
 		return nil, errors.New("shamir: empty secret")
 	}
-	shares := make([]Share, n)
-	for j := range shares {
-		shares[j] = Share{X: byte(j + 1), Data: make([]byte, len(secret))}
+	if r == nil {
+		r = rand.Reader
 	}
-	coeffs := make([]byte, m-1)
+	shares := make([]Share, n)
+	data := make([]byte, n*len(secret)) // one backing array for all shares
+	for j := range shares {
+		shares[j] = Share{X: byte(j + 1), Data: data[j*len(secret) : (j+1)*len(secret) : (j+1)*len(secret)]}
+	}
+	coeffs := make([]byte, (m-1)*len(secret))
+	if _, err := io.ReadFull(r, coeffs); err != nil {
+		return nil, fmt.Errorf("shamir: sampling polynomial: %w", err)
+	}
 	for i, b := range secret {
-		if _, err := io.ReadFull(rand.Reader, coeffs); err != nil {
-			return nil, fmt.Errorf("shamir: sampling polynomial: %w", err)
-		}
+		cs := coeffs[i*(m-1) : (i+1)*(m-1)]
 		for j := range shares {
-			shares[j].Data[i] = evalPoly(b, coeffs, shares[j].X)
+			shares[j].Data[i] = evalPoly(b, cs, shares[j].X)
 		}
 	}
 	return shares, nil

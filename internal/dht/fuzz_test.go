@@ -57,3 +57,57 @@ func FuzzDecodeMessage(f *testing.F) {
 		}
 	})
 }
+
+// FuzzMessageAppendEncode asserts the append-style wire codec and the
+// scratch-reusing decoder are exactly the classic pair: AppendEncode onto an
+// arbitrary prefix preserves the prefix and appends Encode's bytes, and
+// DecodeMessageInto over a dirty scratch Message equals DecodeMessage.
+func FuzzMessageAppendEncode(f *testing.F) {
+	ping, err := (Message{Kind: KindPing, From: Contact{ID: ID{1}, Addr: "n1"}, RPCID: 7}).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ping, []byte{})
+	resp, err := (Message{
+		Kind:     KindFindNodeResp,
+		From:     Contact{ID: ID{2}, Addr: "n2"},
+		Contacts: []Contact{{ID: ID{3}, Addr: "n3"}},
+	}).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(resp, []byte("prefix"))
+	f.Fuzz(func(t *testing.T, data, prefix []byte) {
+		msg, err := DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		classic, err := msg.Encode()
+		if err != nil {
+			t.Fatalf("decoded message failed to encode: %v", err)
+		}
+		appended, err := msg.AppendEncode(append([]byte(nil), prefix...))
+		if err != nil {
+			t.Fatalf("AppendEncode failed: %v", err)
+		}
+		if !bytes.HasPrefix(appended, prefix) {
+			t.Fatalf("AppendEncode clobbered its prefix: %x", appended)
+		}
+		if !bytes.Equal(appended[len(prefix):], classic) {
+			t.Fatalf("AppendEncode diverged from Encode:\n  append %x\n  encode %x", appended[len(prefix):], classic)
+		}
+		// Decode into a scratch Message carrying stale contacts from a
+		// previous datagram: the pooled-decode path must fully overwrite it.
+		scratch := Message{Contacts: []Contact{{ID: ID{9}, Addr: "stale"}, {ID: ID{8}, Addr: "stale2"}}}
+		if err := DecodeMessageInto(&scratch, classic); err != nil {
+			t.Fatalf("DecodeMessageInto failed: %v", err)
+		}
+		round, err := scratch.Encode()
+		if err != nil {
+			t.Fatalf("scratch re-encode failed: %v", err)
+		}
+		if !bytes.Equal(round, classic) {
+			t.Fatalf("scratch decode diverged:\n  scratch %x\n  classic %x", round, classic)
+		}
+	})
+}

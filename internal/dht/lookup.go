@@ -1,9 +1,10 @@
 package dht
 
 import (
-	"slices"
 	"sync"
 	"time"
+
+	"selfemerge/internal/sim"
 )
 
 // Lookup performs an iterative FIND_NODE for target and calls cb with the
@@ -15,7 +16,9 @@ func (n *Node) Lookup(target ID, cb func([]Contact)) {
 }
 
 // Get performs an iterative FIND_VALUE for key. cb receives the value if
-// any replica held it.
+// any replica held it; the value bytes are only valid for the duration of
+// the callback (they may alias a recycled delivery buffer), so copy to
+// retain.
 func (n *Node) Get(key ID, cb func(value []byte, ok bool)) {
 	n.newLookup(key, true, func(_ []Contact, value []byte, found bool) {
 		cb(value, found)
@@ -33,7 +36,7 @@ func (n *Node) Store(key ID, value []byte, ttl time.Duration, cb func(acked int)
 		if len(closest) == 0 {
 			n.storeLocal(key, value, ttl)
 			if cb != nil {
-				n.cfg.Clock.AfterFunc(0, func() { cb(1) })
+				sim.Schedule(n.cfg.Clock, 0, func() { cb(1) })
 			}
 			return
 		}
@@ -121,7 +124,9 @@ func (n *Node) SendToOwners(key ID, payload []byte, replicas int, done func(Cont
 }
 
 // deliverLocal hands an application payload to the local node's own OnApp,
-// asynchronously, as if it had arrived over the wire.
+// asynchronously, as if it had arrived over the wire. The payload travels
+// through a pooled buffer reclaimed after the handler returns, matching the
+// transport delivery contract.
 func (n *Node) deliverLocal(payload []byte) error {
 	n.mu.Lock()
 	closed := n.closed
@@ -132,10 +137,14 @@ func (n *Node) deliverLocal(payload []byte) error {
 	if n.cfg.OnApp == nil {
 		return nil
 	}
-	msg := make([]byte, len(payload))
-	copy(msg, payload)
+	buf := wireBufs.Get().(*[]byte)
+	msg := append((*buf)[:0], payload...)
+	*buf = msg
 	self := n.Contact()
-	n.cfg.Clock.AfterFunc(0, func() { n.cfg.OnApp(self, msg) })
+	sim.Schedule(n.cfg.Clock, 0, func() {
+		n.cfg.OnApp(self, msg)
+		wireBufs.Put(buf)
+	})
 	return nil
 }
 
@@ -173,13 +182,13 @@ func (n *Node) newLookup(target ID, wantValue bool, cb func([]Contact, []byte, b
 	// Local value short-circuit.
 	if wantValue {
 		if v, ok := n.loadLocal(target); ok {
-			n.cfg.Clock.AfterFunc(0, func() { cb(nil, v, true) })
+			sim.Schedule(n.cfg.Clock, 0, func() { cb(nil, v, true) })
 			return
 		}
 	}
-	for _, c := range n.table.Closest(target, n.cfg.K) {
+	ls.shortlist = n.table.AppendClosest(ls.shortlist, target, n.cfg.K)
+	for _, c := range ls.shortlist {
 		ls.seen[c.ID] = true
-		ls.shortlist = append(ls.shortlist, c)
 	}
 	ls.step()
 }
@@ -192,12 +201,25 @@ func (ls *lookupState) step() {
 		return
 	}
 	ls.sortShortlist()
-	var toQuery []Contact
-	for _, c := range ls.closestUnqueried() {
+	// Collect the next batch of unqueried candidates within the K closest
+	// known (the standard Kademlia termination window), up to the alpha
+	// parallelism limit. The batch lives on the stack for the usual alpha.
+	var batch [8]Contact
+	toQuery := batch[:0]
+	if a := ls.node.cfg.Alpha; a > len(batch) {
+		toQuery = make([]Contact, 0, a)
+	}
+	window := ls.shortlist
+	if len(window) > ls.node.cfg.K {
+		window = window[:ls.node.cfg.K]
+	}
+	for _, c := range window {
 		if ls.inflight+len(toQuery) >= ls.node.cfg.Alpha {
 			break
 		}
-		toQuery = append(toQuery, c)
+		if !ls.queried[c.ID] {
+			toQuery = append(toQuery, c)
+		}
 	}
 	if len(toQuery) == 0 && ls.inflight == 0 {
 		ls.finished = true
@@ -262,22 +284,6 @@ func (ls *lookupState) onResponse(from Contact, resp Message, err error) {
 	ls.step()
 }
 
-// closestUnqueried returns unqueried candidates within the K closest known,
-// the standard Kademlia termination window. Callers hold ls.mu.
-func (ls *lookupState) closestUnqueried() []Contact {
-	window := ls.shortlist
-	if len(window) > ls.node.cfg.K {
-		window = window[:ls.node.cfg.K]
-	}
-	var out []Contact
-	for _, c := range window {
-		if !ls.queried[c.ID] {
-			out = append(out, c)
-		}
-	}
-	return out
-}
-
 // closestK returns the final result set. Callers hold ls.mu.
 func (ls *lookupState) closestK() []Contact {
 	out := make([]Contact, len(ls.shortlist))
@@ -289,10 +295,19 @@ func (ls *lookupState) closestK() []Contact {
 }
 
 func (ls *lookupState) sortShortlist() {
-	// Re-sorted on every lookup step over a mostly-sorted list; the
-	// non-reflective sort with the word-wise distance comparator keeps this
-	// off the scenario profile.
-	slices.SortFunc(ls.shortlist, func(a, b Contact) int {
-		return ls.target.DistanceCompare(a.ID, b.ID)
-	})
+	// Re-sorted on every lookup step over a mostly-sorted list: insertion
+	// sort with the word-wise distance comparator is O(n + inversions)
+	// here and, unlike slices.SortFunc, allocates no comparator closure.
+	// IDs are unique in the shortlist, so the (stable) result matches any
+	// correct sort exactly.
+	sl := ls.shortlist
+	for i := 1; i < len(sl); i++ {
+		c := sl[i]
+		j := i - 1
+		for j >= 0 && ls.target.DistanceCompare(sl[j].ID, c.ID) > 0 {
+			sl[j+1] = sl[j]
+			j--
+		}
+		sl[j+1] = c
+	}
 }

@@ -60,15 +60,21 @@ type Message struct {
 	App      []byte // App: opaque protocol payload
 }
 
-// Encode renders the wire form.
+// Encode renders the wire form into a fresh buffer.
 func (m Message) Encode() ([]byte, error) {
+	return m.AppendEncode(make([]byte, 0, 64+len(m.Value)+len(m.App)+len(m.Contacts)*48))
+}
+
+// AppendEncode appends the wire form to buf and returns the extended slice —
+// the allocation-free form for senders that recycle wire buffers. The
+// encoding is byte-identical to Encode.
+func (m Message) AppendEncode(buf []byte) ([]byte, error) {
 	if len(m.Contacts) > maxContacts {
 		return nil, fmt.Errorf("dht: %d contacts exceeds wire limit", len(m.Contacts))
 	}
 	if len(m.Value) > maxValue || len(m.App) > maxValue {
 		return nil, fmt.Errorf("dht: payload exceeds wire limit")
 	}
-	buf := make([]byte, 0, 64+len(m.Value)+len(m.App)+len(m.Contacts)*48)
 	buf = binary.BigEndian.AppendUint16(buf, wireMagic)
 	buf = append(buf, wireVersion, byte(m.Kind))
 	buf = binary.BigEndian.AppendUint64(buf, m.RPCID)
@@ -92,79 +98,116 @@ func (m Message) Encode() ([]byte, error) {
 	return buf, nil
 }
 
-// DecodeMessage parses a wire datagram.
+// DecodeMessage parses a wire datagram. The Value, App and contact address
+// fields alias data, so they are valid only as long as the input buffer is.
 func DecodeMessage(data []byte) (Message, error) {
+	var m Message
+	if err := DecodeMessageInto(&m, data); err != nil {
+		return Message{}, err
+	}
+	return m, nil
+}
+
+// DecodeMessageInto parses a wire datagram into m, reusing m's Contacts
+// backing array — the allocation-free form for receive loops that recycle a
+// scratch Message. All other fields are overwritten; on error m is left in
+// an unspecified state. Like DecodeMessage, byte-slice fields alias data.
+func DecodeMessageInto(m *Message, data []byte) error {
+	return decodeMessageInto(m, data, nil)
+}
+
+// decodeMessageInto is the decode core; intern (optional) maps raw contact
+// address bytes to an Addr, letting receive loops reuse interned strings
+// instead of allocating one per contact per datagram. An interned decode is
+// the receive-loop form, and the receive loop trusts the socket-level
+// source address over the claimed one — so it leaves From.Addr empty for
+// the caller to fill, neither converting the claimed bytes (an allocation
+// per datagram) nor admitting them into the bounded intern table (which a
+// flood of forged From addresses could otherwise fill, disabling interning
+// for legitimate contact addresses).
+func decodeMessageInto(m *Message, data []byte, intern func([]byte) transport.Addr) error {
+	trustClaimedFrom := intern == nil
+	if intern == nil {
+		intern = func(b []byte) transport.Addr { return transport.Addr(b) }
+	}
 	r := wireReader{buf: data}
 	magic, err := r.uint16()
 	if err != nil || magic != wireMagic {
-		return Message{}, ErrWire
+		return ErrWire
 	}
 	version, err := r.byte()
 	if err != nil || version != wireVersion {
-		return Message{}, ErrWire
+		return ErrWire
 	}
 	kindByte, err := r.byte()
 	if err != nil {
-		return Message{}, ErrWire
+		return ErrWire
 	}
-	var m Message
 	m.Kind = Kind(kindByte)
 	if m.Kind < KindPing || m.Kind > KindApp {
-		return Message{}, ErrWire
+		return ErrWire
 	}
 	if m.RPCID, err = r.uint64(); err != nil {
-		return Message{}, ErrWire
+		return ErrWire
 	}
 	if m.From.ID, err = r.id(); err != nil {
-		return Message{}, ErrWire
+		return ErrWire
 	}
 	addr, err := r.bytes16()
 	if err != nil {
-		return Message{}, ErrWire
+		return ErrWire
 	}
-	m.From.Addr = transport.Addr(addr)
+	if trustClaimedFrom {
+		m.From.Addr = transport.Addr(addr)
+	} else {
+		m.From.Addr = ""
+	}
 	if m.Target, err = r.id(); err != nil {
-		return Message{}, ErrWire
+		return ErrWire
 	}
 	if m.Key, err = r.id(); err != nil {
-		return Message{}, ErrWire
+		return ErrWire
 	}
 	ttl, err := r.uint64()
 	if err != nil {
-		return Message{}, ErrWire
+		return ErrWire
 	}
 	m.TTL = time.Duration(ttl)
 	foundByte, err := r.byte()
 	if err != nil {
-		return Message{}, ErrWire
+		return ErrWire
 	}
 	m.Found = foundByte == 1
 	contactCount, err := r.byte()
 	if err != nil || int(contactCount) > maxContacts {
-		return Message{}, ErrWire
+		return ErrWire
+	}
+	m.Contacts = m.Contacts[:0]
+	if n := int(contactCount); cap(m.Contacts) < n {
+		m.Contacts = make([]Contact, 0, n)
 	}
 	for i := 0; i < int(contactCount); i++ {
 		var c Contact
 		if c.ID, err = r.id(); err != nil {
-			return Message{}, ErrWire
+			return ErrWire
 		}
 		caddr, err := r.bytes16()
 		if err != nil {
-			return Message{}, ErrWire
+			return ErrWire
 		}
-		c.Addr = transport.Addr(caddr)
+		c.Addr = intern(caddr)
 		m.Contacts = append(m.Contacts, c)
 	}
 	if m.Value, err = r.bytes32(); err != nil {
-		return Message{}, ErrWire
+		return ErrWire
 	}
 	if m.App, err = r.bytes32(); err != nil {
-		return Message{}, ErrWire
+		return ErrWire
 	}
 	if r.remaining() != 0 {
-		return Message{}, ErrWire
+		return ErrWire
 	}
-	return m, nil
+	return nil
 }
 
 func appendBytes(buf, b []byte) []byte {

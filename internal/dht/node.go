@@ -67,12 +67,28 @@ type Node struct {
 	cfg   Config
 	table *Table
 
+	// Receive-path scratch: handlers are invoked serially per endpoint (the
+	// transport contract), so one decode Message, one reply contact buffer
+	// and one address intern table per node serve every inbound datagram
+	// without allocating. The intern table maps raw address bytes to their
+	// canonical string, sparing one string allocation per contact per
+	// datagram; it is bounded, so a flood of unique addresses degrades to
+	// plain allocation instead of growing it without limit.
+	rx         Message
+	rxContacts []Contact
+	addrIntern map[string]transport.Addr
+	internFn   func([]byte) transport.Addr
+
 	mu      sync.Mutex
 	pending map[uint64]*pendingRPC
 	rpcSeq  uint64
 	values  map[ID]storedValue
 	closed  bool
 }
+
+// wireBufs pools wire-encode buffers: transport.Endpoint.Send does not
+// retain its payload, so a buffer is reusable the moment the send returns.
+var wireBufs = sync.Pool{New: func() any { return new([]byte) }}
 
 type pendingRPC struct {
 	cb    func(Message, error)
@@ -99,13 +115,32 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	cfg = cfg.withDefaults()
 	n := &Node{
-		cfg:     cfg,
-		table:   NewTable(cfg.ID, cfg.K, cfg.StaleAfter, func() time.Time { return cfg.Clock.Now() }),
-		pending: make(map[uint64]*pendingRPC),
-		values:  make(map[ID]storedValue),
+		cfg:        cfg,
+		table:      NewTable(cfg.ID, cfg.K, cfg.StaleAfter, func() time.Time { return cfg.Clock.Now() }),
+		pending:    make(map[uint64]*pendingRPC),
+		values:     make(map[ID]storedValue),
+		addrIntern: make(map[string]transport.Addr),
 	}
+	n.internFn = n.internAddr
 	cfg.Endpoint.SetHandler(n.handle)
 	return n, nil
+}
+
+// maxInternedAddrs bounds the receive-path address intern table.
+const maxInternedAddrs = 1 << 16
+
+// internAddr returns the canonical Addr for raw address bytes, remembering
+// it for future datagrams. Only the handle path uses it, which runs
+// serially, so the map needs no lock.
+func (n *Node) internAddr(b []byte) transport.Addr {
+	if a, ok := n.addrIntern[string(b)]; ok {
+		return a
+	}
+	a := transport.Addr(b)
+	if len(n.addrIntern) < maxInternedAddrs {
+		n.addrIntern[string(b)] = a
+	}
+	return a
 }
 
 // ID returns the node identifier.
@@ -142,15 +177,18 @@ func (n *Node) Close() error {
 	for _, id := range ids {
 		p := pending[id]
 		p.timer.Stop()
-		n.cfg.Clock.AfterFunc(0, func() { p.cb(Message{}, ErrClosed) })
+		sim.Schedule(n.cfg.Clock, 0, func() { p.cb(Message{}, ErrClosed) })
 	}
 	return n.cfg.Endpoint.Close()
 }
 
-// handle is the transport inbound entry point.
+// handle is the transport inbound entry point. It decodes into the node's
+// scratch Message (handlers run serially per endpoint), so everything the
+// dispatch below touches — including msg.App handed to OnApp — is valid
+// only until handle returns; consumers that keep bytes must copy them.
 func (n *Node) handle(from transport.Addr, data []byte) {
-	msg, err := DecodeMessage(data)
-	if err != nil {
+	msg := &n.rx
+	if err := decodeMessageInto(msg, data, n.internFn); err != nil {
 		return // malformed datagram: drop, like any UDP service
 	}
 	if msg.From.ID == n.cfg.ID {
@@ -164,10 +202,11 @@ func (n *Node) handle(from transport.Addr, data []byte) {
 	case KindPing:
 		n.reply(msg.From, Message{Kind: KindPong, RPCID: msg.RPCID})
 	case KindFindNode:
+		n.rxContacts = n.table.AppendClosest(n.rxContacts[:0], msg.Target, n.cfg.K)
 		n.reply(msg.From, Message{
 			Kind:     KindFindNodeResp,
 			RPCID:    msg.RPCID,
-			Contacts: n.table.Closest(msg.Target, n.cfg.K),
+			Contacts: n.rxContacts,
 		})
 	case KindStore:
 		n.storeLocal(msg.Key, msg.Value, msg.TTL)
@@ -177,29 +216,33 @@ func (n *Node) handle(from transport.Addr, data []byte) {
 			n.reply(msg.From, Message{Kind: KindFindValueResp, RPCID: msg.RPCID, Key: msg.Key, Found: true, Value: value})
 			return
 		}
+		n.rxContacts = n.table.AppendClosest(n.rxContacts[:0], msg.Key, n.cfg.K)
 		n.reply(msg.From, Message{
 			Kind:     KindFindValueResp,
 			RPCID:    msg.RPCID,
 			Key:      msg.Key,
-			Contacts: n.table.Closest(msg.Key, n.cfg.K),
+			Contacts: n.rxContacts,
 		})
 	case KindApp:
 		if n.cfg.OnApp != nil {
 			n.cfg.OnApp(msg.From, msg.App)
 		}
 	case KindPong, KindFindNodeResp, KindStoreAck, KindFindValueResp:
-		n.settle(msg)
+		n.settle(*msg)
 	}
 }
 
-// reply sends a response message (no pending bookkeeping).
+// reply sends a response message (no pending bookkeeping) through a pooled
+// wire buffer.
 func (n *Node) reply(to Contact, m Message) {
 	m.From = n.Contact()
-	data, err := m.Encode()
-	if err != nil {
-		return
+	buf := wireBufs.Get().(*[]byte)
+	data, err := m.AppendEncode((*buf)[:0])
+	if err == nil {
+		_ = n.cfg.Endpoint.Send(to.Addr, data)
+		*buf = data
 	}
-	_ = n.cfg.Endpoint.Send(to.Addr, data)
+	wireBufs.Put(buf)
 }
 
 // request sends m to the peer and arranges for cb to run with the response
@@ -208,7 +251,7 @@ func (n *Node) request(to Contact, m Message, cb func(Message, error)) {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
-		n.cfg.Clock.AfterFunc(0, func() { cb(Message{}, ErrClosed) })
+		sim.Schedule(n.cfg.Clock, 0, func() { cb(Message{}, ErrClosed) })
 		return
 	}
 	n.rpcSeq++
@@ -230,16 +273,20 @@ func (n *Node) request(to Contact, m Message, cb func(Message, error)) {
 	n.mu.Unlock()
 
 	m.From = n.Contact()
-	data, err := m.Encode()
+	buf := wireBufs.Get().(*[]byte)
+	data, err := m.AppendEncode((*buf)[:0])
 	if err != nil {
+		wireBufs.Put(buf)
 		n.mu.Lock()
 		delete(n.pending, id)
 		n.mu.Unlock()
 		p.timer.Stop()
-		n.cfg.Clock.AfterFunc(0, func() { cb(Message{}, err) })
+		sim.Schedule(n.cfg.Clock, 0, func() { cb(Message{}, err) })
 		return
 	}
 	_ = n.cfg.Endpoint.Send(to.Addr, data)
+	*buf = data
+	wireBufs.Put(buf)
 }
 
 // settle matches a response to its pending request.
@@ -275,11 +322,16 @@ func (n *Node) SendApp(to Contact, payload []byte) error {
 		return ErrClosed
 	}
 	m := Message{Kind: KindApp, From: n.Contact(), App: payload}
-	data, err := m.Encode()
+	buf := wireBufs.Get().(*[]byte)
+	data, err := m.AppendEncode((*buf)[:0])
 	if err != nil {
+		wireBufs.Put(buf)
 		return fmt.Errorf("dht: encoding app message: %w", err)
 	}
-	return n.cfg.Endpoint.Send(to.Addr, data)
+	sendErr := n.cfg.Endpoint.Send(to.Addr, data)
+	*buf = data
+	wireBufs.Put(buf)
+	return sendErr
 }
 
 // Bootstrap seeds the routing table and performs a self-lookup to populate

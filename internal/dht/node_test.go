@@ -99,7 +99,9 @@ func TestStoreAndGet(t *testing.T) {
 
 	var got []byte
 	var ok bool
-	c.nodes[44].Get(key, func(v []byte, found bool) { got, ok = v, found })
+	// Copy inside the callback: the value may alias a recycled delivery
+	// buffer, valid only for the duration of the call (Get's contract).
+	c.nodes[44].Get(key, func(v []byte, found bool) { got, ok = append([]byte(nil), v...), found })
 	c.sim.Run()
 	if !ok || string(got) != string(value) {
 		t.Fatalf("Get = %q, %v", got, ok)

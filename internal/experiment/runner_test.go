@@ -9,18 +9,32 @@ import (
 	"selfemerge/internal/core"
 )
 
-// fakeEstimator records call counts and fails on demand.
+// fakeEstimator records call counts and fails on demand. When order is set,
+// the failAt point blocks until the failAt2 point has failed: the runner may
+// legitimately skip dispatched-but-unstarted points once a failure aborts
+// the run, so a test asserting which of two failures is reported must pin
+// their relative order instead of racing the worker pool.
 type fakeEstimator struct {
 	calls   atomic.Int64
 	failAt  int // point index to fail on; -1 disables
 	failAt2 int
+	order   chan struct{}
 }
 
 func (f *fakeEstimator) Name() string { return "fake" }
 
 func (f *fakeEstimator) Estimate(pt Point) (Result, error) {
 	f.calls.Add(1)
-	if pt.Index == f.failAt || pt.Index == f.failAt2 {
+	if pt.Index == f.failAt2 {
+		if f.order != nil {
+			close(f.order)
+		}
+		return Result{}, fmt.Errorf("boom at %d", pt.Index)
+	}
+	if pt.Index == f.failAt {
+		if f.order != nil {
+			<-f.order
+		}
 		return Result{}, fmt.Errorf("boom at %d", pt.Index)
 	}
 	return Result{Point: pt, R: float64(pt.Index)}, nil
@@ -62,8 +76,9 @@ func TestRunnerGridOrder(t *testing.T) {
 
 func TestRunnerFirstErrorByGridOrder(t *testing.T) {
 	// Two failing points: the reported error must be the earliest by grid
-	// order regardless of completion order.
-	est := &fakeEstimator{failAt: 7, failAt2: 3}
+	// order regardless of completion order. The order gate guarantees point
+	// 3 has started (and so will be recorded) before point 7 may fail.
+	est := &fakeEstimator{failAt: 7, failAt2: 3, order: make(chan struct{})}
 	_, err := Runner{Estimator: est, Parallel: 4}.Run(testSweep())
 	if err == nil {
 		t.Fatal("runner swallowed the failure")

@@ -52,6 +52,39 @@ func FuzzDecodePacket(f *testing.F) {
 	})
 }
 
+// FuzzPacketAppendEncode asserts the append-style packet codec is exactly
+// the classic one: for anything that decodes, AppendEncode onto an
+// arbitrary prefix leaves the prefix intact and appends bytes identical to
+// Encode, and the appended bytes round-trip.
+func FuzzPacketAppendEncode(f *testing.F) {
+	valid := protocol.Packet{
+		Mission: protocol.MissionID{7, 7},
+		Kind:    protocol.PkMainOnion,
+		Column:  2,
+		Data:    []byte("wrapped onion"),
+	}
+	f.Add(valid.Encode(), []byte{})
+	f.Add(valid.Encode(), []byte("prefix"))
+	f.Add([]byte{}, []byte{0xAA})
+	f.Fuzz(func(t *testing.T, data, prefix []byte) {
+		pkt, err := protocol.DecodePacket(data)
+		if err != nil {
+			return
+		}
+		classic := pkt.Encode()
+		appended := pkt.AppendEncode(append([]byte(nil), prefix...))
+		if !bytes.HasPrefix(appended, prefix) {
+			t.Fatalf("AppendEncode clobbered its prefix: %x", appended)
+		}
+		if !bytes.Equal(appended[len(prefix):], classic) {
+			t.Fatalf("AppendEncode diverged from Encode:\n  append %x\n  encode %x", appended[len(prefix):], classic)
+		}
+		if _, err := protocol.DecodePacket(appended[len(prefix):]); err != nil {
+			t.Fatalf("appended encoding failed to decode: %v", err)
+		}
+	})
+}
+
 // FuzzParseShareBlob asserts the share-blob codecs never panic on arbitrary
 // payloads and that whatever parses is consistent: ParseShare round-trips
 // through the blob encoding, and ParseShareTag only accepts the two tag
@@ -103,6 +136,10 @@ func FuzzSharePacketRoundTrip(f *testing.F) {
 		if isSlot {
 			kind = protocol.PkSlotShare
 		}
+		blob := protocol.EncodeShareBlob(x, data)
+		if appended := protocol.AppendEncodeShareBlob([]byte("pfx"), x, data); !bytes.Equal(appended, append([]byte("pfx"), blob...)) {
+			t.Fatalf("AppendEncodeShareBlob diverged from EncodeShareBlob: %x vs pfx+%x", appended, blob)
+		}
 		pkt := protocol.Packet{
 			Mission:   protocol.MissionID{0xF0, 0x0D},
 			Kind:      kind,
@@ -111,7 +148,7 @@ func FuzzSharePacketRoundTrip(f *testing.F) {
 			Width:     column, // exercised alongside the repair metadata
 			HoldUntil: 1 << 40,
 			Step:      1 << 30,
-			Data:      protocol.EncodeShareBlob(x, data),
+			Data:      blob,
 		}
 		decoded, err := protocol.DecodePacket(pkt.Encode())
 		if err != nil {

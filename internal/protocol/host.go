@@ -110,7 +110,10 @@ func NewHost(cfg HostConfig) *Host {
 // Attach binds the host to its DHT node.
 func (h *Host) Attach(node *dht.Node) { h.node = node }
 
-// HandleApp is the dht.Config.OnApp entry point.
+// HandleApp is the dht.Config.OnApp entry point. The payload follows the
+// transport delivery contract — it is valid only for the duration of the
+// call (it usually aliases a recycled delivery buffer) — so every path
+// below that keeps packet bytes beyond this call clones them first.
 func (h *Host) HandleApp(from dht.Contact, payload []byte) {
 	pkt, err := DecodePacket(payload)
 	if err != nil {
@@ -170,17 +173,18 @@ func (h *Host) onCentral(pkt Packet) {
 	ms := h.state(pkt.Mission)
 	if ms.central != nil {
 		h.mu.Unlock()
-		return
+		return // replica already in custody: no clone for routine duplicates
 	}
+	pkt.Data = append([]byte(nil), pkt.Data...) // custody outlives the delivery buffer
 	hp := &heldPackage{pkt: pkt}
 	ms.central = hp
 	h.mu.Unlock()
 	h.scheduleHold(hp, func() {
-		h.node.SendToOwner(pkt.Target, Packet{
+		sendPacket(h.node, pkt.Target, Packet{
 			Mission: pkt.Mission,
 			Kind:    PkSecret,
 			Data:    pkt.Data,
-		}.Encode(), nil)
+		}, 1)
 	})
 }
 
@@ -206,6 +210,10 @@ func (h *Host) onKeyGrant(pkt Packet) {
 	}
 	h.mu.Unlock()
 	if fresh {
+		// The refresh loop re-encodes the grant for the rest of its life, so
+		// it gets its own copy of the key bytes (the inbound Data aliases a
+		// recycled delivery buffer).
+		pkt.Data = key.Bytes()
 		h.scheduleGrantRefresh(pkt)
 	}
 	h.advance(pkt.Mission)
@@ -251,19 +259,19 @@ func (h *Host) scheduleGrantRefresh(pkt Packet) {
 			// share scheme's direct column-1 SK grants arrive with repair
 			// metadata, so a replacement entry carrier regains its slot key
 			// from the surviving custodian within the first holding period.
-			h.node.SendToOwners(SlotID(pkt.Mission, int(pkt.Column), int(pkt.Slot)),
-				pkt.Encode(), h.replicas(), nil)
+			sendPacket(h.node, SlotID(pkt.Mission, int(pkt.Column), int(pkt.Slot)),
+				pkt, h.replicas())
 		} else {
 			for s := 0; s < int(pkt.Width); s++ {
 				p := pkt
 				p.Slot = uint16(s)
-				h.node.SendToOwners(SlotID(pkt.Mission, int(pkt.Column), s),
-					p.Encode(), h.replicas(), nil)
+				sendPacket(h.node, SlotID(pkt.Mission, int(pkt.Column), s),
+					p, h.replicas())
 			}
 		}
-		h.cfg.Clock.AfterFunc(time.Duration(pkt.Step), tick)
+		sim.Schedule(h.cfg.Clock, time.Duration(pkt.Step), tick)
 	}
-	h.cfg.Clock.AfterFunc(time.Duration(pkt.Step)-margin, tick)
+	sim.Schedule(h.cfg.Clock, time.Duration(pkt.Step)-margin, tick)
 }
 
 // replicas returns the forwarding replica count.
@@ -282,8 +290,9 @@ func (h *Host) onOnion(pkt Packet, main bool) {
 	if main {
 		if _, dup := ms.mainSealed[col]; dup {
 			h.mu.Unlock()
-			return // replica already in custody (joint fan-in)
+			return // replica already in custody (joint fan-in), no clone paid
 		}
+		pkt.Data = append([]byte(nil), pkt.Data...) // custody outlives the delivery buffer
 		hp = &heldPackage{pkt: pkt}
 		ms.mainSealed[col] = hp
 	} else {
@@ -292,6 +301,7 @@ func (h *Host) onOnion(pkt Packet, main bool) {
 			h.mu.Unlock()
 			return
 		}
+		pkt.Data = append([]byte(nil), pkt.Data...)
 		hp = &heldPackage{pkt: pkt}
 		ms.slotSealed[ref] = hp
 	}
@@ -348,14 +358,15 @@ func (h *Host) onSlotShare(pkt Packet) {
 // an already-seen X is kept as an additional variant, so a corrupt or stale
 // early arrival cannot shadow the honest share — the subset recovery of
 // shareKeyCandidates picks whichever variants the onion-layer oracle
-// validates.
+// validates. Inserted share data is cloned: the inbound bytes alias a
+// recycled delivery buffer (duplicates never pay the copy).
 func addShare(shares []shamir.Share, x uint8, data []byte) ([]shamir.Share, bool) {
 	for _, s := range shares {
 		if s.X == x && bytes.Equal(s.Data, data) {
 			return shares, false
 		}
 	}
-	return append(shares, shamir.Share{X: x, Data: data}), true
+	return append(shares, shamir.Share{X: x, Data: append([]byte(nil), data...)}), true
 }
 
 // repairableShare reports whether a received share participates in churn
@@ -384,7 +395,11 @@ func (h *Host) scheduleShareRefresh(pkt Packet) {
 	if delay <= 0 {
 		return // received during the repair window itself (a re-grant)
 	}
-	h.cfg.Clock.AfterFunc(delay, func() { h.regrantShares(pkt) })
+	// The repair tick re-encodes from the held share collection, never from
+	// the triggering packet's payload — drop the reference so the captured
+	// packet does not pin the recycled delivery buffer.
+	pkt.Data = nil
+	sim.Schedule(h.cfg.Clock, delay, func() { h.regrantShares(pkt) })
 }
 
 // regrantShares is one share-repair tick: re-push the currently-held shares
@@ -418,7 +433,7 @@ func (h *Host) regrantShares(pkt Packet) {
 			p := pkt
 			p.Slot = uint16(s)
 			p.Data = shareBlob(sh.X, sh.Data)
-			h.node.SendToOwners(SlotID(pkt.Mission, col, s), p.Encode(), h.replicas(), nil)
+			sendPacket(h.node, SlotID(pkt.Mission, col, s), p, h.replicas())
 		}
 	}
 }
@@ -658,11 +673,11 @@ func (h *Host) forwardMainLocked(mission MissionID, col int, hp *heldPackage) fu
 				if err != nil {
 					return
 				}
-				node.SendToOwner(target, Packet{
+				sendPacket(node, target, Packet{
 					Mission: mission,
 					Kind:    PkSecret,
 					Data:    layer.Payload,
-				}.Encode(), nil)
+				}, 1)
 			}
 			return
 		}
@@ -671,7 +686,7 @@ func (h *Host) forwardMainLocked(mission MissionID, col int, hp *heldPackage) fu
 			if err != nil {
 				continue
 			}
-			node.SendToOwners(target, Packet{
+			sendPacket(node, target, Packet{
 				Mission:   mission,
 				Kind:      PkMainOnion,
 				Column:    uint16(col + 1),
@@ -680,7 +695,7 @@ func (h *Host) forwardMainLocked(mission MissionID, col int, hp *heldPackage) fu
 				Step:      pkt.Step,
 				Target:    pkt.Target,
 				Data:      layer.Rest,
-			}.Encode(), h.replicas(), nil)
+			}, h.replicas())
 		}
 	}
 }
@@ -713,7 +728,7 @@ func (h *Host) forwardSlotLocked(mission MissionID, ref slotRef, hp *heldPackage
 				// the whole column's share custody (column-key shares fan
 				// out to every carrier).
 				for s, hop := range hops {
-					node.SendToOwners(hop, Packet{
+					sendPacket(node, hop, Packet{
 						Mission:   mission,
 						Kind:      PkColShare,
 						Column:    uint16(nextCol),
@@ -722,7 +737,7 @@ func (h *Host) forwardSlotLocked(mission MissionID, ref slotRef, hp *heldPackage
 						HoldUntil: pkt.HoldUntil + pkt.Step,
 						Step:      pkt.Step,
 						Data:      blob[1:],
-					}.Encode(), h.replicas(), nil)
+					}, h.replicas())
 				}
 			case shareTagSlot:
 				if len(blob) < 4 {
@@ -732,7 +747,7 @@ func (h *Host) forwardSlotLocked(mission MissionID, ref slotRef, hp *heldPackage
 				if slot >= len(hops) {
 					continue
 				}
-				node.SendToOwners(hops[slot], Packet{
+				sendPacket(node, hops[slot], Packet{
 					Mission:   mission,
 					Kind:      PkSlotShare,
 					Column:    uint16(nextCol),
@@ -740,11 +755,11 @@ func (h *Host) forwardSlotLocked(mission MissionID, ref slotRef, hp *heldPackage
 					HoldUntil: pkt.HoldUntil + pkt.Step,
 					Step:      pkt.Step,
 					Data:      blob[3:],
-				}.Encode(), h.replicas(), nil)
+				}, h.replicas())
 			}
 		}
 		if layer.Rest != nil && ref.slot < len(hops) {
-			node.SendToOwners(hops[ref.slot], Packet{
+			sendPacket(node, hops[ref.slot], Packet{
 				Mission:   mission,
 				Kind:      PkSlotOnion,
 				Column:    uint16(nextCol),
@@ -752,7 +767,7 @@ func (h *Host) forwardSlotLocked(mission MissionID, ref slotRef, hp *heldPackage
 				HoldUntil: pkt.HoldUntil + pkt.Step,
 				Step:      pkt.Step,
 				Data:      layer.Rest,
-			}.Encode(), h.replicas(), nil)
+			}, h.replicas())
 		}
 	}
 }

@@ -78,9 +78,15 @@ type Packet struct {
 // ErrPacket is returned for malformed protocol payloads.
 var ErrPacket = errors.New("protocol: malformed packet")
 
-// Encode renders the wire form.
+// Encode renders the wire form into a fresh buffer.
 func (p Packet) Encode() []byte {
-	buf := make([]byte, 0, 64+len(p.Data))
+	return p.AppendEncode(make([]byte, 0, 64+len(p.Data)))
+}
+
+// AppendEncode appends the wire form to buf and returns the extended slice —
+// the allocation-free form for send paths that recycle packet buffers. The
+// encoding is byte-identical to Encode.
+func (p Packet) AppendEncode(buf []byte) []byte {
 	buf = append(buf, p.Mission[:]...)
 	buf = append(buf, byte(p.Kind))
 	buf = binary.BigEndian.AppendUint16(buf, p.Column)
@@ -136,9 +142,13 @@ func DecodePacket(data []byte) (Packet, error) {
 // shareBlob encodes a Shamir share (X coordinate plus data) for embedding
 // in onion layers and packets.
 func shareBlob(x uint8, data []byte) []byte {
-	out := make([]byte, 0, 1+len(data))
-	out = append(out, x)
-	return append(out, data...)
+	return appendShareBlob(make([]byte, 0, 1+len(data)), x, data)
+}
+
+// appendShareBlob appends the share blob encoding to dst.
+func appendShareBlob(dst []byte, x uint8, data []byte) []byte {
+	dst = append(dst, x)
+	return append(dst, data...)
 }
 
 // parseShareBlob splits a share blob.
@@ -160,6 +170,12 @@ func ParseShare(blob []byte) (x uint8, data []byte, err error) {
 // the packet fuzz targets.
 func EncodeShareBlob(x uint8, data []byte) []byte {
 	return shareBlob(x, data)
+}
+
+// AppendEncodeShareBlob is EncodeShareBlob appending to dst, for senders
+// that recycle blob buffers. The encoding is byte-identical.
+func AppendEncodeShareBlob(dst []byte, x uint8, data []byte) []byte {
+	return appendShareBlob(dst, x, data)
 }
 
 // ShareKind discriminates the tagged share blobs embedded in slot-onion

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
+	"sync"
 	"time"
 
 	"selfemerge/internal/core"
@@ -38,10 +40,42 @@ func (m Mission) replicas() int {
 	return holderReplicas
 }
 
-// NewMissionID draws a random mission identifier.
+// Sender performs the sender-side mission construction of Section III:
+// routing path selection, onion and key-share package generation, and
+// injection into the DHT. It owns the randomness source every cryptographic
+// draw of a dispatch flows through — mission identifiers, layer keys, GCM
+// nonces, Shamir polynomial coefficients — so a Sender built over a seeded
+// stream (stats.ByteStream) makes entire missions byte-reproducible, while
+// the default crypto/rand source serves real deployments. A Sender with a
+// deterministic source is not safe for concurrent use; the crypto/rand
+// default is.
+type Sender struct {
+	rand io.Reader
+}
+
+// NewSender returns a sender drawing all cryptographic randomness from r
+// (nil means crypto/rand).
+func NewSender(r io.Reader) *Sender {
+	if r == nil {
+		r = rand.Reader
+	}
+	return &Sender{rand: r}
+}
+
+// defaultSender is the crypto/rand-backed sender behind the package-level
+// Dispatch and NewMissionID.
+var defaultSender = NewSender(nil)
+
+// NewMissionID draws a random mission identifier from crypto/rand.
 func NewMissionID() (MissionID, error) {
+	return defaultSender.NewMissionID()
+}
+
+// NewMissionID draws a mission identifier from the sender's randomness
+// source.
+func (s *Sender) NewMissionID() (MissionID, error) {
 	var id MissionID
-	if _, err := io.ReadFull(rand.Reader, id[:]); err != nil {
+	if _, err := io.ReadFull(s.rand, id[:]); err != nil {
 		return MissionID{}, fmt.Errorf("protocol: mission id: %w", err)
 	}
 	return id, nil
@@ -50,30 +84,41 @@ func NewMissionID() (MissionID, error) {
 // SlotID derives the DHT identifier of holder slot (column, slot) of a
 // mission: the pseudo-random, deterministic holder selection of Section
 // III ("pseudo-randomly selects nodes in the DHT to form the routing
-// paths").
+// paths"). The tag is mission || "/column/slot" in decimal, assembled on
+// the stack (this runs once per packet routed, so no fmt formatting).
 func SlotID(mission MissionID, column, slot int) dht.ID {
-	tag := make([]byte, 0, 16+12)
-	tag = append(tag, mission[:]...)
-	tag = append(tag, []byte(fmt.Sprintf("/%d/%d", column, slot))...)
-	return dht.IDFromKey(tag)
+	var tag [len(mission) + 2 + 2*20]byte
+	b := append(tag[:0], mission[:]...)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(column), 10)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(slot), 10)
+	return dht.IDFromKey(b)
+}
+
+// Dispatch validates the mission and injects all start-time packages into
+// the DHT through node, drawing randomness from crypto/rand. It returns the
+// number of packets sent.
+func Dispatch(node *dht.Node, m Mission) (int, error) {
+	return defaultSender.Dispatch(node, m)
 }
 
 // Dispatch validates the mission and injects all start-time packages into
 // the DHT through node. It returns the number of packets sent. Packets are
 // routed to the current owners of the mission's slot IDs.
-func Dispatch(node *dht.Node, m Mission) (int, error) {
+func (s *Sender) Dispatch(node *dht.Node, m Mission) (int, error) {
 	if err := m.validate(); err != nil {
 		return 0, err
 	}
 	switch m.Plan.Scheme {
 	case core.SchemeCentral:
-		return dispatchCentral(node, m)
+		return s.dispatchCentral(node, m)
 	case core.SchemeDisjoint:
-		return dispatchMultipath(node, m, false)
+		return s.dispatchMultipath(node, m, false)
 	case core.SchemeJoint:
-		return dispatchMultipath(node, m, true)
+		return s.dispatchMultipath(node, m, true)
 	case core.SchemeKeyShare:
-		return dispatchShare(node, m)
+		return s.dispatchShare(node, m)
 	default:
 		return 0, fmt.Errorf("protocol: unknown scheme %v", m.Plan.Scheme)
 	}
@@ -108,12 +153,29 @@ func (m Mission) timing() (hold time.Duration, releaseAt int64) {
 // the receiver makes the rendezvous reliable.
 const holderReplicas = 2
 
-// send routes one packet to the owners of the given slot identifier.
-func send(node *dht.Node, slot dht.ID, m Mission, p Packet) {
-	node.SendToOwners(slot, p.Encode(), m.replicas(), nil)
+// pktBufs pools encoded-packet buffers. A buffer handed to SendToOwners
+// stays referenced until the underlying lookup completes (the owners are
+// resolved asynchronously), so it is released from the done callback rather
+// than on return.
+var pktBufs = sync.Pool{New: func() any { return new([]byte) }}
+
+// sendPacket encodes p into a pooled buffer and routes it to the current
+// owners of slot, reclaiming the buffer once the lookup-and-send completes.
+func sendPacket(node *dht.Node, slot dht.ID, p Packet, replicas int) {
+	buf := pktBufs.Get().(*[]byte)
+	data := p.AppendEncode((*buf)[:0])
+	*buf = data
+	node.SendToOwners(slot, data, replicas, func(dht.Contact, error) {
+		pktBufs.Put(buf)
+	})
 }
 
-func dispatchCentral(node *dht.Node, m Mission) (int, error) {
+// send routes one packet to the owners of the given slot identifier.
+func send(node *dht.Node, slot dht.ID, m Mission, p Packet) {
+	sendPacket(node, slot, p, m.replicas())
+}
+
+func (s *Sender) dispatchCentral(node *dht.Node, m Mission) (int, error) {
 	_, releaseAt := m.timing()
 	send(node, SlotID(m.ID, 1, 0), m, Packet{
 		Mission:   m.ID,
@@ -129,18 +191,24 @@ func dispatchCentral(node *dht.Node, m Mission) (int, error) {
 // dispatchMultipath implements the node-disjoint (joint=false) and
 // node-joint (joint=true) schemes: k onion replicas over l columns with
 // layer keys pre-assigned at start time.
-func dispatchMultipath(node *dht.Node, m Mission, joint bool) (int, error) {
+func (s *Sender) dispatchMultipath(node *dht.Node, m Mission, joint bool) (int, error) {
 	k, l := m.Plan.K, m.Plan.L
 	hold, releaseAt := m.timing()
 
 	// One layer key per column, replicated across the column's k holders.
+	// The sealers cache each key's AES-GCM state, so the disjoint scheme's
+	// k onion replicas pay every key schedule once, not once per onion.
 	keys := make([]seal.Key, l)
+	sealers := make([]*seal.Sealer, l)
 	for c := range keys {
-		key, err := seal.NewKey()
+		key, err := seal.NewKeyFrom(s.rand)
 		if err != nil {
 			return 0, err
 		}
 		keys[c] = key
+		if sealers[c], err = seal.NewSealerRand(key, s.rand); err != nil {
+			return 0, err
+		}
 	}
 
 	sent := 0
@@ -150,16 +218,16 @@ func dispatchMultipath(node *dht.Node, m Mission, joint bool) (int, error) {
 	// the key to churn replacements once per holding period until the key
 	// is no longer needed (protocol churn repair, Section II-C).
 	for c := 1; c <= l; c++ {
-		for s := 0; s < k; s++ {
-			send(node, SlotID(m.ID, c, s), m, Packet{
+		for sl := 0; sl < k; sl++ {
+			send(node, SlotID(m.ID, c, sl), m, Packet{
 				Mission:   m.ID,
 				Kind:      PkKeyGrant,
 				Column:    uint16(c),
-				Slot:      uint16(s),
+				Slot:      uint16(sl),
 				Width:     uint16(k),
 				HoldUntil: m.Start.Add(time.Duration(c) * hold).UnixNano(),
 				Step:      int64(hold),
-				Data:      keys[c-1].Bytes(),
+				Data:      keys[c-1][:],
 			})
 			sent++
 		}
@@ -172,8 +240,8 @@ func dispatchMultipath(node *dht.Node, m Mission, joint bool) (int, error) {
 			var hops [][]byte
 			if c < l {
 				if joint {
-					for s := 0; s < k; s++ {
-						id := SlotID(m.ID, c+1, s)
+					for sl := 0; sl < k; sl++ {
+						id := SlotID(m.ID, c+1, sl)
 						hops = append(hops, id[:])
 					}
 				} else {
@@ -191,16 +259,16 @@ func dispatchMultipath(node *dht.Node, m Mission, joint bool) (int, error) {
 
 	firstHold := m.Start.Add(hold).UnixNano()
 	if joint {
-		wrapped, err := onion.Build(buildLayers(0), keys)
+		wrapped, err := onion.BuildSealers(buildLayers(0), sealers)
 		if err != nil {
 			return sent, err
 		}
-		for s := 0; s < k; s++ {
-			send(node, SlotID(m.ID, 1, s), m, Packet{
+		for sl := 0; sl < k; sl++ {
+			send(node, SlotID(m.ID, 1, sl), m, Packet{
 				Mission:   m.ID,
 				Kind:      PkMainOnion,
 				Column:    1,
-				Slot:      uint16(s),
+				Slot:      uint16(sl),
 				HoldUntil: firstHold,
 				Step:      int64(hold),
 				Target:    m.Receiver,
@@ -210,7 +278,7 @@ func dispatchMultipath(node *dht.Node, m Mission, joint bool) (int, error) {
 		}
 	} else {
 		for path := 0; path < k; path++ {
-			wrapped, err := onion.Build(buildLayers(path), keys)
+			wrapped, err := onion.BuildSealers(buildLayers(path), sealers)
 			if err != nil {
 				return sent, err
 			}
@@ -237,14 +305,14 @@ func dispatchMultipath(node *dht.Node, m Mission, joint bool) (int, error) {
 // split (m, n) and the shares ride inside the column c-1 slot onions,
 // arriving exactly one hop ahead of the packages they unlock (Section
 // III-D).
-func dispatchShare(node *dht.Node, m Mission) (int, error) {
+func (s *Sender) dispatchShare(node *dht.Node, m Mission) (int, error) {
 	k, l, n := m.Plan.K, m.Plan.L, m.Plan.ShareN
 	hold, _ := m.timing()
 
 	columnKeys := make([]seal.Key, l+1) // 1-based
 	slotKeys := make([][]seal.Key, l)   // [column][slot], columns 1..l-1 used
 	for c := 1; c <= l; c++ {
-		key, err := seal.NewKey()
+		key, err := seal.NewKeyFrom(s.rand)
 		if err != nil {
 			return 0, err
 		}
@@ -252,22 +320,23 @@ func dispatchShare(node *dht.Node, m Mission) (int, error) {
 	}
 	for c := 1; c < l; c++ {
 		slotKeys[c] = make([]seal.Key, n)
-		for s := 0; s < n; s++ {
-			key, err := seal.NewKey()
+		for sl := 0; sl < n; sl++ {
+			key, err := seal.NewKeyFrom(s.rand)
 			if err != nil {
 				return 0, err
 			}
-			slotKeys[c][s] = key
+			slotKeys[c][sl] = key
 		}
 	}
 
 	// Shamir-split the column c+1 keys; share index s goes to carrier
-	// (c, s). thresholds[c-1] protects column c+1.
+	// (c, s). thresholds[c-1] protects column c+1. Each split draws its
+	// whole polynomial set in one batched read from the sender's source.
 	colShares := make([][]shamir.Share, l+1)  // colShares[c][s] = share of CK_c
 	slotShares := make([][][]shamir.Share, l) // slotShares[c][t][s] = share of SK_{c,t}
 	for c := 2; c <= l; c++ {
 		threshold := m.Plan.ShareM[c-2]
-		shares, err := shamir.Split(columnKeys[c].Bytes(), threshold, n)
+		shares, err := shamir.SplitRand(s.rand, columnKeys[c][:], threshold, n)
 		if err != nil {
 			return 0, fmt.Errorf("protocol: splitting CK_%d: %w", c, err)
 		}
@@ -275,7 +344,7 @@ func dispatchShare(node *dht.Node, m Mission) (int, error) {
 		if c < l {
 			slotShares[c] = make([][]shamir.Share, n)
 			for t := 0; t < n; t++ {
-				ss, err := shamir.Split(slotKeys[c][t].Bytes(), threshold, n)
+				ss, err := shamir.SplitRand(s.rand, slotKeys[c][t][:], threshold, n)
 				if err != nil {
 					return 0, fmt.Errorf("protocol: splitting SK_%d_%d: %w", c, t, err)
 				}
@@ -289,19 +358,19 @@ func dispatchShare(node *dht.Node, m Mission) (int, error) {
 	// scatter: its share of CK_{c+1} and, when c+1 < l, its share of every
 	// SK_{c+1,t}.
 	sent := 0
-	for s := 0; s < n; s++ {
+	for sl := 0; sl < n; sl++ {
 		var layers []onion.Layer
-		var keys []seal.Key
+		var sealers []*seal.Sealer
 		for c := 1; c < l; c++ {
 			var shares [][]byte
-			colShare := colShares[c+1][s]
+			colShare := colShares[c+1][sl]
 			shares = append(shares, append([]byte{shareTagColumn}, shareBlob(colShare.X, colShare.Data)...))
 			if c+1 < l {
 				for t := 0; t < n; t++ {
-					slotShare := slotShares[c+1][t][s]
+					slotShare := slotShares[c+1][t][sl]
 					blob := make([]byte, 0, 4+len(slotShare.Data))
 					blob = append(blob, shareTagSlot, byte(t>>8), byte(t))
-					blob = append(blob, shareBlob(slotShare.X, slotShare.Data)...)
+					blob = appendShareBlob(blob, slotShare.X, slotShare.Data)
 					shares = append(shares, blob)
 				}
 			}
@@ -315,21 +384,25 @@ func dispatchShare(node *dht.Node, m Mission) (int, error) {
 				hops = append(hops, id[:])
 			}
 			layers = append(layers, onion.Layer{NextHops: hops, Shares: shares})
-			keys = append(keys, slotKeys[c][s])
+			slr, err := seal.NewSealerRand(slotKeys[c][sl], s.rand)
+			if err != nil {
+				return sent, err
+			}
+			sealers = append(sealers, slr)
 		}
 		if len(layers) == 0 {
 			continue
 		}
-		wrapped, err := onion.Build(layers, keys)
+		wrapped, err := onion.BuildSealers(layers, sealers)
 		if err != nil {
 			return sent, err
 		}
 		firstHold := m.Start.Add(hold).UnixNano()
-		send(node, SlotID(m.ID, 1, s), m, Packet{
+		send(node, SlotID(m.ID, 1, sl), m, Packet{
 			Mission:   m.ID,
 			Kind:      PkSlotOnion,
 			Column:    1,
-			Slot:      uint16(s),
+			Slot:      uint16(sl),
 			HoldUntil: firstHold,
 			Step:      int64(hold),
 			Data:      wrapped,
@@ -340,16 +413,16 @@ func dispatchShare(node *dht.Node, m Mission) (int, error) {
 		// first holding period (layer keys for columns >= 2 exist only as
 		// Shamir shares, which repair through the share re-grant path of
 		// scheduleShareRefresh instead).
-		send(node, SlotID(m.ID, 1, s), m, Packet{
+		send(node, SlotID(m.ID, 1, sl), m, Packet{
 			Mission:   m.ID,
 			Kind:      PkKeyGrant,
 			Column:    1,
-			Slot:      uint16(s),
+			Slot:      uint16(sl),
 			Width:     1,
 			X:         keyGrantSlot,
 			HoldUntil: m.Start.Add(hold).UnixNano(),
 			Step:      int64(hold),
-			Data:      slotKeys[1][s].Bytes(),
+			Data:      slotKeys[1][sl][:],
 		})
 		sent++
 	}
@@ -357,7 +430,7 @@ func dispatchShare(node *dht.Node, m Mission) (int, error) {
 	// Main onion: layers 1..l under the column keys; the k main holders of
 	// column 1 receive it (and CK_1) directly.
 	mainLayers := make([]onion.Layer, l)
-	mainKeys := make([]seal.Key, l)
+	mainSealers := make([]*seal.Sealer, l)
 	for c := 1; c <= l; c++ {
 		var hops [][]byte
 		if c < l {
@@ -369,36 +442,40 @@ func dispatchShare(node *dht.Node, m Mission) (int, error) {
 			hops = append(hops, m.Receiver[:])
 		}
 		mainLayers[c-1] = onion.Layer{NextHops: hops}
-		mainKeys[c-1] = columnKeys[c]
+		slr, err := seal.NewSealerRand(columnKeys[c], s.rand)
+		if err != nil {
+			return sent, err
+		}
+		mainSealers[c-1] = slr
 	}
 	mainLayers[l-1].Payload = m.Secret
-	wrappedMain, err := onion.Build(mainLayers, mainKeys)
+	wrappedMain, err := onion.BuildSealers(mainLayers, mainSealers)
 	if err != nil {
 		return sent, err
 	}
 	firstHold := m.Start.Add(hold).UnixNano()
-	for s := 0; s < k; s++ {
-		send(node, SlotID(m.ID, 1, s), m, Packet{
+	for sl := 0; sl < k; sl++ {
+		send(node, SlotID(m.ID, 1, sl), m, Packet{
 			Mission:   m.ID,
 			Kind:      PkMainOnion,
 			Column:    1,
-			Slot:      uint16(s),
+			Slot:      uint16(sl),
 			HoldUntil: firstHold,
 			Step:      int64(hold),
 			Target:    m.Receiver,
 			Data:      wrappedMain,
 		})
 		sent++
-		send(node, SlotID(m.ID, 1, s), m, Packet{
+		send(node, SlotID(m.ID, 1, sl), m, Packet{
 			Mission:   m.ID,
 			Kind:      PkKeyGrant,
 			Column:    1,
-			Slot:      uint16(s),
+			Slot:      uint16(sl),
 			Width:     uint16(k),
 			X:         keyGrantColumn,
 			HoldUntil: firstHold,
 			Step:      int64(hold),
-			Data:      columnKeys[1].Bytes(),
+			Data:      columnKeys[1][:],
 		})
 		sent++
 	}

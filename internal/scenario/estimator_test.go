@@ -68,12 +68,18 @@ func TestLiveSweepAgreesWithMC(t *testing.T) {
 // TestLiveSweepDeterministicAcrossWorkerCounts: each live point owns its
 // private simulator and fabric — and with Shards > 1, several of them — so
 // the emitted sweep must be byte-identical across every execution shape: the
-// runner's worker count {1, 4} crossed with GOMAXPROCS {1, NumCPU}. The
-// scheme axis includes the key share scheme, exercising the live share path
-// — just-in-time share scatter, oracle-validated threshold recovery, share
-// re-grant repair — and its matched live-model references under all shapes;
-// Shards=2 on the estimator makes every point fan out inside the worker
-// pool through the shared concurrency budget.
+// runner's worker count {1, 4} crossed with GOMAXPROCS {1, NumCPU}, plus a
+// warm-pool repeat of the last shape in the same process. The repeat is the
+// pooled-buffer regression check: the wire path recycles encode, delivery
+// and event buffers through sync.Pools shared across goroutines, so a rerun
+// over dirty pools (and any pool-stealing between concurrent shards) must
+// still reproduce the cold-start bytes exactly. The scheme axis includes the
+// key share scheme, exercising the live share path — just-in-time share
+// scatter, oracle-validated threshold recovery, share re-grant repair, all
+// through cloned custody of recycled delivery buffers — and its matched
+// live-model references under all shapes; Shards=2 on the estimator makes
+// every point fan out inside the worker pool through the shared concurrency
+// budget.
 func TestLiveSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("live sweeps are slow")
@@ -98,6 +104,9 @@ func TestLiveSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 			shapes = append(shapes, shape{gmp, parallel})
 		}
 	}
+	// Warm-pool repeat: the last shape again, over pools already populated
+	// by every run before it.
+	shapes = append(shapes, shapes[len(shapes)-1])
 	var outputs [][]byte
 	for _, sh := range shapes {
 		prev := runtime.GOMAXPROCS(sh.gomaxprocs)

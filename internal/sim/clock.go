@@ -28,6 +28,42 @@ type Timer interface {
 	Stop() bool
 }
 
+// Scheduler is implemented by clocks that can arm fire-and-forget callbacks
+// without materializing a cancellable Timer handle. The simulator implements
+// it allocation-free; Schedule falls back to AfterFunc for any other clock.
+type Scheduler interface {
+	Schedule(d time.Duration, fn func())
+}
+
+// Schedule arms fn to run d from now with no way to cancel it — the
+// hot-path form for the per-message delivery and refresh events that are
+// never stopped, sparing the Timer interface allocation AfterFunc pays.
+func Schedule(c Clock, d time.Duration, fn func()) {
+	if s, ok := c.(Scheduler); ok {
+		s.Schedule(d, fn)
+		return
+	}
+	c.AfterFunc(d, fn)
+}
+
+// ArgScheduler is implemented by clocks that can arm a fire-and-forget
+// callback taking one argument. With a package-level fn and a pooled
+// pointer arg the whole schedule is allocation-free — no closure, no Timer
+// box — which is what the transport uses for per-datagram delivery events.
+type ArgScheduler interface {
+	ScheduleArg(d time.Duration, fn func(any), arg any)
+}
+
+// ScheduleArg arms fn(arg) to run d from now with no cancellation handle,
+// falling back to a closure for clocks without native support.
+func ScheduleArg(c Clock, d time.Duration, fn func(any), arg any) {
+	if s, ok := c.(ArgScheduler); ok {
+		s.ScheduleArg(d, fn, arg)
+		return
+	}
+	c.AfterFunc(d, func() { fn(arg) })
+}
+
 // realClock implements Clock with package time.
 type realClock struct{}
 
@@ -38,6 +74,10 @@ func (realClock) Now() time.Time { return time.Now() }
 
 func (realClock) AfterFunc(d time.Duration, fn func()) Timer {
 	return realTimer{t: time.AfterFunc(d, fn)}
+}
+
+func (realClock) Schedule(d time.Duration, fn func()) {
+	time.AfterFunc(d, fn)
 }
 
 type realTimer struct{ t *time.Timer }
@@ -82,6 +122,24 @@ func (s *Simulator) Now() time.Time {
 // AfterFunc schedules fn at now+d. Non-positive d runs fn at the current
 // instant (still through the queue, preserving deterministic order).
 func (s *Simulator) AfterFunc(d time.Duration, fn func()) Timer {
+	ev, gen := s.schedule(d, fn, nil, nil)
+	return timerHandle{ev: ev, gen: gen}
+}
+
+// Schedule arms fn at now+d with no cancellation handle: the same queue and
+// ordering as AfterFunc without boxing a Timer per event — the form the
+// per-message simnet delivery path uses.
+func (s *Simulator) Schedule(d time.Duration, fn func()) {
+	s.schedule(d, fn, nil, nil)
+}
+
+// ScheduleArg arms fn(arg) at now+d with no cancellation handle. With a
+// package-level fn and a pooled pointer arg the call is allocation-free.
+func (s *Simulator) ScheduleArg(d time.Duration, fn func(any), arg any) {
+	s.schedule(d, nil, fn, arg)
+}
+
+func (s *Simulator) schedule(d time.Duration, fn func(), argFn func(any), arg any) (*event, uint64) {
 	if d < 0 {
 		d = 0
 	}
@@ -96,6 +154,8 @@ func (s *Simulator) AfterFunc(d time.Duration, fn func()) Timer {
 	gen := ev.state.Load() >> stateGenShift
 	ev.at = s.now.Load() + int64(d)
 	ev.fn = fn
+	ev.argFn = argFn
+	ev.arg = arg
 	ev.state.Store(gen<<stateGenShift | statusPending)
 	s.live.Add(1)
 	s.mu.Lock()
@@ -103,7 +163,7 @@ func (s *Simulator) AfterFunc(d time.Duration, fn func()) Timer {
 	s.seq++
 	s.queue.push(ev)
 	s.mu.Unlock()
-	return timerHandle{ev: ev, gen: gen}
+	return ev, gen
 }
 
 // Step executes the next pending event, advancing the clock to its
@@ -125,12 +185,16 @@ func (s *Simulator) step(bound int64) bool {
 		s.now.Store(ev.at)
 	}
 	s.mu.Unlock()
-	fn := ev.fn
+	fn, argFn, arg := ev.fn, ev.argFn, ev.arg
 	// Release before dispatch: the record is out of the heap and marked done,
 	// so fn (and any concurrent scheduler) may reuse it immediately; stale
 	// timer handles fail their generation check.
 	s.release(ev)
-	fn()
+	if fn != nil {
+		fn()
+	} else {
+		argFn(arg)
+	}
 	return true
 }
 
@@ -170,7 +234,9 @@ func (s *Simulator) Pending() int {
 // bumping its generation so any still-held timer handle turns inert.
 func (s *Simulator) release(ev *event) {
 	gen := ev.state.Load() >> stateGenShift
-	ev.fn = nil                                // do not retain the closure while pooled
+	ev.fn = nil // do not retain the callback or its argument while pooled
+	ev.argFn = nil
+	ev.arg = nil
 	ev.state.Store((gen + 1) << stateGenShift) // next life, pending
 	s.pool.Put(ev)
 }
@@ -186,11 +252,15 @@ const (
 	stateGenShift   = 2
 )
 
-// event is a pooled scheduled callback record.
+// event is a pooled scheduled callback record. Exactly one of fn and argFn
+// is set: argFn events carry their argument in the record, so hot callers
+// with a package-level argFn schedule without allocating a closure.
 type event struct {
 	at    int64 // Unix nanoseconds
 	seq   uint64
 	fn    func()
+	argFn func(any)
+	arg   any
 	sim   *Simulator
 	state atomic.Uint64
 }

@@ -7,7 +7,11 @@
 // repository is reproducible: the same seed always yields the same run.
 package stats
 
-import "math"
+import (
+	"encoding/binary"
+	"math"
+	mathrand "math/rand/v2"
+)
 
 // RNG is a deterministic pseudo-random number generator based on
 // xoshiro256++ with a SplitMix64 seeding sequence. It is not safe for
@@ -72,6 +76,37 @@ func (r *RNG) Split() *RNG {
 func Mix64(seed, stream uint64) uint64 {
 	_, out := splitMix64(seed + stream*0x9e3779b97f4a7c15)
 	return out
+}
+
+// ByteStream is a deterministic, seedable stream of pseudo-random bytes: a
+// ChaCha8 generator keyed from a 64-bit seed through SplitMix64. It
+// implements io.Reader (Read never fails) and stands in for crypto/rand
+// wherever the protocol draws key material, nonces or identifiers, making
+// whole live runs — including every ciphertext byte — a pure function of
+// their seed, with no per-draw syscall. Not safe for concurrent use; create
+// one stream per network (or mission).
+//
+// ByteStream output is NOT cryptographically secure key material for real
+// deployments: the 64-bit seed is the entire secret. Production binaries
+// keep the crypto/rand default.
+type ByteStream struct {
+	c *mathrand.ChaCha8
+}
+
+// NewByteStream returns a stream seeded from seed: the ChaCha8 key is four
+// decorrelated SplitMix64 substream outputs, so even adjacent seeds yield
+// unrelated streams.
+func NewByteStream(seed uint64) *ByteStream {
+	var key [32]byte
+	for i := 0; i < 4; i++ {
+		binary.LittleEndian.PutUint64(key[i*8:], Mix64(seed, uint64(i)))
+	}
+	return &ByteStream{c: mathrand.NewChaCha8(key)}
+}
+
+// Read fills p with the next pseudo-random bytes; it always succeeds.
+func (s *ByteStream) Read(p []byte) (int, error) {
+	return s.c.Read(p)
 }
 
 // Float64 returns a uniform float64 in [0, 1).

@@ -136,26 +136,51 @@ func (n *Network) send(from transport.Addr, to transport.Addr, payload []byte) {
 	}
 	n.rngMu.Unlock()
 
-	// Copy the payload: the sender may reuse its buffer.
-	msg := make([]byte, len(payload))
-	copy(msg, payload)
-	n.clock.AfterFunc(delay, func() {
-		n.mu.Lock()
-		dst, ok := n.endpoints[to]
-		downNow := n.down[to] || n.down[from]
-		var h transport.Handler
-		if ok {
-			h = dst.handler
-		}
-		if !ok || downNow || h == nil || dst.closed {
-			n.dropped++
-			n.mu.Unlock()
-			return
-		}
+	// Copy the payload into a pooled delivery record: the sender may reuse
+	// its buffer the moment Send returns, and the record (buffer included)
+	// is reclaimed once the handler returns (handlers copy what they keep,
+	// per the transport contract). Scheduling through ScheduleArg with the
+	// package-level deliver function makes the steady-state per-message
+	// path allocation-free: no payload garbage, no closure, no timer box.
+	d := deliveries.Get().(*delivery)
+	d.net, d.from, d.to = n, from, to
+	d.msg = append(d.msg[:0], payload...)
+	sim.ScheduleArg(n.clock, delay, deliver, d)
+}
+
+// delivery is one in-flight datagram: a pooled record carrying its own
+// payload copy.
+type delivery struct {
+	net      *Network
+	from, to transport.Addr
+	msg      []byte
+}
+
+// deliveries pools in-flight datagram records.
+var deliveries = sync.Pool{New: func() any { return new(delivery) }}
+
+// deliver is the delivery event callback: hand the datagram to the
+// destination handler (or count the drop) and recycle the record.
+func deliver(v any) {
+	d := v.(*delivery)
+	n := d.net
+	n.mu.Lock()
+	dst, ok := n.endpoints[d.to]
+	downNow := n.down[d.to] || n.down[d.from]
+	var h transport.Handler
+	if ok {
+		h = dst.handler
+	}
+	if !ok || downNow || h == nil || dst.closed {
+		n.dropped++
+		n.mu.Unlock()
+	} else {
 		n.delivered++
 		n.mu.Unlock()
-		h(from, msg)
-	})
+		h(d.from, d.msg)
+	}
+	d.net = nil
+	deliveries.Put(d)
 }
 
 type endpoint struct {

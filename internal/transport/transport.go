@@ -11,7 +11,11 @@ import "errors"
 // UDP it is a "host:port" string.
 type Addr string
 
-// Handler consumes an inbound datagram.
+// Handler consumes an inbound datagram. The payload is only valid for the
+// duration of the call: transports recycle delivery buffers, so a handler
+// that needs the bytes afterwards must copy them. Handlers are invoked
+// serially per endpoint (the simulator's event loop, or one read loop per
+// UDP socket).
 type Handler func(from Addr, payload []byte)
 
 // ErrClosed is returned when sending through a closed endpoint.
@@ -28,7 +32,8 @@ type Endpoint interface {
 	// Send transmits payload to the given address, best effort: delivery
 	// failures (loss, dead peer) are silent, exactly like UDP. An error is
 	// returned only for local conditions (endpoint closed, oversized
-	// payload).
+	// payload). Send does not retain payload after it returns, so callers
+	// may reuse the buffer immediately.
 	Send(to Addr, payload []byte) error
 	// SetHandler installs the inbound handler. Must be called before any
 	// traffic arrives; not safe to call concurrently with traffic.

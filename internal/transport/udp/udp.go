@@ -115,8 +115,9 @@ func (e *Endpoint) readLoop() {
 		if h == nil {
 			continue
 		}
-		msg := make([]byte, n)
-		copy(msg, buf[:n])
-		h(transport.Addr(from.String()), msg)
+		// The read buffer is handed to the handler directly and reused for
+		// the next datagram: handlers run serially on this loop and copy
+		// anything they keep, per the transport contract.
+		h(transport.Addr(from.String()), buf[:n])
 	}
 }

@@ -3,6 +3,7 @@ package selfemerge
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -70,6 +71,15 @@ type NetworkConfig struct {
 	Latency time.Duration
 	// Seed makes the network fully reproducible.
 	Seed uint64
+	// SystemRand switches the sender-side cryptographic randomness —
+	// mission identifiers, layer keys, GCM nonces, Shamir coefficients —
+	// from the default seed-derived ChaCha8 stream to crypto/rand. The
+	// deterministic default makes every byte of a run (ciphertexts
+	// included) a pure function of Seed; it never affects mission outcomes,
+	// which depend on placement and timing, not key values. Real
+	// deployments (cmd/emergectl) set SystemRand, because a 64-bit seed is
+	// not a key-material secret.
+	SystemRand bool
 }
 
 func (c NetworkConfig) withDefaults() (NetworkConfig, error) {
@@ -100,6 +110,11 @@ type Network struct {
 	collector *adversary.Collector
 	rng       *stats.RNG
 	churnProc *churn.Process
+	// cryptoSrc feeds every sender-side cryptographic draw; sender wraps it
+	// for mission construction. Seed-derived ChaCha8 by default, crypto/rand
+	// with SystemRand.
+	cryptoSrc io.Reader
+	sender    *protocol.Sender
 
 	nodes    []*dht.Node
 	receiver *dht.Node
@@ -130,6 +145,12 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 		rng:        stats.NewRNG(cfg.Seed),
 		deliveries: make(map[protocol.MissionID]delivery),
 	}
+	if !cfg.SystemRand {
+		// A decorrelated substream of the network seed, so the crypto
+		// stream never re-samples the bytes the structural RNG consumes.
+		n.cryptoSrc = stats.NewByteStream(stats.Mix64(cfg.Seed, 0xc0de))
+	}
+	n.sender = protocol.NewSender(n.cryptoSrc)
 	n.fabric = simnet.New(n.simulator, simnet.Config{BaseLatency: cfg.Latency, Seed: cfg.Seed + 1})
 	if cfg.MeanLifetime > 0 || (cfg.MeanUptime > 0 && cfg.MeanDowntime > 0) {
 		n.churnProc = churn.New(n.simulator, churn.Config{

@@ -92,11 +92,15 @@ func (n *Network) Send(plaintext []byte, emerging time.Duration, opts ...SendOpt
 		return nil, err
 	}
 
-	key, err := seal.NewKey()
+	key, err := seal.NewKeyFrom(n.cryptoSrc)
 	if err != nil {
 		return nil, err
 	}
-	ciphertext, err := seal.Encrypt(key, plaintext, nil)
+	sealer, err := seal.NewSealerRand(key, n.cryptoSrc)
+	if err != nil {
+		return nil, err
+	}
+	ciphertext, err := sealer.Encrypt(plaintext, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +109,7 @@ func (n *Network) Send(plaintext []byte, emerging time.Duration, opts ...SendOpt
 	if cfg.missionID != nil {
 		missionID = *cfg.missionID
 	} else {
-		missionID, err = protocol.NewMissionID()
+		missionID, err = n.sender.NewMissionID()
 		if err != nil {
 			return nil, err
 		}
@@ -122,8 +126,9 @@ func (n *Network) Send(plaintext []byte, emerging time.Duration, opts ...SendOpt
 		Release:  n.simulator.Now().Add(emerging),
 		Replicas: n.cfg.Replicas,
 	}
-	// Dispatch from a node that is neither the bootstrap nor the receiver.
-	if _, err := protocol.Dispatch(n.nodes[2], mission); err != nil {
+	// Dispatch from a node that is neither the bootstrap nor the receiver,
+	// through the network's sender (and so its randomness source).
+	if _, err := n.sender.Dispatch(n.nodes[2], mission); err != nil {
 		return nil, err
 	}
 	return &Message{mission: mission, cloudObject: object}, nil
