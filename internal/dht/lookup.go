@@ -25,39 +25,56 @@ func (n *Node) Get(key ID, cb func(value []byte, ok bool)) {
 	})
 }
 
-// Store replicates value at the cfg.Replicate closest nodes to key. cb
-// (optional) receives the number of acknowledged replicas.
+// Store replicates value at the cfg.Replicate closest nodes to key. The
+// local node is itself a replica candidate: lookups never return self, so
+// without the explicit insertion a storing node that owns the key's zone
+// would replicate only to its neighbors and the owner itself would answer
+// Get with a referral instead of the value (the same rank insertion
+// SendToOwners performs). cb (optional) receives the number of acknowledged
+// replicas; a local store counts as one acknowledgement.
 func (n *Node) Store(key ID, value []byte, ttl time.Duration, cb func(acked int)) {
 	n.Lookup(key, func(closest []Contact) {
+		self := n.Contact()
+		pos := len(closest)
+		for i, c := range closest {
+			if key.CloserTo(self.ID, c.ID) {
+				pos = i
+				break
+			}
+		}
+		closest = append(closest[:pos:pos], append([]Contact{self}, closest[pos:]...)...)
 		if len(closest) > n.cfg.Replicate {
 			closest = closest[:n.cfg.Replicate]
-		}
-		// The local node may itself be among the closest.
-		if len(closest) == 0 {
-			n.storeLocal(key, value, ttl)
-			if cb != nil {
-				sim.Schedule(n.cfg.Clock, 0, func() { cb(1) })
-			}
-			return
 		}
 		var (
 			mu    sync.Mutex
 			acked int
 			left  = len(closest)
 		)
+		settle := func(ok bool) {
+			mu.Lock()
+			if ok {
+				acked++
+			}
+			left--
+			finished := left == 0
+			total := acked
+			mu.Unlock()
+			if finished && cb != nil {
+				cb(total)
+			}
+		}
 		for _, c := range closest {
+			if c.ID == self.ID {
+				// Local replica: store immediately, acknowledge through the
+				// queue so cb never fires synchronously inside the lookup
+				// callback.
+				n.storeLocal(key, value, ttl)
+				sim.Schedule(n.cfg.Clock, 0, func() { settle(true) })
+				continue
+			}
 			n.request(c, Message{Kind: KindStore, Key: key, Value: value, TTL: ttl}, func(_ Message, err error) {
-				mu.Lock()
-				if err == nil {
-					acked++
-				}
-				left--
-				finished := left == 0
-				total := acked
-				mu.Unlock()
-				if finished && cb != nil {
-					cb(total)
-				}
+				settle(err == nil)
 			})
 		}
 	})

@@ -108,6 +108,31 @@ func TestStoreAndGet(t *testing.T) {
 	}
 }
 
+func TestStoreIncludesSelfWhenOwner(t *testing.T) {
+	c := newCluster(t, 40, nil)
+	owner := c.nodes[13]
+	key := owner.ID() // the storing node is trivially the globally closest to its own ID
+	var acked int
+	owner.Store(key, []byte("zone-local"), time.Hour, func(n int) { acked = n })
+	c.sim.Run()
+	if acked == 0 {
+		t.Fatal("store acked by no replicas")
+	}
+	// The owner must hold the value itself, not just its neighbors: lookups
+	// never return self, so Store has to rank-insert the local node.
+	if v, ok := owner.loadLocal(key); !ok || string(v) != "zone-local" {
+		t.Fatalf("owning node does not hold its zone's value: %q, %v", v, ok)
+	}
+	// And the value is still reachable from an arbitrary vantage point.
+	var got []byte
+	var found bool
+	c.nodes[31].Get(key, func(v []byte, ok bool) { got, found = append([]byte(nil), v...), ok })
+	c.sim.Run()
+	if !found || string(got) != "zone-local" {
+		t.Fatalf("Get after owner store = %q, %v", got, found)
+	}
+}
+
 func TestGetMissingKey(t *testing.T) {
 	c := newCluster(t, 30, nil)
 	var ok bool
