@@ -194,7 +194,10 @@ func (n *Node) handle(from transport.Addr, data []byte) {
 	if msg.From.ID == n.cfg.ID {
 		return // ignore self-echo
 	}
-	// Trust the socket-level source address over the claimed one.
+	// Trust the socket-level source address over the claimed one. The
+	// observation is unverified — anyone can put any ID in From — so it may
+	// refresh or insert, but never re-point a tracked ID's address; settle
+	// upgrades matched responses to ObserveVerified below.
 	msg.From.Addr = from
 	n.table.Observe(msg.From)
 
@@ -303,6 +306,9 @@ func (n *Node) settle(msg Message) {
 	if !ok {
 		return
 	}
+	// The peer answered at this address with an RPCID we issued to this ID:
+	// the (ID, Addr) binding is confirmed, so address changes may be applied.
+	n.table.ObserveVerified(msg.From)
 	p.timer.Stop()
 	p.cb(msg, nil)
 }

@@ -133,6 +133,41 @@ func TestStoreIncludesSelfWhenOwner(t *testing.T) {
 	}
 }
 
+func TestForgedFromCannotHijackAddress(t *testing.T) {
+	c := newCluster(t, 10, nil)
+	contactee, victim := c.nodes[2], c.nodes[6]
+	contactee.Table().Observe(victim.Contact())
+
+	// An attacker forges a ping claiming the victim's ID. handle() rewrites
+	// From.Addr to the socket source, so accepting the address change would
+	// re-point the victim's entry at the attacker.
+	attacker := c.net.Endpoint("attacker")
+	forged := Message{Kind: KindPing, From: Contact{ID: victim.ID(), Addr: attacker.Addr()}}
+	data, err := forged.AppendEncode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := attacker.Send(transport.Addr("node-2"), data); err != nil {
+		t.Fatal(err)
+	}
+	c.sim.Run()
+
+	got := contactee.Table().Closest(victim.ID(), 1)
+	if len(got) == 0 || got[0].ID != victim.ID() {
+		t.Fatal("victim missing from routing table")
+	}
+	if got[0].Addr != victim.Contact().Addr {
+		t.Fatalf("forged packet hijacked tracked address: %v", got[0].Addr)
+	}
+	// A verified exchange with the real peer still refreshes the entry.
+	pingErr := fmt.Errorf("sentinel")
+	contactee.Ping(got[0], func(err error) { pingErr = err })
+	c.sim.Run()
+	if pingErr != nil {
+		t.Fatalf("ping real victim after forgery: %v", pingErr)
+	}
+}
+
 func TestGetMissingKey(t *testing.T) {
 	c := newCluster(t, 30, nil)
 	var ok bool

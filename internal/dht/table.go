@@ -48,8 +48,25 @@ func NewTable(self ID, k int, staleAfter time.Duration, now func() time.Time) *T
 	return &Table{self: self, k: k, staleAfter: staleAfter, now: now}
 }
 
-// Observe records that a contact was seen alive right now.
+// Observe records that a contact was seen alive right now, on the word of
+// an unverified inbound datagram. A known ID is refreshed but its tracked
+// address is NOT re-pointed: any peer can claim any ID in a forged From, so
+// accepting an address change here would let an attacker hijack an existing
+// entry's traffic with a single spoofed packet. Address changes require
+// ObserveVerified (a reply matched to an RPC this node issued).
 func (t *Table) Observe(c Contact) {
+	t.observe(c, false)
+}
+
+// ObserveVerified records a contact whose (ID, Addr) binding was confirmed
+// by a matched RPC reply: the peer answered at that address with the pending
+// request's RPCID, which a third party cannot forge blindly. Only verified
+// observations may update the tracked address of a known ID.
+func (t *Table) ObserveVerified(c Contact) {
+	t.observe(c, true)
+}
+
+func (t *Table) observe(c Contact, verified bool) {
 	idx, ok := t.self.BucketIndex(c.ID)
 	if !ok {
 		return // never track self
@@ -59,7 +76,9 @@ func (t *Table) Observe(c Contact) {
 	bucket := t.buckets[idx]
 	for i := range bucket {
 		if bucket[i].ID == c.ID {
-			bucket[i].Addr = c.Addr
+			if verified {
+				bucket[i].Addr = c.Addr
+			}
 			bucket[i].lastSeen = t.now()
 			// Move to tail (most recently seen).
 			entry := bucket[i]

@@ -63,9 +63,17 @@ func TestTableRefreshMovesToTail(t *testing.T) {
 	if table.Len() != 1 {
 		t.Fatalf("duplicate observe inflated table to %d", table.Len())
 	}
+	// An unverified observation refreshes liveness but must NOT re-point the
+	// tracked address: a forged From would otherwise hijack the entry.
 	got := table.Closest(a.ID, 1)
+	if got[0].Addr != "addr-1" {
+		t.Errorf("unverified observe hijacked address: %v", got[0].Addr)
+	}
+	// A verified observation (matched RPC reply) is allowed to update it.
+	table.ObserveVerified(a)
+	got = table.Closest(a.ID, 1)
 	if got[0].Addr != "addr-2" {
-		t.Errorf("address not refreshed: %v", got[0].Addr)
+		t.Errorf("verified observe did not update address: %v", got[0].Addr)
 	}
 }
 
