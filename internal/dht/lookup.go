@@ -256,11 +256,28 @@ func (ls *lookupState) step() {
 		kind = KindFindValue
 	}
 	for _, c := range toQuery {
-		contact := c
-		ls.node.request(contact, Message{Kind: kind, Target: ls.target, Key: ls.target}, func(resp Message, err error) {
-			ls.onResponse(contact, resp, err)
-		})
+		q := lookupQueries.Get().(*lookupQuery)
+		q.ls, q.contact = ls, c
+		ls.node.requestArg(c, Message{Kind: kind, Target: ls.target, Key: ls.target}, lookupQueryDone, q)
 	}
+}
+
+// lookupQuery is the pooled argument for one in-flight lookup RPC: with the
+// package-level lookupQueryDone it replaces the per-query response closure
+// on the mission hot path.
+type lookupQuery struct {
+	ls      *lookupState
+	contact Contact
+}
+
+var lookupQueries = sync.Pool{New: func() any { return new(lookupQuery) }}
+
+func lookupQueryDone(v any, resp Message, err error) {
+	q := v.(*lookupQuery)
+	ls, contact := q.ls, q.contact
+	q.ls = nil
+	lookupQueries.Put(q)
+	ls.onResponse(contact, resp, err)
 }
 
 func (ls *lookupState) onResponse(from Contact, resp Message, err error) {

@@ -90,10 +90,75 @@ type Node struct {
 // retain its payload, so a buffer is reusable the moment the send returns.
 var wireBufs = sync.Pool{New: func() any { return new([]byte) }}
 
+// pendingRPC is one in-flight request: a pooled record armed as the timeout
+// event's argument, so the per-RPC cost is neither a record allocation, a
+// timeout closure, nor a boxed Timer.
+//
+// Release protocol: whichever path removes the record from n.pending owns
+// it. settle (and the cold cancel paths) own it only if timer.Stop()
+// reports true; on false the timeout callback is already in flight with the
+// record as its argument, finds its pending slot gone, and releases it
+// itself. Owners copy cb out before releasing.
 type pendingRPC struct {
-	cb    func(Message, error)
-	timer sim.Timer
+	node  *Node
+	cb    rpcCallback
+	timer sim.ArgTimer
 	to    ID
+	id    uint64
+}
+
+// rpcCallback is either a plain closure or an arg-based package-level
+// function with its pooled argument — the latter lets hot callers (the
+// lookup query fan-out) issue RPCs without allocating a response closure.
+type rpcCallback struct {
+	fn    func(Message, error)
+	argFn func(any, Message, error)
+	arg   any
+}
+
+func (c rpcCallback) deliver(m Message, err error) {
+	if c.fn != nil {
+		c.fn(m, err)
+		return
+	}
+	c.argFn(c.arg, m, err)
+}
+
+// pendingRPCs pools in-flight request records.
+var pendingRPCs = sync.Pool{New: func() any { return new(pendingRPC) }}
+
+// releasePending returns a settled record to the pool.
+func releasePending(p *pendingRPC) {
+	p.node = nil
+	p.cb = rpcCallback{}
+	p.timer = sim.ArgTimer{}
+	pendingRPCs.Put(p)
+}
+
+// rpcTimeout is the package-level timeout callback: fires when the peer did
+// not answer within RPCTimeout.
+func rpcTimeout(v any) {
+	p := v.(*pendingRPC)
+	n := p.node
+	n.mu.Lock()
+	q, still := n.pending[p.id]
+	still = still && q == p
+	if still {
+		delete(n.pending, p.id)
+	}
+	n.mu.Unlock()
+	if !still {
+		// A response (or close/cancel) beat the timeout to the pending slot
+		// after this event had already been dispatched; that path saw
+		// Stop()==false and left the release to us.
+		releasePending(p)
+		return
+	}
+	cb, to := p.cb, p.to
+	releasePending(p)
+	// Unresponsive: penalize in the routing table.
+	n.table.Remove(to)
+	cb.deliver(Message{}, ErrTimeout)
 }
 
 type storedValue struct {
@@ -176,8 +241,11 @@ func (n *Node) Close() error {
 	slices.Sort(ids)
 	for _, id := range ids {
 		p := pending[id]
-		p.timer.Stop()
-		sim.Schedule(n.cfg.Clock, 0, func() { p.cb(Message{}, ErrClosed) })
+		cb := p.cb
+		if p.timer.Stop() {
+			releasePending(p)
+		}
+		sim.Schedule(n.cfg.Clock, 0, func() { cb.deliver(Message{}, ErrClosed) })
 	}
 	return n.cfg.Endpoint.Close()
 }
@@ -251,27 +319,28 @@ func (n *Node) reply(to Contact, m Message) {
 // request sends m to the peer and arranges for cb to run with the response
 // or ErrTimeout. cb runs on the clock's dispatch context.
 func (n *Node) request(to Contact, m Message, cb func(Message, error)) {
+	n.startRequest(to, m, rpcCallback{fn: cb})
+}
+
+// requestArg is the closure-free form of request: fn is a package-level
+// function and arg a pooled record, so issuing the RPC allocates nothing.
+func (n *Node) requestArg(to Contact, m Message, fn func(any, Message, error), arg any) {
+	n.startRequest(to, m, rpcCallback{argFn: fn, arg: arg})
+}
+
+func (n *Node) startRequest(to Contact, m Message, cb rpcCallback) {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
-		sim.Schedule(n.cfg.Clock, 0, func() { cb(Message{}, ErrClosed) })
+		sim.Schedule(n.cfg.Clock, 0, func() { cb.deliver(Message{}, ErrClosed) })
 		return
 	}
 	n.rpcSeq++
 	id := n.rpcSeq
 	m.RPCID = id
-	p := &pendingRPC{cb: cb, to: to.ID}
-	p.timer = n.cfg.Clock.AfterFunc(n.cfg.RPCTimeout, func() {
-		n.mu.Lock()
-		_, still := n.pending[id]
-		delete(n.pending, id)
-		n.mu.Unlock()
-		if still {
-			// Unresponsive: penalize in the routing table.
-			n.table.Remove(to.ID)
-			cb(Message{}, ErrTimeout)
-		}
-	})
+	p := pendingRPCs.Get().(*pendingRPC)
+	p.node, p.cb, p.to, p.id = n, cb, to.ID, id
+	p.timer = sim.AfterFuncArg(n.cfg.Clock, n.cfg.RPCTimeout, rpcTimeout, p)
 	n.pending[id] = p
 	n.mu.Unlock()
 
@@ -283,8 +352,10 @@ func (n *Node) request(to Contact, m Message, cb func(Message, error)) {
 		n.mu.Lock()
 		delete(n.pending, id)
 		n.mu.Unlock()
-		p.timer.Stop()
-		sim.Schedule(n.cfg.Clock, 0, func() { cb(Message{}, err) })
+		if p.timer.Stop() {
+			releasePending(p)
+		}
+		sim.Schedule(n.cfg.Clock, 0, func() { cb.deliver(Message{}, err) })
 		return
 	}
 	_ = n.cfg.Endpoint.Send(to.Addr, data)
@@ -299,8 +370,11 @@ func (n *Node) settle(msg Message) {
 	if ok && p.to != msg.From.ID {
 		ok = false // response forged or misrouted; keep waiting
 	}
+	var cb rpcCallback
+	var timer sim.ArgTimer
 	if ok {
 		delete(n.pending, msg.RPCID)
+		cb, timer = p.cb, p.timer
 	}
 	n.mu.Unlock()
 	if !ok {
@@ -309,8 +383,10 @@ func (n *Node) settle(msg Message) {
 	// The peer answered at this address with an RPCID we issued to this ID:
 	// the (ID, Addr) binding is confirmed, so address changes may be applied.
 	n.table.ObserveVerified(msg.From)
-	p.timer.Stop()
-	p.cb(msg, nil)
+	if timer.Stop() {
+		releasePending(p)
+	}
+	cb.deliver(msg, nil)
 }
 
 // Ping checks a peer's liveness.

@@ -64,6 +64,47 @@ func ScheduleArg(c Clock, d time.Duration, fn func(any), arg any) {
 	c.AfterFunc(d, func() { fn(arg) })
 }
 
+// ArgTimerScheduler is implemented by clocks that can arm a cancellable
+// one-argument callback without boxing a closure or a Timer interface. The
+// simulator implements it allocation-free: the handle is a value struct over
+// the pooled event record, and with a package-level fn plus a pooled pointer
+// arg the whole arm/fire/stop cycle allocates nothing — the form the
+// per-RPC timeout path uses.
+type ArgTimerScheduler interface {
+	AfterFuncArg(d time.Duration, fn func(any), arg any) ArgTimer
+}
+
+// AfterFuncArg arms fn(arg) to run d from now and returns a cancellable
+// handle, falling back to a closure over AfterFunc for clocks without native
+// support.
+func AfterFuncArg(c Clock, d time.Duration, fn func(any), arg any) ArgTimer {
+	if s, ok := c.(ArgTimerScheduler); ok {
+		return s.AfterFuncArg(d, fn, arg)
+	}
+	return ArgTimer{t: c.AfterFunc(d, func() { fn(arg) })}
+}
+
+// ArgTimer is the cancellable handle returned by AfterFuncArg: a value
+// struct, so storing it in a caller's record costs no allocation. The zero
+// value is inert (Stop reports false).
+type ArgTimer struct {
+	ev  *event
+	gen uint64
+	t   Timer // fallback clocks only
+}
+
+// Stop cancels the timer if it has not fired; it reports whether the call
+// prevented the callback from running.
+func (h ArgTimer) Stop() bool {
+	if h.ev != nil {
+		return timerHandle{ev: h.ev, gen: h.gen}.Stop()
+	}
+	if h.t != nil {
+		return h.t.Stop()
+	}
+	return false
+}
+
 // realClock implements Clock with package time.
 type realClock struct{}
 
@@ -137,6 +178,13 @@ func (s *Simulator) Schedule(d time.Duration, fn func()) {
 // package-level fn and a pooled pointer arg the call is allocation-free.
 func (s *Simulator) ScheduleArg(d time.Duration, fn func(any), arg any) {
 	s.schedule(d, nil, fn, arg)
+}
+
+// AfterFuncArg arms fn(arg) at now+d and returns a cancellable value handle
+// over the pooled event record — the allocation-free cancellable form.
+func (s *Simulator) AfterFuncArg(d time.Duration, fn func(any), arg any) ArgTimer {
+	ev, gen := s.schedule(d, nil, fn, arg)
+	return ArgTimer{ev: ev, gen: gen}
 }
 
 func (s *Simulator) schedule(d time.Duration, fn func(), argFn func(any), arg any) (*event, uint64) {

@@ -77,6 +77,59 @@ func TestTimerStop(t *testing.T) {
 	}
 }
 
+func TestAfterFuncArg(t *testing.T) {
+	s := NewSimulator()
+	var got any
+	h := s.AfterFuncArg(time.Second, func(v any) { got = v }, "payload")
+	s.Run()
+	if got != "payload" {
+		t.Fatalf("arg = %v", got)
+	}
+	if h.Stop() {
+		t.Fatal("Stop after firing returned true")
+	}
+}
+
+func TestAfterFuncArgStop(t *testing.T) {
+	s := NewSimulator()
+	ran := false
+	h := s.AfterFuncArg(time.Second, func(any) { ran = true }, nil)
+	if !h.Stop() {
+		t.Fatal("Stop returned false before firing")
+	}
+	s.Run()
+	if ran {
+		t.Fatal("cancelled arg timer fired")
+	}
+	if h.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+}
+
+func TestAfterFuncArgZeroHandle(t *testing.T) {
+	var h ArgTimer
+	if h.Stop() {
+		t.Fatal("zero ArgTimer Stop returned true")
+	}
+}
+
+func TestAfterFuncArgFallback(t *testing.T) {
+	// A clock without native support routes through AfterFunc + closure.
+	done := make(chan any, 1)
+	h := AfterFuncArg(RealClock(), time.Millisecond, func(v any) { done <- v }, 7)
+	select {
+	case v := <-done:
+		if v != 7 {
+			t.Fatalf("arg = %v", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fallback arg timer never fired")
+	}
+	if h.Stop() {
+		t.Fatal("Stop after firing returned true")
+	}
+}
+
 func TestTimerStopAfterFire(t *testing.T) {
 	s := NewSimulator()
 	timer := s.AfterFunc(time.Second, func() {})
