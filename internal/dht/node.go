@@ -31,6 +31,11 @@ type Config struct {
 	RPCTimeout time.Duration
 	// StaleAfter is the bucket-eviction staleness threshold (default 10m).
 	StaleAfter time.Duration
+	// Table selects the full-bucket admission policy. TableDefault resolves
+	// to TablePingEvict: the library is eclipse-resistant unless a caller
+	// explicitly opts into the naive policy (the adversary experiments do,
+	// for their undefended baseline arm).
+	Table TablePolicy
 	// OnApp receives application payloads (the self-emerging protocol
 	// messages). Optional.
 	OnApp func(from Contact, payload []byte)
@@ -51,6 +56,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StaleAfter == 0 {
 		c.StaleAfter = 10 * time.Minute
+	}
+	if c.Table == TableDefault {
+		c.Table = TablePingEvict
 	}
 	return c
 }
@@ -187,6 +195,12 @@ func NewNode(cfg Config) (*Node, error) {
 		addrIntern: make(map[string]transport.Addr),
 	}
 	n.internFn = n.internAddr
+	n.table.SetPolicy(cfg.Table)
+	if cfg.Table == TablePingEvict {
+		n.table.SetPinger(func(c Contact, done func(alive bool)) {
+			n.Ping(c, func(err error) { done(err == nil) })
+		})
+	}
 	cfg.Endpoint.SetHandler(n.handle)
 	return n, nil
 }

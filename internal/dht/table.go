@@ -2,6 +2,7 @@ package dht
 
 import (
 	"encoding/binary"
+	"fmt"
 	"slices"
 	"sync"
 	"time"
@@ -21,12 +22,64 @@ type bucketEntry struct {
 	lastSeen time.Time
 }
 
+// bucket is one k-bucket: live entries least-recently-seen first, plus a
+// replacement cache of newcomers (newest last) waiting for an eviction, and
+// the state of the at-most-one outstanding liveness probe.
+type bucket struct {
+	entries []bucketEntry
+	spare   []bucketEntry
+	probing bool
+}
+
+// TablePolicy selects the full-bucket admission policy.
+type TablePolicy int
+
+const (
+	// TableDefault resolves to the context's default: TablePingEvict for a
+	// Node (secure by default), TableNaive for a standalone NewTable.
+	TableDefault TablePolicy = iota
+	// TablePingEvict is the real Kademlia policy: a newcomer to a full
+	// bucket waits in the replacement cache while the least-recently-seen
+	// entry is pinged, and is promoted only if that probe times out. A live
+	// long-lived peer is never displaced by unverified traffic, which is
+	// what makes bucket-poisoning floods ineffective.
+	TablePingEvict
+	// TableNaive is the historical ping-free variant: a newcomer replaces
+	// the least-recently-seen entry as soon as it looks stale on the local
+	// clock, with no liveness check. Kept for the adversary experiments
+	// (the "undefended" arm of the attack curves) and as the pinned policy
+	// of recorded deterministic scenarios.
+	TableNaive
+)
+
+// String returns the policy's axis label.
+func (p TablePolicy) String() string {
+	switch p {
+	case TablePingEvict:
+		return "pingevict"
+	case TableNaive:
+		return "naive"
+	default:
+		return "default"
+	}
+}
+
+// ParseTablePolicy parses an axis label ("pingevict" or "naive").
+func ParseTablePolicy(s string) (TablePolicy, error) {
+	switch s {
+	case "pingevict":
+		return TablePingEvict, nil
+	case "naive":
+		return TableNaive, nil
+	}
+	return TableDefault, fmt.Errorf("dht: unknown table policy %q (want pingevict or naive)", s)
+}
+
 // Table is a Kademlia routing table: IDBits k-buckets of at most K contacts
 // each, least-recently-seen first. Observing a known contact refreshes it;
-// observing a new contact inserts it, evicting the stalest entry of a full
-// bucket when that entry has not been seen within StaleAfter (a simplified,
-// ping-free variant of Kademlia's eviction check, adequate for the
-// emulation and documented in DESIGN.md).
+// observing a new contact inserts it, and a full bucket admits newcomers
+// per the configured TablePolicy. Policy rationale and the threat model are
+// documented in DESIGN.md.
 type Table struct {
 	self       ID
 	k          int
@@ -34,10 +87,14 @@ type Table struct {
 	now        func() time.Time
 
 	mu      sync.Mutex
-	buckets [IDBits][]bucketEntry
+	policy  TablePolicy
+	pinger  func(Contact, func(alive bool))
+	buckets [IDBits]bucket
 }
 
-// NewTable creates a routing table for the given node.
+// NewTable creates a routing table for the given node. A standalone table
+// defaults to TableNaive (no pinger is attached); Node configures
+// TablePingEvict wired to its Ping RPC.
 func NewTable(self ID, k int, staleAfter time.Duration, now func() time.Time) *Table {
 	if k < 1 {
 		panic("dht: bucket size must be >= 1")
@@ -45,7 +102,27 @@ func NewTable(self ID, k int, staleAfter time.Duration, now func() time.Time) *T
 	if now == nil {
 		panic("dht: table requires a clock")
 	}
-	return &Table{self: self, k: k, staleAfter: staleAfter, now: now}
+	return &Table{self: self, k: k, staleAfter: staleAfter, now: now, policy: TableNaive}
+}
+
+// SetPolicy selects the full-bucket admission policy. TableDefault resolves
+// to TableNaive for a standalone table.
+func (t *Table) SetPolicy(p TablePolicy) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if p == TableDefault {
+		p = TableNaive
+	}
+	t.policy = p
+}
+
+// SetPinger installs the liveness probe TablePingEvict uses: pinger must
+// call done exactly once, with alive=false only after a timeout. It is
+// invoked outside the table lock.
+func (t *Table) SetPinger(pinger func(Contact, func(alive bool))) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pinger = pinger
 }
 
 // Observe records that a contact was seen alive right now, on the word of
@@ -72,35 +149,112 @@ func (t *Table) observe(c Contact, verified bool) {
 		return // never track self
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	bucket := t.buckets[idx]
-	for i := range bucket {
-		if bucket[i].ID == c.ID {
+	b := &t.buckets[idx]
+	entries := b.entries
+	for i := range entries {
+		if entries[i].ID == c.ID {
 			if verified {
-				bucket[i].Addr = c.Addr
+				entries[i].Addr = c.Addr
 			}
-			bucket[i].lastSeen = t.now()
+			entries[i].lastSeen = t.now()
 			// Move to tail (most recently seen).
-			entry := bucket[i]
-			copy(bucket[i:], bucket[i+1:])
-			bucket[len(bucket)-1] = entry
+			entry := entries[i]
+			copy(entries[i:], entries[i+1:])
+			entries[len(entries)-1] = entry
+			t.mu.Unlock()
 			return
 		}
 	}
 	entry := bucketEntry{Contact: c, lastSeen: t.now()}
-	if len(bucket) < t.k {
-		t.buckets[idx] = append(bucket, entry)
+	if len(entries) < t.k {
+		b.entries = append(entries, entry)
+		t.mu.Unlock()
 		return
 	}
-	// Bucket full: replace the least-recently-seen entry if stale.
-	if t.staleAfter > 0 && t.now().Sub(bucket[0].lastSeen) > t.staleAfter {
-		copy(bucket, bucket[1:])
-		bucket[len(bucket)-1] = entry
+	// Bucket full: admission is policy-dependent.
+	if t.policy != TablePingEvict {
+		// Naive: replace the least-recently-seen entry if it looks stale on
+		// the local clock — no liveness check, so a forged-contact flood can
+		// displace live peers (the measured weakness of this policy).
+		if t.staleAfter > 0 && t.now().Sub(entries[0].lastSeen) > t.staleAfter {
+			copy(entries, entries[1:])
+			entries[len(entries)-1] = entry
+		}
+		// Otherwise drop the newcomer (Kademlia prefers long-lived peers).
+		t.mu.Unlock()
+		return
 	}
-	// Otherwise drop the newcomer (Kademlia prefers long-lived peers).
+	// Ping-evict: the newcomer waits in the replacement cache while the
+	// least-recently-seen live entry is probed. Nothing is evicted on the
+	// newcomer's word alone.
+	t.upsertSpare(b, c, entry.lastSeen, verified)
+	var probe Contact
+	start := !b.probing && t.pinger != nil
+	if start {
+		b.probing = true
+		probe = entries[0].Contact
+	}
+	pinger := t.pinger
+	t.mu.Unlock()
+	if start {
+		// Outside the lock: the pinger issues a real RPC. A live peer's pong
+		// refreshes it via ObserveVerified (and the newcomer stays spare); a
+		// timeout removes it via the RPC failure path, and probeDone promotes
+		// from the cache.
+		pinger(probe, func(alive bool) { t.probeDone(probe.ID, alive) })
+	}
 }
 
-// Remove drops a contact (e.g. after an RPC timeout).
+// upsertSpare inserts or refreshes a replacement-cache record, newest last,
+// capped at k (oldest dropped first). Callers hold t.mu.
+func (t *Table) upsertSpare(b *bucket, c Contact, seen time.Time, verified bool) {
+	for i := range b.spare {
+		if b.spare[i].ID == c.ID {
+			if verified {
+				b.spare[i].Addr = c.Addr
+			}
+			b.spare[i].lastSeen = seen
+			entry := b.spare[i]
+			copy(b.spare[i:], b.spare[i+1:])
+			b.spare[len(b.spare)-1] = entry
+			return
+		}
+	}
+	if len(b.spare) >= t.k {
+		copy(b.spare, b.spare[1:])
+		b.spare = b.spare[:len(b.spare)-1]
+	}
+	b.spare = append(b.spare, bucketEntry{Contact: c, lastSeen: seen})
+}
+
+// probeDone finishes a liveness probe: the probing slot reopens, and if the
+// probed entry died (the timeout path already removed it) the freed room is
+// filled from the replacement cache.
+func (t *Table) probeDone(id ID, _ bool) {
+	idx, ok := t.self.BucketIndex(id)
+	if !ok {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := &t.buckets[idx]
+	b.probing = false
+	t.promoteSpares(b)
+}
+
+// promoteSpares moves replacement-cache records (newest first) into free
+// bucket slots. Callers hold t.mu.
+func (t *Table) promoteSpares(b *bucket) {
+	for len(b.entries) < t.k && len(b.spare) > 0 {
+		last := len(b.spare) - 1
+		b.entries = append(b.entries, b.spare[last])
+		b.spare[last] = bucketEntry{}
+		b.spare = b.spare[:last]
+	}
+}
+
+// Remove drops a contact (e.g. after an RPC timeout), refilling the freed
+// slot from the bucket's replacement cache when one is waiting.
 func (t *Table) Remove(id ID) {
 	idx, ok := t.self.BucketIndex(id)
 	if !ok {
@@ -108,10 +262,18 @@ func (t *Table) Remove(id ID) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	bucket := t.buckets[idx]
-	for i := range bucket {
-		if bucket[i].ID == id {
-			t.buckets[idx] = append(bucket[:i], bucket[i+1:]...)
+	b := &t.buckets[idx]
+	for i := range b.entries {
+		if b.entries[i].ID == id {
+			b.entries = append(b.entries[:i], b.entries[i+1:]...)
+			t.promoteSpares(b)
+			return
+		}
+	}
+	// Not live: forget any replacement-cache record too.
+	for i := range b.spare {
+		if b.spare[i].ID == id {
+			b.spare = append(b.spare[:i], b.spare[i+1:]...)
 			return
 		}
 	}
@@ -168,7 +330,7 @@ func (t *Table) AppendClosest(dst []Contact, target ID, count int) []Contact {
 	heap := (*hp)[:0]
 	t.mu.Lock()
 	for i := range t.buckets {
-		for _, e := range t.buckets[i] {
+		for _, e := range t.buckets[i].entries {
 			r := ranked{
 				d0: binary.BigEndian.Uint64(e.ID[:]) ^ t0,
 				d1: binary.BigEndian.Uint64(e.ID[8:]) ^ t1,
@@ -234,9 +396,22 @@ func (t *Table) Len() int {
 	defer t.mu.Unlock()
 	n := 0
 	for i := range t.buckets {
-		n += len(t.buckets[i])
+		n += len(t.buckets[i].entries)
 	}
 	return n
+}
+
+// Each calls fn for every tracked contact, bucket order, least-recently-seen
+// first within a bucket. fn runs under the table lock and must not call back
+// into the table; it is a diagnostic hook (route audits), not a query path.
+func (t *Table) Each(fn func(Contact)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.buckets {
+		for _, e := range t.buckets[i].entries {
+			fn(e.Contact)
+		}
+	}
 }
 
 // Contains reports whether the table currently tracks id.
@@ -247,7 +422,7 @@ func (t *Table) Contains(id ID) bool {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for _, e := range t.buckets[idx] {
+	for _, e := range t.buckets[idx].entries {
 		if e.ID == id {
 			return true
 		}

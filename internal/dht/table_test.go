@@ -2,10 +2,12 @@ package dht
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 	"time"
 
 	"selfemerge/internal/stats"
+	"selfemerge/internal/transport"
 )
 
 func newTestTable(k int) (*Table, *time.Time) {
@@ -126,6 +128,219 @@ func TestTableBucketEvictsStale(t *testing.T) {
 	}
 }
 
+// mkBucket0 builds contacts that all land in bucket 0 of a zero self ID
+// (top bit set), distinguished by the low byte.
+func mkBucket0(b byte) Contact {
+	var id ID
+	id[0] = 0x80
+	id[IDBytes-1] = b
+	return Contact{ID: id, Addr: transport.Addr(fmt.Sprintf("peer-%d", b))}
+}
+
+func TestPingEvictFloodNeverEvictsLivePeer(t *testing.T) {
+	// Poisoning regression: a forged-contact flood against a full bucket,
+	// however fast and however stale the residents look, must never displace
+	// a live peer under TablePingEvict.
+	self := ID{}
+	now := time.Unix(1000, 0)
+	table := NewTable(self, 2, 10*time.Minute, func() time.Time { return now })
+	table.SetPolicy(TablePingEvict)
+	pings := 0
+	table.SetPinger(func(c Contact, done func(alive bool)) {
+		pings++
+		// Every resident is alive; in the real wiring the pong would also
+		// refresh the entry via ObserveVerified.
+		table.ObserveVerified(c)
+		done(true)
+	})
+	a, b := mkBucket0(1), mkBucket0(2)
+	table.Observe(a)
+	table.Observe(b)
+	for i := 0; i < 100; i++ {
+		now = now.Add(time.Hour) // far past any staleness threshold
+		table.Observe(mkBucket0(byte(10 + i%200)))
+		if !table.Contains(a.ID) || !table.Contains(b.ID) {
+			t.Fatalf("live peer evicted by forged flood after %d observes", i+1)
+		}
+	}
+	if pings == 0 {
+		t.Fatal("full bucket never probed its LRU entry")
+	}
+	if table.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", table.Len())
+	}
+}
+
+func TestPingEvictReplacesDeadPeerViaTimeout(t *testing.T) {
+	self := ID{}
+	now := time.Unix(1000, 0)
+	table := NewTable(self, 2, 10*time.Minute, func() time.Time { return now })
+	table.SetPolicy(TablePingEvict)
+	dead := mkBucket0(1)
+	table.SetPinger(func(c Contact, done func(alive bool)) {
+		if c.ID == dead.ID {
+			// Mimic the node's timeout path: Remove fires first, then the
+			// ping callback reports the failure.
+			table.Remove(c.ID)
+			done(false)
+			return
+		}
+		table.ObserveVerified(c)
+		done(true)
+	})
+	live := mkBucket0(2)
+	table.Observe(dead)
+	table.Observe(live)
+	newcomer := mkBucket0(3)
+	table.Observe(newcomer) // probes dead (the LRU), which times out
+	if table.Contains(dead.ID) {
+		t.Fatal("dead peer survived a failed probe")
+	}
+	if !table.Contains(live.ID) {
+		t.Fatal("live peer lost")
+	}
+	if !table.Contains(newcomer.ID) {
+		t.Fatal("newcomer not promoted from the replacement cache")
+	}
+}
+
+func TestPingEvictSingleOutstandingProbe(t *testing.T) {
+	self := ID{}
+	now := time.Unix(1000, 0)
+	table := NewTable(self, 2, 10*time.Minute, func() time.Time { return now })
+	table.SetPolicy(TablePingEvict)
+	var pending []func(alive bool)
+	table.SetPinger(func(c Contact, done func(alive bool)) {
+		pending = append(pending, done)
+	})
+	table.Observe(mkBucket0(1))
+	table.Observe(mkBucket0(2))
+	for i := 0; i < 10; i++ {
+		table.Observe(mkBucket0(byte(10 + i)))
+	}
+	if len(pending) != 1 {
+		t.Fatalf("%d concurrent probes for one bucket, want 1", len(pending))
+	}
+	pending[0](true)
+	table.Observe(mkBucket0(50))
+	if len(pending) != 2 {
+		t.Fatalf("probe slot did not reopen: %d probes", len(pending))
+	}
+}
+
+// modelTable is a deliberately simple reference implementation of the naive
+// policy: per-bucket ordered slices manipulated with the most obvious code,
+// and Closest computed by fully sorting all tracked contacts.
+type modelTable struct {
+	self       ID
+	k          int
+	staleAfter time.Duration
+	now        func() time.Time
+	buckets    map[int][]bucketEntry
+}
+
+func (m *modelTable) observe(c Contact) {
+	idx, ok := m.self.BucketIndex(c.ID)
+	if !ok {
+		return
+	}
+	b := m.buckets[idx]
+	for i := range b {
+		if b[i].ID == c.ID {
+			e := b[i]
+			e.lastSeen = m.now()
+			m.buckets[idx] = append(append(append([]bucketEntry{}, b[:i]...), b[i+1:]...), e)
+			return
+		}
+	}
+	e := bucketEntry{Contact: c, lastSeen: m.now()}
+	if len(b) < m.k {
+		m.buckets[idx] = append(b, e)
+		return
+	}
+	if m.now().Sub(b[0].lastSeen) > m.staleAfter {
+		m.buckets[idx] = append(append([]bucketEntry{}, b[1:]...), e)
+	}
+}
+
+func (m *modelTable) remove(id ID) {
+	idx, ok := m.self.BucketIndex(id)
+	if !ok {
+		return
+	}
+	b := m.buckets[idx]
+	for i := range b {
+		if b[i].ID == id {
+			m.buckets[idx] = append(append([]bucketEntry{}, b[:i]...), b[i+1:]...)
+			return
+		}
+	}
+}
+
+func (m *modelTable) closest(target ID, count int) []Contact {
+	var all []Contact
+	for _, b := range m.buckets {
+		for _, e := range b {
+			all = append(all, e.Contact)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return target.CloserTo(all[i].ID, all[j].ID) })
+	if len(all) > count {
+		all = all[:count]
+	}
+	return all
+}
+
+func TestTableRandomizedAgainstModel(t *testing.T) {
+	// Differential test: a random interleaving of Observe, Remove, clock
+	// advance and Closest must agree exactly with the model implementation
+	// under the naive policy (the policy the model defines).
+	rng := stats.NewRNG(4242)
+	self := RandomID(rng)
+	now := time.Unix(5000, 0)
+	const k = 3
+	table := NewTable(self, k, 10*time.Minute, func() time.Time { return now })
+	model := &modelTable{
+		self: self, k: k, staleAfter: 10 * time.Minute,
+		now:     func() time.Time { return now },
+		buckets: map[int][]bucketEntry{},
+	}
+	pool := make([]Contact, 120)
+	for i := range pool {
+		pool[i] = Contact{ID: RandomID(rng), Addr: transport.Addr(fmt.Sprintf("addr-%d", i))}
+	}
+	for op := 0; op < 20000; op++ {
+		switch rng.Uint64n(10) {
+		case 0:
+			now = now.Add(time.Duration(rng.Uint64n(uint64(4 * time.Minute))))
+		case 1:
+			c := pool[rng.Uint64n(uint64(len(pool)))]
+			table.Remove(c.ID)
+			model.remove(c.ID)
+		case 2:
+			target := RandomID(rng)
+			n := int(rng.Uint64n(8)) + 1
+			got := table.Closest(target, n)
+			want := model.closest(target, n)
+			if len(got) != len(want) {
+				t.Fatalf("op %d: Closest returned %d contacts, model %d", op, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("op %d: Closest[%d] = %v, model %v", op, i, got[i], want[i])
+				}
+			}
+		default:
+			c := pool[rng.Uint64n(uint64(len(pool)))]
+			table.Observe(c)
+			model.observe(c)
+		}
+	}
+	if table.Len() == 0 {
+		t.Fatal("randomized run tracked nothing")
+	}
+}
+
 func TestTableRemove(t *testing.T) {
 	table, _ := newTestTable(20)
 	c := Contact{ID: IDFromKey([]byte("x"))}
@@ -150,11 +365,14 @@ func TestTableBucketInvariant(t *testing.T) {
 	}
 	table.mu.Lock()
 	defer table.mu.Unlock()
-	for idx, bucket := range table.buckets {
-		if len(bucket) > k {
-			t.Fatalf("bucket %d has %d entries", idx, len(bucket))
+	for idx, b := range table.buckets {
+		if len(b.entries) > k {
+			t.Fatalf("bucket %d has %d entries", idx, len(b.entries))
 		}
-		for _, e := range bucket {
+		if len(b.spare) > k {
+			t.Fatalf("bucket %d has %d spare entries", idx, len(b.spare))
+		}
+		for _, e := range b.entries {
 			want, ok := self.BucketIndex(e.ID)
 			if !ok || want != idx {
 				t.Fatalf("entry %v in bucket %d, want %d", e.ID.Short(), idx, want)
