@@ -11,9 +11,16 @@
 //	emergesim [flags] fig6a|fig6b|fig6c|fig6d|fig7|fig8|all
 //
 // An axis is "name=v1,v2,..." or "name=start:stop:step" over p, alpha,
-// network (alias: nodes), budget, k, l, sharen, replicas, scheme or drop;
-// the first axis is the X axis, the rest form the series. The figure names
-// remain as aliases for the canned full-resolution specs.
+// network (alias: nodes), budget, k, l, sharen, replicas, forge, scheme,
+// drop, strategy or table; the first axis is the X axis, the rest form the
+// series. The figure names remain as aliases for the canned full-resolution
+// specs.
+//
+// The eclipse attack curves (release failure vs forgery rate, naive vs
+// ping-evict tables) come from, e.g.:
+//
+//	emergesim sweep -estimator live -strategy eclipse -axis forge=0:60:15 \
+//	    -axis table=naive,pingevict -nodes 150 -p 0.2 -missions 40 -format csv
 //
 // Examples:
 //
@@ -40,8 +47,10 @@ import (
 	"strings"
 	"time"
 
+	"selfemerge/internal/adversary"
 	"selfemerge/internal/bench"
 	"selfemerge/internal/core"
+	"selfemerge/internal/dht"
 	"selfemerge/internal/experiment"
 	"selfemerge/internal/mc"
 	"selfemerge/internal/scenario"
@@ -113,6 +122,9 @@ func runSweep(args []string) {
 		p         = fs.Float64("p", 0.1, "malicious (Sybil) fraction (base)")
 		alpha     = fs.Float64("alpha", 0, "churn severity T/lifetime (base; 0 disables churn)")
 		drop      = fs.Bool("drop", false, "drop attack instead of spying (base)")
+		strategy  = fs.String("strategy", "spy", "adversary strategy: spy|drop|eclipse (base; live estimator)")
+		forge     = fs.Float64("forge", 0, "eclipse forgery rate, forged contacts per attacker per minute (live estimator)")
+		table     = fs.String("table", "", "DHT routing-table policy: naive|pingevict (base; live estimator)")
 		replicas  = fs.Int("replicas", 1, "packet replica count (live; 1 = model-faithful)")
 		trials    = fs.Int("trials", 1000, "Monte Carlo trials per point (mc estimator)")
 		missions  = fs.Int("missions", 100, "live emergence trials per point (live estimator)")
@@ -138,8 +150,8 @@ func runSweep(args []string) {
 	setFlags := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 	irrelevant := map[string][]string{
-		"analytic": {"trials", "missions", "shards", "emerging", "mc-trials", "share-model"},
-		"mc":       {"missions", "shards", "emerging", "mc-trials"},
+		"analytic": {"trials", "missions", "shards", "emerging", "mc-trials", "share-model", "strategy", "forge", "table"},
+		"mc":       {"missions", "shards", "emerging", "mc-trials", "strategy", "forge", "table"},
 		"live":     {"trials"},
 	}
 	for _, name := range irrelevant[*estimator] {
@@ -152,6 +164,16 @@ func runSweep(args []string) {
 	if err != nil {
 		fatalf(2, "%v", err)
 	}
+	strat, err := adversary.ParseStrategy(*strategy)
+	if err != nil {
+		fatalf(2, "%v", err)
+	}
+	var policy dht.TablePolicy
+	if *table != "" {
+		if policy, err = dht.ParseTablePolicy(*table); err != nil {
+			fatalf(2, "%v", err)
+		}
+	}
 	sw := experiment.Sweep{
 		Name: *name,
 		Seed: *seed,
@@ -160,6 +182,7 @@ func runSweep(args []string) {
 			Network: *nodes, Budget: *budget,
 			K: base.K, L: base.L, ShareN: base.ShareN, ShareM: base.ShareM,
 			Replicas: *replicas, Drop: *drop,
+			Strategy: strat, Forge: *forge, Table: policy,
 		},
 		Axes: axes.axes,
 	}
@@ -246,6 +269,9 @@ func runScenario(args []string) {
 		p        = fs.Float64("p", 0.1, "malicious (Sybil) fraction")
 		alpha    = fs.Float64("alpha", 1, "churn severity T/lifetime (0 disables churn)")
 		drop     = fs.Bool("drop", false, "drop attack instead of spying")
+		strategy = fs.String("strategy", "spy", "adversary strategy: spy|drop|eclipse")
+		forge    = fs.Float64("forge", 0, "eclipse forgery rate, forged contacts per attacker per minute")
+		table    = fs.String("table", "", "DHT routing-table policy: naive|pingevict")
 		missions = fs.Int("missions", 100, "live emergence trials")
 		shards   = fs.Int("shards", 1, "independent network replicas run in parallel (each gets its own zone map)")
 		emerging = fs.Duration("emerging", 2*time.Hour, "emerging period T")
@@ -264,10 +290,23 @@ func runScenario(args []string) {
 	if err != nil {
 		fatalf(2, "%v", err)
 	}
+	strat, err := adversary.ParseStrategy(*strategy)
+	if err != nil {
+		fatalf(2, "%v", err)
+	}
+	var policy dht.TablePolicy
+	if *table != "" {
+		if policy, err = dht.ParseTablePolicy(*table); err != nil {
+			fatalf(2, "%v", err)
+		}
+	}
 	report, err := scenario.Run(scenario.Config{
 		Nodes:         *nodes,
 		MaliciousRate: *p,
 		Drop:          *drop,
+		Strategy:      strat,
+		Forge:         *forge,
+		Table:         policy,
 		Alpha:         *alpha,
 		Emerging:      *emerging,
 		Missions:      *missions,

@@ -23,6 +23,17 @@ import (
 type Collector struct {
 	mu       sync.Mutex
 	missions map[protocol.MissionID]*intel
+	zoneSink func(mission protocol.MissionID, column, slot int)
+}
+
+// SetZoneSink installs a callback receiving the holder-slot coordinates of
+// every reported packet — the routing-layer intelligence StrategyEclipse
+// aims its forgeries with (see Forger.ObserveZone). The sink is invoked
+// outside the collector lock.
+func (c *Collector) SetZoneSink(sink func(mission protocol.MissionID, column, slot int)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.zoneSink = sink
 }
 
 type slotRef struct {
@@ -53,7 +64,7 @@ var _ protocol.Reporter = (*Collector)(nil)
 // Report ingests one observed packet and re-runs inference.
 func (c *Collector) Report(now time.Time, _ dht.ID, pkt protocol.Packet) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.ingestDone(pkt)
 	in := c.intel(pkt.Mission)
 	in.packets++
 	col := int(pkt.Column)
@@ -92,6 +103,16 @@ func (c *Collector) Report(now time.Time, _ dht.ID, pkt protocol.Packet) {
 		}
 	}
 	c.infer(in, now)
+}
+
+// ingestDone releases the collector lock and forwards the packet's zone
+// coordinates to the zone sink, outside the lock.
+func (c *Collector) ingestDone(pkt protocol.Packet) {
+	sink := c.zoneSink
+	c.mu.Unlock()
+	if sink != nil {
+		sink(pkt.Mission, int(pkt.Column), int(pkt.Slot))
+	}
 }
 
 // Recovered reports whether (and when) the adversary reconstructed the

@@ -1,0 +1,57 @@
+package adversary
+
+import "fmt"
+
+// Strategy selects what Sybil-controlled holders do with their position —
+// the adversary axis of the experiments. Spy and Drop are the paper's
+// Section II-B holder strategies; Eclipse is the routing-layer attack the
+// paper's model cannot see (bucket poisoning of the DHT substrate, the
+// weakness that broke Vanish-style data-hiding systems).
+type Strategy int
+
+const (
+	// StrategySpy collects everything malicious holders observe for
+	// release-ahead reconstruction, forwarding traffic faithfully.
+	StrategySpy Strategy = iota
+	// StrategyDrop makes malicious holders swallow every package they hold,
+	// attacking availability instead of confidentiality.
+	StrategyDrop
+	// StrategyEclipse adds bucket poisoning on top of dropping: attacker
+	// nodes flood victims' routing tables with forged contacts bearing
+	// identifiers inside observed mission zones, degrading honest routing
+	// toward those zones, while held packages are swallowed as in
+	// StrategyDrop. Its effectiveness depends entirely on the table's
+	// admission policy (dht.TablePolicy), which is the point of the axis.
+	StrategyEclipse
+)
+
+// String returns the strategy's axis label.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyDrop:
+		return "drop"
+	case StrategyEclipse:
+		return "eclipse"
+	default:
+		return "spy"
+	}
+}
+
+// Drops reports whether holders swallow the packages they hold under this
+// strategy.
+func (s Strategy) Drops() bool {
+	return s == StrategyDrop || s == StrategyEclipse
+}
+
+// ParseStrategy parses an axis label ("spy", "drop" or "eclipse").
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "spy":
+		return StrategySpy, nil
+	case "drop":
+		return StrategyDrop, nil
+	case "eclipse":
+		return StrategyEclipse, nil
+	}
+	return StrategySpy, fmt.Errorf("adversary: unknown strategy %q (want spy, drop or eclipse)", s)
+}

@@ -6,6 +6,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"selfemerge/internal/adversary"
 )
 
 // csvHeader is the stable column set of WriteCSV. Wall-clock fields are
@@ -22,6 +24,19 @@ var csvHeader = []string{
 
 func fnum(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
 
+// attackLabel names the point's adversary for the emitters: the strategy
+// label, with the legacy Drop boolean folded in so pre-strategy sweeps emit
+// the exact bytes they always did.
+func attackLabel(pt Point) string {
+	if pt.Strategy != adversary.StrategySpy {
+		return pt.Strategy.String()
+	}
+	if pt.Drop {
+		return "drop"
+	}
+	return "spy"
+}
+
 // WriteCSV renders one row per point, in grid order.
 func (rs *ResultSet) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, strings.Join(csvHeader, ",")); err != nil {
@@ -29,10 +44,7 @@ func (rs *ResultSet) WriteCSV(w io.Writer) error {
 	}
 	for _, res := range rs.Results {
 		pt := res.Point
-		attack := "spy"
-		if pt.Drop {
-			attack = "drop"
-		}
+		attack := attackLabel(pt)
 		row := []string{
 			strconv.Itoa(pt.Index), pt.Series, fnum(pt.X),
 			res.Plan.Scheme.String(), strconv.Itoa(res.Plan.K), strconv.Itoa(res.Plan.L),
@@ -128,10 +140,7 @@ func (rs *ResultSet) WriteJSON(w io.Writer) error {
 	}
 	for _, res := range rs.Results {
 		pt := res.Point
-		attack := "spy"
-		if pt.Drop {
-			attack = "drop"
-		}
+		attack := attackLabel(pt)
 		rj := resultJSON{
 			Index: pt.Index, Series: pt.Series, X: pt.X,
 			Scheme: res.Plan.Scheme.String(), K: res.Plan.K, L: res.Plan.L,

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"time"
 
+	"selfemerge/internal/adversary"
 	"selfemerge/internal/analytic"
 	"selfemerge/internal/core"
+	"selfemerge/internal/dht"
 	"selfemerge/internal/mc"
 )
 
@@ -19,6 +21,15 @@ func rejectLiveOnly(pt Point, estimator string) error {
 	}
 	if pt.Replicas > 1 {
 		return fmt.Errorf("experiment: the %s estimator has no packet replicas; the replicas axis applies to the live estimator only", estimator)
+	}
+	if pt.Strategy != adversary.StrategySpy {
+		return fmt.Errorf("experiment: the %s estimator cannot model the %s strategy; the strategy axis applies to the live estimator only", estimator, pt.Strategy)
+	}
+	if pt.Forge > 0 {
+		return fmt.Errorf("experiment: the %s estimator has no routing layer to poison; the forge axis applies to the live estimator only", estimator)
+	}
+	if pt.Table != dht.TableDefault {
+		return fmt.Errorf("experiment: the %s estimator has no routing table; the table axis applies to the live estimator only", estimator)
 	}
 	return nil
 }

@@ -24,8 +24,10 @@ import (
 	"math"
 	"time"
 
+	"selfemerge/internal/adversary"
 	"selfemerge/internal/analytic"
 	"selfemerge/internal/core"
+	"selfemerge/internal/dht"
 	"selfemerge/internal/mc"
 )
 
@@ -53,6 +55,17 @@ type Point struct {
 	// Drop selects the drop attack instead of the spy adversary (live
 	// estimation; the abstract models measure both at once).
 	Drop bool
+	// Strategy selects the adversary strategy directly (spy, drop, eclipse);
+	// it subsumes Drop, which survives as the legacy boolean axis. Live
+	// estimation only.
+	Strategy adversary.Strategy
+	// Forge is the eclipse forgery rate (forged contacts per attacker per
+	// minute); nonzero requires StrategyEclipse. Live estimation only.
+	Forge float64
+	// Table pins the DHT routing-table policy for live estimation (naive
+	// stale-eviction vs ping-before-evict); TableDefault keeps the network
+	// fabric's historical naive default.
+	Table dht.TablePolicy
 
 	// Seed is the point's private base seed, assigned by the sweep
 	// expansion: points sharing an X value share seeds, so series differ
@@ -113,6 +126,12 @@ func (pt Point) Validate() error {
 	}
 	if !pt.Scheme.Valid() {
 		return fmt.Errorf("experiment: invalid scheme %d", int(pt.Scheme))
+	}
+	if pt.Forge < 0 || math.IsNaN(pt.Forge) {
+		return fmt.Errorf("experiment: forge rate %v must be >= 0", pt.Forge)
+	}
+	if pt.Forge > 0 && pt.Strategy != adversary.StrategyEclipse {
+		return fmt.Errorf("experiment: forge rate %v requires the eclipse strategy", pt.Forge)
 	}
 	return nil
 }

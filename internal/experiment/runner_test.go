@@ -6,7 +6,9 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"selfemerge/internal/adversary"
 	"selfemerge/internal/core"
+	"selfemerge/internal/dht"
 )
 
 // fakeEstimator records call counts and fails on demand. When order is set,
@@ -107,14 +109,28 @@ func TestRunnerAbortsAfterFailure(t *testing.T) {
 }
 
 func TestAbstractEstimatorsRejectLiveOnlyAxes(t *testing.T) {
-	drop := Point{Scheme: core.SchemeJoint, P: 0.1, Network: 100, K: 2, L: 2, Drop: true}
-	replicated := Point{Scheme: core.SchemeJoint, P: 0.1, Network: 100, K: 2, L: 2, Replicas: 2}
+	base := Point{Scheme: core.SchemeJoint, P: 0.1, Network: 100, K: 2, L: 2}
+	drop, replicated, eclipsed, forged, tabled := base, base, base, base, base
+	drop.Drop = true
+	replicated.Replicas = 2
+	eclipsed.Strategy = adversary.StrategyEclipse
+	forged.Strategy, forged.Forge = adversary.StrategyEclipse, 30
+	tabled.Table = dht.TablePingEvict
 	for _, est := range []Estimator{Analytic{}, MonteCarlo{Trials: 10}} {
 		if _, err := est.Estimate(drop); err == nil {
 			t.Errorf("%s estimator silently accepted a drop-attack point", est.Name())
 		}
 		if _, err := est.Estimate(replicated); err == nil {
 			t.Errorf("%s estimator silently accepted a replicated point", est.Name())
+		}
+		if _, err := est.Estimate(eclipsed); err == nil {
+			t.Errorf("%s estimator silently accepted an eclipse-strategy point", est.Name())
+		}
+		if _, err := est.Estimate(forged); err == nil {
+			t.Errorf("%s estimator silently accepted a forge-rate point", est.Name())
+		}
+		if _, err := est.Estimate(tabled); err == nil {
+			t.Errorf("%s estimator silently accepted a table-policy point", est.Name())
 		}
 	}
 }

@@ -6,7 +6,9 @@ import (
 	"strconv"
 	"strings"
 
+	"selfemerge/internal/adversary"
 	"selfemerge/internal/core"
+	"selfemerge/internal/dht"
 )
 
 // seedStride decorrelates per-point seeds along the X axis; it is the same
@@ -29,18 +31,20 @@ type Sweep struct {
 }
 
 // Axis is one swept dimension: a parameter name from the fixed vocabulary
-// (p, alpha, network, budget, k, l, sharen, replicas, scheme, drop) and the
-// values it takes.
+// (p, alpha, network, budget, k, l, sharen, replicas, forge, scheme, drop,
+// strategy, table) and the values it takes.
 type Axis struct {
 	Name string
 	vals []axisValue
 }
 
 type axisValue struct {
-	num    float64
-	scheme core.Scheme
-	flag   bool
-	label  string
+	num      float64
+	scheme   core.Scheme
+	flag     bool
+	strategy adversary.Strategy
+	table    dht.TablePolicy
+	label    string
 }
 
 // Len returns the number of values on the axis.
@@ -116,6 +120,27 @@ func DropAxis(values ...bool) Axis {
 	return ax
 }
 
+// StrategyAxis declares the adversary-strategy axis (spy, drop, eclipse) —
+// the generalization of DropAxis that can also select the routing-layer
+// eclipse attack.
+func StrategyAxis(strategies ...adversary.Strategy) Axis {
+	ax := Axis{Name: "strategy"}
+	for _, s := range strategies {
+		ax.vals = append(ax.vals, axisValue{strategy: s, label: s.String()})
+	}
+	return ax
+}
+
+// TableAxis declares the routing-table-policy axis (naive vs pingevict),
+// the defense arm of the eclipse experiments.
+func TableAxis(policies ...dht.TablePolicy) Axis {
+	ax := Axis{Name: "table"}
+	for _, p := range policies {
+		ax.vals = append(ax.vals, axisValue{table: p, label: p.String()})
+	}
+	return ax
+}
+
 // ParseAxis parses a command-line axis spec: "name=v1,v2,..." or, for
 // numeric axes, a range "name=start:stop:step". Scheme values are the figure
 // labels (central, disjoint, joint, share); drop values are spy/drop (or
@@ -153,7 +178,27 @@ func ParseAxis(spec string) (Axis, error) {
 			}
 		}
 		return DropAxis(flags...), nil
-	case "p", "alpha", "network", "budget", "k", "l", "sharen", "replicas":
+	case "strategy":
+		var strategies []adversary.Strategy
+		for _, part := range strings.Split(rest, ",") {
+			s, err := adversary.ParseStrategy(strings.ToLower(strings.TrimSpace(part)))
+			if err != nil {
+				return Axis{}, fmt.Errorf("experiment: axis %q: %w", spec, err)
+			}
+			strategies = append(strategies, s)
+		}
+		return StrategyAxis(strategies...), nil
+	case "table":
+		var policies []dht.TablePolicy
+		for _, part := range strings.Split(rest, ",") {
+			p, err := dht.ParseTablePolicy(strings.ToLower(strings.TrimSpace(part)))
+			if err != nil {
+				return Axis{}, fmt.Errorf("experiment: axis %q: %w", spec, err)
+			}
+			policies = append(policies, p)
+		}
+		return TableAxis(policies...), nil
+	case "p", "alpha", "network", "budget", "k", "l", "sharen", "replicas", "forge":
 		if start, stop, step, ok, err := parseRange(rest); err != nil {
 			return Axis{}, fmt.Errorf("experiment: axis %q: %w", spec, err)
 		} else if ok {
@@ -225,10 +270,16 @@ func (a Axis) apply(pt *Point, v axisValue) error {
 		pt.ShareN, err = integral()
 	case "replicas":
 		pt.Replicas, err = integral()
+	case "forge":
+		pt.Forge = v.num
 	case "scheme":
 		pt.Scheme = v.scheme
 	case "drop":
 		pt.Drop = v.flag
+	case "strategy":
+		pt.Strategy = v.strategy
+	case "table":
+		pt.Table = v.table
 	default:
 		return fmt.Errorf("experiment: unknown axis %q", a.Name)
 	}
@@ -277,10 +328,10 @@ func (s Sweep) Points() ([]Point, error) {
 		return nil, fmt.Errorf("experiment: sweep %q has no axes", s.Name)
 	}
 	// The first axis is the figure's X axis and must be numeric: categorical
-	// axes (scheme, drop) carry no X coordinate, so every row would plot at
-	// x=0 under an indistinguishable label.
+	// axes (scheme, drop, strategy, table) carry no X coordinate, so every
+	// row would plot at x=0 under an indistinguishable label.
 	switch s.Axes[0].Name {
-	case "scheme", "drop":
+	case "scheme", "drop", "strategy", "table":
 		return nil, fmt.Errorf("experiment: first axis %q is categorical; lead with a numeric axis (p, alpha, network, ...)", s.Axes[0].Name)
 	}
 	seen := map[string]bool{}
@@ -305,6 +356,12 @@ func (s Sweep) Points() ([]Point, error) {
 		if s.Base.Scheme == core.SchemeCentral && !seen["scheme"] {
 			return nil, fmt.Errorf("experiment: the central scheme ignores the node budget")
 		}
+	}
+	// The drop boolean and the strategy enum set the same adversary knob;
+	// sweeping both would let a drop=spy row silently contradict a
+	// strategy=eclipse row.
+	if seen["drop"] && (seen["strategy"] || s.Base.Strategy != adversary.StrategySpy) {
+		return nil, fmt.Errorf("experiment: the drop axis and the strategy selector both set the adversary; use strategy=spy,drop,... instead")
 	}
 	if seen["sharen"] {
 		if s.Base.Scheme != core.SchemeKeyShare && !seen["scheme"] {

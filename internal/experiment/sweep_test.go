@@ -3,7 +3,9 @@ package experiment
 import (
 	"testing"
 
+	"selfemerge/internal/adversary"
 	"selfemerge/internal/core"
+	"selfemerge/internal/dht"
 )
 
 func TestSweepExpansion(t *testing.T) {
@@ -113,6 +115,10 @@ func TestSweepValidation(t *testing.T) {
 		{Base: base, Axes: []Axis{DropAxis(false, true), FloatAxis("p", 0.1)}},                 // categorical X axis
 		{Base: base, Axes: []Axis{FloatAxis("k", 2.5)}},                                        // fractional integer axis
 		{Base: base, Axes: []Axis{FloatAxis("p", 0.1), FloatAxis("budget", 100, 1000)}},        // budget with explicit shape
+		{Base: base, Axes: []Axis{StrategyAxis(adversary.StrategySpy), FloatAxis("p", 0.1)}},   // categorical X axis
+		{Base: base, Axes: []Axis{TableAxis(dht.TableNaive), FloatAxis("p", 0.1)}},             // categorical X axis
+		{Base: base, Axes: []Axis{FloatAxis("p", 0.1), DropAxis(false, true), StrategyAxis(adversary.StrategySpy, adversary.StrategyDrop)}}, // drop/strategy ambiguity
+		{Base: base, Axes: []Axis{FloatAxis("forge", 10)}},                                     // forge without eclipse
 	}
 	for i, sw := range cases {
 		if _, err := sw.Points(); err == nil {
@@ -164,6 +170,27 @@ func TestParseAxis(t *testing.T) {
 	if got := ax.Labels(); len(got) != 2 || got[0] != "spy" || got[1] != "drop" {
 		t.Errorf("drop labels = %v", got)
 	}
+	ax, err = ParseAxis("strategy=spy,drop,eclipse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ax.Labels(); len(got) != 3 || got[2] != "eclipse" {
+		t.Errorf("strategy labels = %v", got)
+	}
+	ax, err = ParseAxis("table=naive,pingevict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ax.Labels(); len(got) != 2 || got[1] != "pingevict" {
+		t.Errorf("table labels = %v", got)
+	}
+	ax, err = ParseAxis("forge=0:60:30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ax.Labels(); len(got) != 3 || got[2] != "60" {
+		t.Errorf("forge labels = %v", got)
+	}
 	// The CLI alias nodes= maps onto the network axis.
 	ax, err = ParseAxis("nodes=100,1000")
 	if err != nil {
@@ -175,6 +202,7 @@ func TestParseAxis(t *testing.T) {
 
 	for _, bad := range []string{
 		"", "p", "p=", "=1", "bogus=1", "p=a,b", "p=0:0.5", "p=0:0.5:0", "p=0.5:0:0.1", "scheme=warp", "drop=maybe",
+		"strategy=ddos", "table=btree",
 	} {
 		if _, err := ParseAxis(bad); err == nil {
 			t.Errorf("ParseAxis(%q) accepted", bad)

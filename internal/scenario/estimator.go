@@ -98,6 +98,9 @@ func (e *Estimator) config(pt experiment.Point) (Config, error) {
 		Nodes:         pt.Network,
 		MaliciousRate: pt.P,
 		Drop:          pt.Drop,
+		Strategy:      pt.Strategy,
+		Forge:         pt.Forge,
+		Table:         pt.Table,
 		Alpha:         pt.Alpha,
 		Emerging:      e.Emerging,
 		Missions:      e.Missions,

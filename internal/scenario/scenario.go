@@ -27,8 +27,10 @@ import (
 	"time"
 
 	selfemerge "selfemerge"
+	"selfemerge/internal/adversary"
 	"selfemerge/internal/analytic"
 	"selfemerge/internal/core"
+	"selfemerge/internal/dht"
 	"selfemerge/internal/mc"
 	"selfemerge/internal/protocol"
 	"selfemerge/internal/stats"
@@ -44,7 +46,21 @@ type Config struct {
 	MaliciousRate float64
 	// Drop switches the adversary from spying (release-ahead collection
 	// only) to the drop attack (malicious holders swallow every package).
+	// Equivalent to Strategy: adversary.StrategyDrop; kept for existing
+	// callers, and set by withDefaults whenever Strategy drops packages.
 	Drop bool
+	// Strategy selects the malicious-holder strategy explicitly: spy
+	// (default), drop, or eclipse (bucket poisoning plus drop). See
+	// adversary.Strategy.
+	Strategy adversary.Strategy
+	// Forge is the eclipse flood intensity in forged contacts per attacker
+	// per minute. Requires StrategyEclipse; zero degenerates to drop.
+	Forge float64
+	// Table selects the DHT bucket admission policy of every live node. The
+	// default resolves (inside the network) to dht.TableNaive, the policy
+	// all recorded deterministic runs were captured under; attack sweeps pin
+	// dht.TablePingEvict for the defended arm of the curves.
+	Table dht.TablePolicy
 	// Alpha is the churn severity T/lifetime: the emerging period expressed
 	// in mean node lifetimes. Zero disables churn.
 	Alpha float64
@@ -152,6 +168,20 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.MCTrials == 0 {
 		c.MCTrials = 2000
+	}
+	if c.Drop && c.Strategy == adversary.StrategySpy {
+		c.Strategy = adversary.StrategyDrop
+	}
+	if c.Strategy.Drops() {
+		// Eclipse holders also swallow their packages, so every Drop-keyed
+		// decision (delivery reference, scoring semantics) applies.
+		c.Drop = true
+	}
+	if c.Forge < 0 {
+		return c, fmt.Errorf("scenario: forge rate %v must be >= 0", c.Forge)
+	}
+	if c.Forge > 0 && c.Strategy != adversary.StrategyEclipse {
+		return c, fmt.Errorf("scenario: forge rate requires the eclipse strategy")
 	}
 	if err := c.Plan.Validate(); err != nil {
 		return c, fmt.Errorf("scenario: %w", err)
@@ -292,7 +322,9 @@ func boot(cfg Config) (Config, *selfemerge.Network, error) {
 	net, err := selfemerge.NewNetwork(selfemerge.NetworkConfig{
 		Nodes:           cfg.Nodes,
 		MaliciousRate:   cfg.MaliciousRate,
-		DropAttack:      cfg.Drop,
+		Attack:          cfg.Strategy,
+		ForgeRate:       cfg.Forge,
+		Table:           cfg.Table,
 		MeanLifetime:    lifetime,
 		Replace:         true,
 		HonestEndpoints: true,

@@ -30,6 +30,28 @@ const (
 	SchemeKeyShare = core.SchemeKeyShare
 )
 
+// AttackStrategy selects what Sybil-controlled holders do with their
+// position.
+type AttackStrategy = adversary.Strategy
+
+// The adversary strategies: passive release-ahead collection, package
+// dropping, and bucket-poisoning eclipse (which also drops).
+const (
+	AttackSpy     = adversary.StrategySpy
+	AttackDrop    = adversary.StrategyDrop
+	AttackEclipse = adversary.StrategyEclipse
+)
+
+// TablePolicy selects the DHT routing-table bucket admission policy.
+type TablePolicy = dht.TablePolicy
+
+// The admission policies: ping-before-evict (eclipse-resistant) and the
+// historical naive stale-eviction.
+const (
+	TablePingEvict = dht.TablePingEvict
+	TableNaive     = dht.TableNaive
+)
+
 // NetworkConfig sizes an in-process self-emerging data network.
 type NetworkConfig struct {
 	// Nodes is the DHT population (default 100).
@@ -37,8 +59,24 @@ type NetworkConfig struct {
 	// MaliciousRate is the fraction p of Sybil-controlled nodes (default 0).
 	MaliciousRate float64
 	// DropAttack switches malicious nodes from spying (release-ahead
-	// collection) to dropping every package they hold.
+	// collection) to dropping every package they hold. Equivalent to
+	// Attack: adversary.StrategyDrop; kept for existing callers.
 	DropAttack bool
+	// Attack selects the malicious-holder strategy: spy (default), drop, or
+	// eclipse (bucket poisoning plus drop; see adversary.Strategy). When
+	// both this and DropAttack are set they must agree; DropAttack alone
+	// maps to StrategyDrop.
+	Attack adversary.Strategy
+	// ForgeRate is the eclipse flood intensity: forged contacts emitted per
+	// attacker per minute. Only meaningful with StrategyEclipse; zero means
+	// the eclipse adversary degenerates to drop.
+	ForgeRate float64
+	// Table selects the DHT bucket admission policy. The default resolves
+	// to dht.TableNaive — the historical behavior every recorded
+	// deterministic run was captured under — NOT the dht package's own
+	// secure default; attack experiments flip it to dht.TablePingEvict to
+	// measure the defense.
+	Table dht.TablePolicy
 	// MeanLifetime enables churn: nodes die permanently with exponentially
 	// distributed lifetimes of this mean. Zero disables churn.
 	MeanLifetime time.Duration
@@ -95,6 +133,23 @@ func (c NetworkConfig) withDefaults() (NetworkConfig, error) {
 	if c.Latency == 0 {
 		c.Latency = 5 * time.Millisecond
 	}
+	if c.DropAttack {
+		switch c.Attack {
+		case adversary.StrategySpy:
+			c.Attack = adversary.StrategyDrop
+		case adversary.StrategyDrop, adversary.StrategyEclipse:
+			// Drop semantics already implied.
+		}
+	}
+	if c.ForgeRate < 0 {
+		return c, fmt.Errorf("selfemerge: negative forge rate %v", c.ForgeRate)
+	}
+	if c.ForgeRate > 0 && c.Attack != adversary.StrategyEclipse {
+		return c, errors.New("selfemerge: ForgeRate requires Attack: eclipse")
+	}
+	if c.Table == dht.TableDefault {
+		c.Table = dht.TableNaive
+	}
 	return c, nil
 }
 
@@ -115,6 +170,7 @@ type Network struct {
 	// with SystemRand.
 	cryptoSrc io.Reader
 	sender    *protocol.Sender
+	forger    *adversary.Forger
 
 	nodes    []*dht.Node
 	receiver *dht.Node
@@ -161,11 +217,21 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 		})
 	}
 
+	if cfg.Attack == adversary.StrategyEclipse && cfg.ForgeRate > 0 {
+		// Only eclipse runs construct the forger: its tick events and RNG
+		// draws would otherwise shift every honest run's event sequence.
+		n.forger = adversary.NewForger(n.simulator, cfg.ForgeRate, stats.Mix64(cfg.Seed, 0xf049e))
+		n.collector.SetZoneSink(n.forger.ObserveZone)
+	}
+
 	malicious := n.markMalicious()
 	for i := 0; i < cfg.Nodes; i++ {
 		if err := n.addNode(i, malicious[i]); err != nil {
 			return nil, err
 		}
+	}
+	if n.forger != nil {
+		n.forger.Start()
 	}
 	n.receiver = n.nodes[1]
 	seed := []dht.Contact{n.nodes[0].Contact()}
@@ -225,7 +291,7 @@ func (n *Network) spawn(addr transport.Addr, id dht.ID, idx int, malicious bool)
 	host := protocol.NewHost(protocol.HostConfig{
 		Clock:     n.simulator,
 		Malicious: malicious,
-		Drop:      malicious && n.cfg.DropAttack,
+		Drop:      malicious && n.cfg.Attack.Drops(),
 		Reporter:  n.collector,
 		OnSecret:  onSecret,
 		Replicas:  n.cfg.Replicas,
@@ -235,12 +301,21 @@ func (n *Network) spawn(addr transport.Addr, id dht.ID, idx int, malicious bool)
 		ID:       id,
 		Endpoint: ep,
 		Clock:    n.simulator,
+		Table:    n.cfg.Table,
 		OnApp:    host.HandleApp,
 	})
 	if err != nil {
 		return err
 	}
 	host.Attach(node)
+	if n.forger != nil {
+		n.forger.AddVictim(addr)
+		if malicious {
+			n.forger.SetAttacker(idx, ep)
+		} else {
+			n.forger.ClearAttacker(idx)
+		}
+	}
 	n.mu.Lock()
 	if idx < len(n.nodes) {
 		n.nodes[idx] = node // replacement: drop the dead predecessor's state
@@ -297,6 +372,40 @@ func (n *Network) ChurnEvents() (deaths, joins int) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.deaths, n.joins
+}
+
+// ForgedContacts reports how many forged contact claims the eclipse
+// adversary has emitted so far (zero under other strategies).
+func (n *Network) ForgedContacts() uint64 {
+	if n.forger == nil {
+		return 0
+	}
+	return n.forger.Forged()
+}
+
+// RouteAudit scans every current node's routing table and classifies each
+// entry: live if its (identifier, address) binding matches a node currently
+// in the population, poisoned otherwise. Without churn, poisoned entries are
+// exactly the eclipse adversary's forgeries that won admission; with churn,
+// not-yet-expired routes to dead nodes count as poisoned too.
+func (n *Network) RouteAudit() (live, poisoned int) {
+	n.mu.Lock()
+	nodes := append([]*dht.Node(nil), n.nodes...)
+	n.mu.Unlock()
+	real := make(map[dht.ID]transport.Addr, len(nodes))
+	for _, node := range nodes {
+		real[node.ID()] = node.Contact().Addr
+	}
+	for _, node := range nodes {
+		node.Table().Each(func(c dht.Contact) {
+			if addr, ok := real[c.ID]; ok && addr == c.Addr {
+				live++
+			} else {
+				poisoned++
+			}
+		})
+	}
+	return live, poisoned
 }
 
 // FabricStats reports transport-level (sent, delivered, dropped) datagram

@@ -100,6 +100,70 @@ func TestDropAttackPreventsEmergence(t *testing.T) {
 	}
 }
 
+func TestEclipsePoisoningNaiveVsPingEvict(t *testing.T) {
+	// Same seed, same flood, only the bucket admission policy differs. The
+	// naive table stale-evicts quiet live peers for forged newcomers; the
+	// ping-evict table probes the resident first and keeps it when it
+	// answers, so live routing state survives the flood.
+	audit := func(policy TablePolicy) (live, poisoned int, forged uint64) {
+		net, err := NewNetwork(NetworkConfig{
+			Nodes:         80,
+			MaliciousRate: 0.2,
+			Attack:        AttackEclipse,
+			ForgeRate:     60,
+			Table:         policy,
+			Seed:          99,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Run well past the staleness threshold so naive tables consider
+		// their quiet residents evictable.
+		net.RunFor(90 * time.Minute)
+		live, poisoned = net.RouteAudit()
+		return live, poisoned, net.ForgedContacts()
+	}
+	naiveLive, naivePoisoned, naiveForged := audit(TableNaive)
+	evictLive, _, evictForged := audit(TablePingEvict)
+	if naiveForged == 0 || evictForged == 0 {
+		t.Fatalf("forger idle: %d/%d forged contacts", naiveForged, evictForged)
+	}
+	if naivePoisoned == 0 {
+		t.Fatal("flood poisoned no naive-table entries")
+	}
+	if evictLive <= naiveLive {
+		t.Errorf("ping-evict kept %d live routes, naive kept %d; expected the defended tables to retain more", evictLive, naiveLive)
+	}
+	t.Logf("live routes: naive %d (poisoned %d), pingevict %d; forged %d", naiveLive, naivePoisoned, evictLive, naiveForged)
+}
+
+func TestEclipsePingEvictStillEmerges(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{
+		Nodes:         80,
+		MaliciousRate: 0.1,
+		Attack:        AttackEclipse,
+		ForgeRate:     60,
+		Table:         TablePingEvict,
+		Seed:          23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := net.Send([]byte("through the flood"), 3*time.Hour,
+		WithScheme(SchemeJoint), WithThreatModel(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RunUntil(msg.Release().Add(10 * time.Minute))
+	net.Settle()
+	if _, _, ok := net.Emerged(msg); !ok {
+		t.Fatal("message lost under an eclipse flood despite ping-evict tables")
+	}
+	if net.ForgedContacts() == 0 {
+		t.Fatal("forger emitted nothing; the run measured no attack")
+	}
+}
+
 func TestNoAdversaryNothingRecovered(t *testing.T) {
 	net, err := NewNetwork(NetworkConfig{Nodes: 40, Seed: 5})
 	if err != nil {
@@ -223,6 +287,12 @@ func TestNetworkValidation(t *testing.T) {
 	}
 	if _, err := NewNetwork(NetworkConfig{MaliciousRate: 1.5}); err == nil {
 		t.Error("malicious rate 1.5 accepted")
+	}
+	if _, err := NewNetwork(NetworkConfig{Nodes: 10, ForgeRate: 5}); err == nil {
+		t.Error("forge rate without the eclipse strategy accepted")
+	}
+	if _, err := NewNetwork(NetworkConfig{Nodes: 10, Attack: AttackEclipse, ForgeRate: -1}); err == nil {
+		t.Error("negative forge rate accepted")
 	}
 }
 
