@@ -11,10 +11,10 @@
 //	emergesim [flags] fig6a|fig6b|fig6c|fig6d|fig7|fig8|all
 //
 // An axis is "name=v1,v2,..." or "name=start:stop:step" over p, alpha,
-// network (alias: nodes), budget, k, l, sharen, replicas, forge, scheme,
-// drop, strategy or table; the first axis is the X axis, the rest form the
-// series. The figure names remain as aliases for the canned full-resolution
-// specs.
+// network (alias: nodes), budget, k, l, sharen, replicas, forge, partition,
+// scheme, drop, strategy or table; the first axis is the X axis, the rest
+// form the series. The figure names remain as aliases for the canned
+// full-resolution specs.
 //
 // The eclipse attack curves (release failure vs forgery rate, naive vs
 // ping-evict tables) come from, e.g.:
@@ -31,10 +31,14 @@
 //	emergesim scenario -nodes 1000 -p 0.1 -alpha 1 -drop -k 3 -l 2 -missions 200
 //	emergesim scenario -nodes 10000 -missions 1000 -shards 8 -p 0.1 -alpha 1
 //
-// Live points accept -shards S: the point's missions are partitioned over S
-// independent network replicas executed concurrently across cores (each with
-// its own zone map), merged deterministically — the lever for very large
-// network-size and mission-count axes.
+// Live points accept two orthogonal scaling levers. -shards S replicates:
+// the point's missions are partitioned over S independent network replicas
+// executed concurrently across cores (each with its own zone map), merged
+// deterministically — the lever for very large mission-count axes.
+// -partition S splits instead: the point's one population runs across S
+// parallel event loops with deterministic cross-shard routing — the lever
+// for very large network-size axes, where a single event loop is the
+// bottleneck. The two are mutually exclusive on a point.
 package main
 
 import (
@@ -129,6 +133,8 @@ func runSweep(args []string) {
 		trials    = fs.Int("trials", 1000, "Monte Carlo trials per point (mc estimator)")
 		missions  = fs.Int("missions", 100, "live emergence trials per point (live estimator)")
 		shards    = fs.Int("shards", 1, "independent network replicas per live point, run in parallel (live estimator)")
+		partition = fs.Int("partition", 0, "split each live point's one population across this many parallel event loops (live estimator; exclusive with -shards > 1)")
+		partWork  = fs.Int("partition-workers", 0, "concurrent partition shard loops per point (0 = GOMAXPROCS; live estimator)")
 		emerging  = fs.Duration("emerging", 2*time.Hour, "emerging period T (live estimator)")
 		mcTrials  = fs.Int("mc-trials", 0, "live reference trials (0 = missions)")
 		shareMod  = fs.String("share-model", "default", "key-share loss model: default|quota|binomial|live (mc points, live references)")
@@ -150,8 +156,8 @@ func runSweep(args []string) {
 	setFlags := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 	irrelevant := map[string][]string{
-		"analytic": {"trials", "missions", "shards", "emerging", "mc-trials", "share-model", "strategy", "forge", "table"},
-		"mc":       {"missions", "shards", "emerging", "mc-trials", "strategy", "forge", "table"},
+		"analytic": {"trials", "missions", "shards", "partition", "partition-workers", "emerging", "mc-trials", "share-model", "strategy", "forge", "table"},
+		"mc":       {"missions", "shards", "partition", "partition-workers", "emerging", "mc-trials", "strategy", "forge", "table"},
 		"live":     {"trials"},
 	}
 	for _, name := range irrelevant[*estimator] {
@@ -201,7 +207,7 @@ func runSweep(args []string) {
 		// byte-identical across machines, not just across -workers values.
 		est = experiment.MonteCarlo{Trials: *trials, Workers: 1, ShareModel: model}
 	case "live":
-		est = &scenario.Estimator{Missions: *missions, Shards: *shards, Emerging: *emerging, MCTrials: *mcTrials, ShareModel: model}
+		est = &scenario.Estimator{Missions: *missions, Shards: *shards, Partition: *partition, PartitionWorkers: *partWork, Emerging: *emerging, MCTrials: *mcTrials, ShareModel: model}
 	default:
 		fatalf(2, "unknown estimator %q (want analytic|mc|live)", *estimator)
 	}
@@ -265,19 +271,21 @@ func runSweep(args []string) {
 func runScenario(args []string) {
 	fs := flag.NewFlagSet("scenario", flag.ExitOnError)
 	var (
-		nodes    = fs.Int("nodes", 200, "DHT population N")
-		p        = fs.Float64("p", 0.1, "malicious (Sybil) fraction")
-		alpha    = fs.Float64("alpha", 1, "churn severity T/lifetime (0 disables churn)")
-		drop     = fs.Bool("drop", false, "drop attack instead of spying")
-		strategy = fs.String("strategy", "spy", "adversary strategy: spy|drop|eclipse")
-		forge    = fs.Float64("forge", 0, "eclipse forgery rate, forged contacts per attacker per minute")
-		table    = fs.String("table", "", "DHT routing-table policy: naive|pingevict")
-		missions = fs.Int("missions", 100, "live emergence trials")
-		shards   = fs.Int("shards", 1, "independent network replicas run in parallel (each gets its own zone map)")
-		emerging = fs.Duration("emerging", 2*time.Hour, "emerging period T")
-		replicas = fs.Int("replicas", 1, "packet replica count (1 = model-faithful)")
-		mcTrials = fs.Int("mc-trials", 2000, "Monte Carlo reference trials")
-		seed     = fs.Uint64("seed", 2017, "RNG seed")
+		nodes     = fs.Int("nodes", 200, "DHT population N")
+		p         = fs.Float64("p", 0.1, "malicious (Sybil) fraction")
+		alpha     = fs.Float64("alpha", 1, "churn severity T/lifetime (0 disables churn)")
+		drop      = fs.Bool("drop", false, "drop attack instead of spying")
+		strategy  = fs.String("strategy", "spy", "adversary strategy: spy|drop|eclipse")
+		forge     = fs.Float64("forge", 0, "eclipse forgery rate, forged contacts per attacker per minute")
+		table     = fs.String("table", "", "DHT routing-table policy: naive|pingevict")
+		missions  = fs.Int("missions", 100, "live emergence trials")
+		shards    = fs.Int("shards", 1, "independent network replicas run in parallel (each gets its own zone map)")
+		partition = fs.Int("partition", 0, "split the one population across this many parallel event loops (exclusive with -shards > 1)")
+		partWork  = fs.Int("partition-workers", 0, "concurrent partition shard loops (0 = GOMAXPROCS)")
+		emerging  = fs.Duration("emerging", 2*time.Hour, "emerging period T")
+		replicas  = fs.Int("replicas", 1, "packet replica count (1 = model-faithful)")
+		mcTrials  = fs.Int("mc-trials", 2000, "Monte Carlo reference trials")
+		seed      = fs.Uint64("seed", 2017, "RNG seed")
 	)
 	spec := planFlags(fs)
 	_ = fs.Parse(args)
@@ -301,20 +309,22 @@ func runScenario(args []string) {
 		}
 	}
 	report, err := scenario.Run(scenario.Config{
-		Nodes:         *nodes,
-		MaliciousRate: *p,
-		Drop:          *drop,
-		Strategy:      strat,
-		Forge:         *forge,
-		Table:         policy,
-		Alpha:         *alpha,
-		Emerging:      *emerging,
-		Missions:      *missions,
-		Shards:        *shards,
-		Plan:          plan,
-		Replicas:      *replicas,
-		MCTrials:      *mcTrials,
-		Seed:          *seed,
+		Nodes:            *nodes,
+		MaliciousRate:    *p,
+		Drop:             *drop,
+		Strategy:         strat,
+		Forge:            *forge,
+		Table:            policy,
+		Alpha:            *alpha,
+		Emerging:         *emerging,
+		Missions:         *missions,
+		Shards:           *shards,
+		Partition:        *partition,
+		PartitionWorkers: *partWork,
+		Plan:             plan,
+		Replicas:         *replicas,
+		MCTrials:         *mcTrials,
+		Seed:             *seed,
 	})
 	if err != nil {
 		fatalf(1, "%v", err)

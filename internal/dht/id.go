@@ -103,6 +103,22 @@ func (id ID) BucketIndex(peer ID) (int, bool) {
 	return lz, true
 }
 
+// Shard maps the identifier onto one of `shards` equal-width zones of the
+// identifier space: floor(top64(id) * shards / 2^64), a fixed-point multiply
+// with exact zone boundaries and no modulo bias. It is the zone→shard
+// ownership rule of the partitioned live engine: ownership is a pure
+// function of the identifier, so churn replacements — which reuse their
+// predecessor's identifier — always land on the predecessor's shard, and
+// contiguous zones keep the Kademlia neighbourhoods (where most lookup
+// traffic concentrates) largely shard-local.
+func (id ID) Shard(shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	hi, _ := bits.Mul64(binary.BigEndian.Uint64(id[:8]), uint64(shards))
+	return int(hi)
+}
+
 // CloserTo reports whether a is closer to id than b under XOR distance.
 func (id ID) CloserTo(a, b ID) bool {
 	return id.DistanceCompare(a, b) < 0

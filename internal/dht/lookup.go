@@ -9,6 +9,8 @@ import (
 
 // Lookup performs an iterative FIND_NODE for target and calls cb with the
 // up-to-K closest contacts found. cb runs on the clock's dispatch context.
+// The contact slice is only valid for the duration of the callback (it
+// aliases a recycled lookup buffer), so copy to retain.
 func (n *Node) Lookup(target ID, cb func([]Contact)) {
 	n.newLookup(target, false, func(contacts []Contact, _ []byte, _ bool) {
 		cb(contacts)
@@ -42,7 +44,7 @@ func (n *Node) Store(key ID, value []byte, ttl time.Duration, cb func(acked int)
 				break
 			}
 		}
-		closest = append(closest[:pos:pos], append([]Contact{self}, closest[pos:]...)...)
+		closest = insertContact(closest, pos, self)
 		if len(closest) > n.cfg.Replicate {
 			closest = closest[:n.cfg.Replicate]
 		}
@@ -118,7 +120,7 @@ func (n *Node) SendToOwners(key ID, payload []byte, replicas int, done func(Cont
 				break
 			}
 		}
-		closest = append(closest[:pos:pos], append([]Contact{self}, closest[pos:]...)...)
+		closest = insertContact(closest, pos, self)
 		if len(closest) > replicas {
 			closest = closest[:replicas]
 		}
@@ -138,6 +140,16 @@ func (n *Node) SendToOwners(key ID, payload []byte, replicas int, done func(Cont
 			done(closest[0], err)
 		}
 	})
+}
+
+// insertContact inserts c at position pos, shifting the tail in place: the
+// slice aliases a recycled lookup buffer that is ours for the callback's
+// duration, so the shift is safe and the usual call allocates nothing.
+func insertContact(list []Contact, pos int, c Contact) []Contact {
+	list = append(list, Contact{})
+	copy(list[pos+1:], list[pos:])
+	list[pos] = c
+	return list
 }
 
 // deliverLocal hands an application payload to the local node's own OnApp,
@@ -172,7 +184,9 @@ type lookupError string
 
 func (e lookupError) Error() string { return string(e) }
 
-// lookupState drives one iterative lookup.
+// lookupState drives one iterative lookup. States are pooled: the maps and
+// slices survive between lookups (cleared, capacity kept), so a steady
+// mission workload runs its lookups allocation-free.
 type lookupState struct {
 	node     *Node
 	target   ID
@@ -181,21 +195,34 @@ type lookupState struct {
 
 	mu        sync.Mutex
 	shortlist []Contact
+	result    []Contact
 	seen      map[ID]bool
 	queried   map[ID]bool
 	inflight  int
 	finished  bool
 }
 
-func (n *Node) newLookup(target ID, wantValue bool, cb func([]Contact, []byte, bool)) {
-	ls := &lookupState{
-		node:     n,
-		target:   target,
-		wantVal:  wantValue,
-		finishCb: cb,
-		seen:     map[ID]bool{n.cfg.ID: true},
-		queried:  map[ID]bool{n.cfg.ID: true},
+var lookupStates = sync.Pool{New: func() any {
+	return &lookupState{
+		seen:    make(map[ID]bool, 32),
+		queried: make(map[ID]bool, 16),
 	}
+}}
+
+// release returns a drained state (finished, no queries in flight) to the
+// pool. The maps and slices keep their capacity for the next lookup.
+func (ls *lookupState) release() {
+	clear(ls.seen)
+	clear(ls.queried)
+	ls.shortlist = ls.shortlist[:0]
+	ls.result = ls.result[:0]
+	ls.node = nil
+	ls.finishCb = nil
+	ls.finished = false
+	lookupStates.Put(ls)
+}
+
+func (n *Node) newLookup(target ID, wantValue bool, cb func([]Contact, []byte, bool)) {
 	// Local value short-circuit.
 	if wantValue {
 		if v, ok := n.loadLocal(target); ok {
@@ -203,6 +230,13 @@ func (n *Node) newLookup(target ID, wantValue bool, cb func([]Contact, []byte, b
 			return
 		}
 	}
+	ls := lookupStates.Get().(*lookupState)
+	ls.node = n
+	ls.target = target
+	ls.wantVal = wantValue
+	ls.finishCb = cb
+	ls.seen[n.cfg.ID] = true
+	ls.queried[n.cfg.ID] = true
 	ls.shortlist = n.table.AppendClosest(ls.shortlist, target, n.cfg.K)
 	for _, c := range ls.shortlist {
 		ls.seen[c.ID] = true
@@ -241,8 +275,10 @@ func (ls *lookupState) step() {
 	if len(toQuery) == 0 && ls.inflight == 0 {
 		ls.finished = true
 		result := ls.closestK()
+		cb := ls.finishCb
 		ls.mu.Unlock()
-		ls.finishCb(result, nil, false)
+		cb(result, nil, false)
+		ls.release()
 		return
 	}
 	for _, c := range toQuery {
@@ -284,7 +320,13 @@ func (ls *lookupState) onResponse(from Contact, resp Message, err error) {
 	ls.mu.Lock()
 	ls.inflight--
 	if ls.finished {
+		// A late response after a value-found finish: the state is recycled
+		// once the last straggler drains.
+		idle := ls.inflight == 0
 		ls.mu.Unlock()
+		if idle {
+			ls.release()
+		}
 		return
 	}
 	if err != nil {
@@ -303,8 +345,13 @@ func (ls *lookupState) onResponse(from Contact, resp Message, err error) {
 		if ls.wantVal && resp.Found {
 			ls.finished = true
 			value := resp.Value
+			cb := ls.finishCb
+			idle := ls.inflight == 0
 			ls.mu.Unlock()
-			ls.finishCb(nil, value, true)
+			cb(nil, value, true)
+			if idle {
+				ls.release()
+			}
 			return
 		}
 		for _, c := range resp.Contacts {
@@ -318,13 +365,15 @@ func (ls *lookupState) onResponse(from Contact, resp Message, err error) {
 	ls.step()
 }
 
-// closestK returns the final result set. Callers hold ls.mu.
+// closestK returns the final result set in the state's pooled result buffer
+// — valid until the state is released, i.e. for the duration of the finish
+// callback. Callers hold ls.mu.
 func (ls *lookupState) closestK() []Contact {
-	out := make([]Contact, len(ls.shortlist))
-	copy(out, ls.shortlist)
+	out := append(ls.result[:0], ls.shortlist...)
 	if len(out) > ls.node.cfg.K {
 		out = out[:ls.node.cfg.K]
 	}
+	ls.result = out
 	return out
 }
 

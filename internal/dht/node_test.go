@@ -71,7 +71,7 @@ func TestLookupFindsGloballyClosest(t *testing.T) {
 	sort.Slice(ids, func(i, j int) bool { return target.CloserTo(ids[i], ids[j]) })
 
 	var got []Contact
-	c.nodes[7].Lookup(target, func(res []Contact) { got = res })
+	c.nodes[7].Lookup(target, func(res []Contact) { got = append([]Contact(nil), res...) })
 	c.sim.Run()
 
 	if len(got) == 0 {
@@ -265,7 +265,7 @@ func TestLookupSurvivesDeadNodes(t *testing.T) {
 		}
 	}
 	var got []Contact
-	c.nodes[2].Lookup(IDFromKey([]byte("after-churn")), func(res []Contact) { got = res })
+	c.nodes[2].Lookup(IDFromKey([]byte("after-churn")), func(res []Contact) { got = append([]Contact(nil), res...) })
 	c.sim.Run()
 	if len(got) == 0 {
 		t.Fatal("lookup failed after node deaths")

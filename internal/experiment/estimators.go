@@ -31,6 +31,9 @@ func rejectLiveOnly(pt Point, estimator string) error {
 	if pt.Table != dht.TableDefault {
 		return fmt.Errorf("experiment: the %s estimator has no routing table; the table axis applies to the live estimator only", estimator)
 	}
+	if pt.Partition > 0 {
+		return fmt.Errorf("experiment: the %s estimator has no event loops to partition; the partition axis applies to the live estimator only", estimator)
+	}
 	return nil
 }
 

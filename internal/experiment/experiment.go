@@ -66,6 +66,10 @@ type Point struct {
 	// stale-eviction vs ping-before-evict); TableDefault keeps the network
 	// fabric's historical naive default.
 	Table dht.TablePolicy
+	// Partition runs the live point's one population across this many
+	// parallel event loops (the partition engine; 0 = the estimator's
+	// default, usually the classic single loop). Live estimation only.
+	Partition int
 
 	// Seed is the point's private base seed, assigned by the sweep
 	// expansion: points sharing an X value share seeds, so series differ
@@ -132,6 +136,9 @@ func (pt Point) Validate() error {
 	}
 	if pt.Forge > 0 && pt.Strategy != adversary.StrategyEclipse {
 		return fmt.Errorf("experiment: forge rate %v requires the eclipse strategy", pt.Forge)
+	}
+	if pt.Partition < 0 {
+		return fmt.Errorf("experiment: partition %d must be >= 0", pt.Partition)
 	}
 	return nil
 }

@@ -31,8 +31,8 @@ type Sweep struct {
 }
 
 // Axis is one swept dimension: a parameter name from the fixed vocabulary
-// (p, alpha, network, budget, k, l, sharen, replicas, forge, scheme, drop,
-// strategy, table) and the values it takes.
+// (p, alpha, network, budget, k, l, sharen, replicas, forge, partition,
+// scheme, drop, strategy, table) and the values it takes.
 type Axis struct {
 	Name string
 	vals []axisValue
@@ -198,7 +198,7 @@ func ParseAxis(spec string) (Axis, error) {
 			policies = append(policies, p)
 		}
 		return TableAxis(policies...), nil
-	case "p", "alpha", "network", "budget", "k", "l", "sharen", "replicas", "forge":
+	case "p", "alpha", "network", "budget", "k", "l", "sharen", "replicas", "forge", "partition":
 		if start, stop, step, ok, err := parseRange(rest); err != nil {
 			return Axis{}, fmt.Errorf("experiment: axis %q: %w", spec, err)
 		} else if ok {
@@ -272,6 +272,8 @@ func (a Axis) apply(pt *Point, v axisValue) error {
 		pt.Replicas, err = integral()
 	case "forge":
 		pt.Forge = v.num
+	case "partition":
+		pt.Partition, err = integral()
 	case "scheme":
 		pt.Scheme = v.scheme
 	case "drop":

@@ -108,17 +108,17 @@ func TestSweepValidation(t *testing.T) {
 	cases := []Sweep{
 		{Base: base},                            // no axes
 		{Base: base, Axes: []Axis{{Name: "p"}}}, // empty axis
-		{Base: base, Axes: []Axis{FloatAxis("p", 0.1), FloatAxis("p", 0.2)}},                   // duplicate
-		{Base: base, Axes: []Axis{FloatAxis("p", 1.5)}},                                        // invalid rate
-		{Base: Point{Scheme: core.SchemeJoint, K: 2, L: 2}, Axes: []Axis{FloatAxis("p", 0.1)}}, // no network
-		{Base: base, Axes: []Axis{SchemeAxis(core.SchemeCentral, core.SchemeJoint)}},           // categorical X axis
-		{Base: base, Axes: []Axis{DropAxis(false, true), FloatAxis("p", 0.1)}},                 // categorical X axis
-		{Base: base, Axes: []Axis{FloatAxis("k", 2.5)}},                                        // fractional integer axis
-		{Base: base, Axes: []Axis{FloatAxis("p", 0.1), FloatAxis("budget", 100, 1000)}},        // budget with explicit shape
-		{Base: base, Axes: []Axis{StrategyAxis(adversary.StrategySpy), FloatAxis("p", 0.1)}},   // categorical X axis
-		{Base: base, Axes: []Axis{TableAxis(dht.TableNaive), FloatAxis("p", 0.1)}},             // categorical X axis
+		{Base: base, Axes: []Axis{FloatAxis("p", 0.1), FloatAxis("p", 0.2)}},                                                                // duplicate
+		{Base: base, Axes: []Axis{FloatAxis("p", 1.5)}},                                                                                     // invalid rate
+		{Base: Point{Scheme: core.SchemeJoint, K: 2, L: 2}, Axes: []Axis{FloatAxis("p", 0.1)}},                                              // no network
+		{Base: base, Axes: []Axis{SchemeAxis(core.SchemeCentral, core.SchemeJoint)}},                                                        // categorical X axis
+		{Base: base, Axes: []Axis{DropAxis(false, true), FloatAxis("p", 0.1)}},                                                              // categorical X axis
+		{Base: base, Axes: []Axis{FloatAxis("k", 2.5)}},                                                                                     // fractional integer axis
+		{Base: base, Axes: []Axis{FloatAxis("p", 0.1), FloatAxis("budget", 100, 1000)}},                                                     // budget with explicit shape
+		{Base: base, Axes: []Axis{StrategyAxis(adversary.StrategySpy), FloatAxis("p", 0.1)}},                                                // categorical X axis
+		{Base: base, Axes: []Axis{TableAxis(dht.TableNaive), FloatAxis("p", 0.1)}},                                                          // categorical X axis
 		{Base: base, Axes: []Axis{FloatAxis("p", 0.1), DropAxis(false, true), StrategyAxis(adversary.StrategySpy, adversary.StrategyDrop)}}, // drop/strategy ambiguity
-		{Base: base, Axes: []Axis{FloatAxis("forge", 10)}},                                     // forge without eclipse
+		{Base: base, Axes: []Axis{FloatAxis("forge", 10)}},                                                                                  // forge without eclipse
 	}
 	for i, sw := range cases {
 		if _, err := sw.Points(); err == nil {

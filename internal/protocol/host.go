@@ -59,6 +59,10 @@ type Host struct {
 
 	mu       sync.Mutex
 	missions map[MissionID]*missionState
+	// advance's deterministic-iteration sort scratch, reused across calls
+	// (guarded by mu).
+	colScratch []int
+	refScratch []slotRef
 }
 
 type slotRef struct {
@@ -66,6 +70,10 @@ type slotRef struct {
 	slot   int
 }
 
+// missionState is one mission's custody at one holder. Its maps are nil
+// until first written (nil map reads are free): a typical holder touches
+// only one or two of the eight custody kinds per mission, so eager maps
+// were most of the mission path's protocol allocations.
 type missionState struct {
 	// Column-wide key material (K_c of the multipath schemes, CK_c of the
 	// key share scheme).
@@ -153,16 +161,7 @@ func (h *Host) HandleApp(from dht.Contact, payload []byte) {
 func (h *Host) state(id MissionID) *missionState {
 	ms, ok := h.missions[id]
 	if !ok {
-		ms = &missionState{
-			colKeys:    make(map[int]seal.Key),
-			colShares:  make(map[int][]shamir.Share),
-			slotKeys:   make(map[slotRef]seal.Key),
-			slotShares: make(map[slotRef][]shamir.Share),
-			colRepair:  make(map[int]bool),
-			slotRepair: make(map[slotRef]bool),
-			mainSealed: make(map[int]*heldPackage),
-			slotSealed: make(map[slotRef]*heldPackage),
-		}
+		ms = &missionState{}
 		h.missions[id] = ms
 	}
 	return ms
@@ -199,11 +198,17 @@ func (h *Host) onKeyGrant(pkt Packet) {
 	if pkt.X == keyGrantSlot {
 		ref := slotRef{int(pkt.Column), int(pkt.Slot)}
 		if _, dup := ms.slotKeys[ref]; !dup {
+			if ms.slotKeys == nil {
+				ms.slotKeys = make(map[slotRef]seal.Key, 2)
+			}
 			ms.slotKeys[ref] = key
 			fresh = true
 		}
 	} else {
 		if _, dup := ms.colKeys[int(pkt.Column)]; !dup {
+			if ms.colKeys == nil {
+				ms.colKeys = make(map[int]seal.Key, 2)
+			}
 			ms.colKeys[int(pkt.Column)] = key
 			fresh = true
 		}
@@ -294,6 +299,9 @@ func (h *Host) onOnion(pkt Packet, main bool) {
 		}
 		pkt.Data = append([]byte(nil), pkt.Data...) // custody outlives the delivery buffer
 		hp = &heldPackage{pkt: pkt}
+		if ms.mainSealed == nil {
+			ms.mainSealed = make(map[int]*heldPackage, 2)
+		}
 		ms.mainSealed[col] = hp
 	} else {
 		ref := slotRef{col, int(pkt.Slot)}
@@ -303,6 +311,9 @@ func (h *Host) onOnion(pkt Packet, main bool) {
 		}
 		pkt.Data = append([]byte(nil), pkt.Data...)
 		hp = &heldPackage{pkt: pkt}
+		if ms.slotSealed == nil {
+			ms.slotSealed = make(map[slotRef]*heldPackage, 2)
+		}
 		ms.slotSealed[ref] = hp
 	}
 	h.mu.Unlock()
@@ -319,10 +330,18 @@ func (h *Host) onColShare(pkt Packet) {
 	h.mu.Lock()
 	ms := h.state(pkt.Mission)
 	col := int(pkt.Column)
-	fresh := false
-	ms.colShares[col], fresh = addShare(ms.colShares[col], x, data)
+	merged, fresh := addShare(ms.colShares[col], x, data)
+	if fresh {
+		if ms.colShares == nil {
+			ms.colShares = make(map[int][]shamir.Share, 2)
+		}
+		ms.colShares[col] = merged
+	}
 	repair := fresh && h.repairableShare(pkt) && !ms.colRepair[col]
 	if repair {
+		if ms.colRepair == nil {
+			ms.colRepair = make(map[int]bool, 2)
+		}
 		ms.colRepair[col] = true
 	}
 	h.mu.Unlock()
@@ -340,10 +359,18 @@ func (h *Host) onSlotShare(pkt Packet) {
 	h.mu.Lock()
 	ms := h.state(pkt.Mission)
 	ref := slotRef{int(pkt.Column), int(pkt.Slot)}
-	fresh := false
-	ms.slotShares[ref], fresh = addShare(ms.slotShares[ref], x, data)
+	merged, fresh := addShare(ms.slotShares[ref], x, data)
+	if fresh {
+		if ms.slotShares == nil {
+			ms.slotShares = make(map[slotRef][]shamir.Share, 2)
+		}
+		ms.slotShares[ref] = merged
+	}
 	repair := fresh && h.repairableShare(pkt) && !ms.slotRepair[ref]
 	if repair {
+		if ms.slotRepair == nil {
+			ms.slotRepair = make(map[slotRef]bool, 2)
+		}
 		ms.slotRepair[ref] = true
 	}
 	h.mu.Unlock()
@@ -480,20 +507,20 @@ func (h *Host) advance(mission MissionID) {
 		return
 	}
 
-	type action struct {
-		run func()
-	}
-	var actions []action
+	var actions []func()
 
 	// Iterate custody in sorted order: forwarding emits network events, and
 	// deterministic event sequencing is what makes whole-scenario runs
 	// reproducible under a fixed seed (Go map order is randomized per run).
-	mainCols := make([]int, 0, len(ms.mainSealed))
+	// The sort scratch lives on the Host (mu-guarded): advance runs on every
+	// packet arrival and must not allocate in the steady state.
+	mainCols := h.colScratch[:0]
 	for col := range ms.mainSealed {
 		mainCols = append(mainCols, col)
 	}
 	sort.Ints(mainCols)
-	slotRefs := make([]slotRef, 0, len(ms.slotSealed))
+	h.colScratch = mainCols
+	slotRefs := h.refScratch[:0]
 	for ref := range ms.slotSealed {
 		slotRefs = append(slotRefs, ref)
 	}
@@ -503,21 +530,28 @@ func (h *Host) advance(mission MissionID) {
 		}
 		return slotRefs[i].slot < slotRefs[j].slot
 	})
+	h.refScratch = slotRefs
 
 	// Try peeling main onions with available column keys: granted directly,
 	// or recovered from shares and validated against the onion itself.
 	for _, col := range mainCols {
 		key, direct := ms.colKeys[col]
-		peelLocked(ms.mainSealed[col], key, direct, ms.colShares[col], func(k seal.Key) {
+		if k, recovered := peelLocked(ms.mainSealed[col], key, direct, ms.colShares[col]); recovered {
+			if ms.colKeys == nil {
+				ms.colKeys = make(map[int]seal.Key, 2)
+			}
 			ms.colKeys[col] = k
-		})
+		}
 	}
 	// Slot onions likewise with slot keys.
 	for _, ref := range slotRefs {
 		key, direct := ms.slotKeys[ref]
-		peelLocked(ms.slotSealed[ref], key, direct, ms.slotShares[ref], func(k seal.Key) {
+		if k, recovered := peelLocked(ms.slotSealed[ref], key, direct, ms.slotShares[ref]); recovered {
+			if ms.slotKeys == nil {
+				ms.slotKeys = make(map[slotRef]seal.Key, 2)
+			}
 			ms.slotKeys[ref] = k
-		})
+		}
 	}
 
 	// Forward anything peeled and due.
@@ -525,20 +559,20 @@ func (h *Host) advance(mission MissionID) {
 		hp := ms.mainSealed[col]
 		if hp.peeled != nil && hp.due && !hp.done {
 			hp.done = true
-			actions = append(actions, action{h.forwardMainLocked(mission, col, hp)})
+			actions = append(actions, h.forwardMainLocked(mission, col, hp))
 		}
 	}
 	for _, ref := range slotRefs {
 		hp := ms.slotSealed[ref]
 		if hp.peeled != nil && hp.due && !hp.done {
 			hp.done = true
-			actions = append(actions, action{h.forwardSlotLocked(mission, ref, hp)})
+			actions = append(actions, h.forwardSlotLocked(mission, ref, hp))
 		}
 	}
 	h.mu.Unlock()
 
 	for _, a := range actions {
-		a.run()
+		a()
 	}
 }
 
@@ -547,29 +581,30 @@ func (h *Host) advance(mission MissionID) {
 // collected shares — the authenticated onion layer is the success oracle
 // that tells a true threshold interpolation from garbage, so stale,
 // churn-duplicated or adversary-injected shares can delay recovery but
-// never poison it. A key the oracle confirms is cached through cache so
-// later peels (and re-grants) skip the search. Callers hold h.mu.
-func peelLocked(hp *heldPackage, key seal.Key, direct bool, shares []shamir.Share, cache func(seal.Key)) {
+// never poison it. A key the oracle confirms is returned (recovered=true)
+// for the caller to cache, so later peels (and re-grants) skip the search.
+// Callers hold h.mu.
+func peelLocked(hp *heldPackage, key seal.Key, direct bool, shares []shamir.Share) (recoveredKey seal.Key, recovered bool) {
 	if hp == nil || hp.peeled != nil {
-		return
+		return seal.Key{}, false
 	}
 	if direct {
 		if layer, err := onion.Peel(key, hp.pkt.Data); err == nil {
 			hp.peeled = &layer
 		}
-		return
+		return seal.Key{}, false
 	}
 	if len(shares) == hp.triedShares {
-		return // nothing new since the last failed recovery
+		return seal.Key{}, false // nothing new since the last failed recovery
 	}
 	hp.triedShares = len(shares)
 	for _, cand := range shareKeyCandidates(shares) {
 		if layer, err := onion.Peel(cand, hp.pkt.Data); err == nil {
 			hp.peeled = &layer
-			cache(cand)
-			return
+			return cand, true
 		}
 	}
+	return seal.Key{}, false
 }
 
 // maxShareCombines bounds the subset interpolations of one recovery attempt:

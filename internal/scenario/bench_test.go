@@ -1,6 +1,8 @@
 package scenario_test
 
 import (
+	"fmt"
+	"os"
 	"runtime"
 	"testing"
 
@@ -61,4 +63,76 @@ func BenchmarkScenarioMissionsParallel(b *testing.B) {
 	}
 	b.ReportMetric(float64(missions*b.N)/b.Elapsed().Seconds(), "missions/sec")
 	b.ReportMetric(float64(shards), "shards")
+}
+
+// BenchmarkScenarioMissionsPartitioned measures the partition engine: ONE
+// population (no replicas) split across S parallel event loops with
+// cross-shard routing under the conservative epoch barrier. The population
+// is larger than the replicate benchmarks' — partitioning pays off when the
+// single event loop is the bottleneck, which takes a network too big to
+// replicate cheaply. S=1 runs the same config through the partition
+// machinery on one loop: the single-loop baseline the S=GOMAXPROCS number
+// is compared against (the >1.5x multi-core target recorded in
+// BENCH_scenario.json). For a fixed S, results are byte-identical at any
+// GOMAXPROCS or worker count; only the wall clock moves.
+func BenchmarkScenarioMissionsPartitioned(b *testing.B) {
+	for _, s := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("S=%d", s), func(b *testing.B) {
+			const missions = 20
+			cfg := benchCfg(missions, 1)
+			cfg.Shards = 0
+			cfg.Nodes = 600
+			cfg.Partition = s
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := scenario.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(missions*b.N)/b.Elapsed().Seconds(), "missions/sec")
+			b.ReportMetric(float64(s), "loops")
+		})
+	}
+}
+
+// BenchmarkPartitionSmoke100k is the 100k-node partitioned live point: one
+// population of 10^5 nodes over 8 event loops driving a small mission set.
+// Deliberately named outside the ScenarioMissions CI smoke pattern — boot
+// alone is minutes under the race detector. Run it on sized hardware:
+//
+//	go test -run '^$' -bench PartitionSmoke100k -benchtime 1x ./internal/scenario/
+func BenchmarkPartitionSmoke100k(b *testing.B) {
+	cfg := benchCfg(8, 1)
+	cfg.Shards = 0
+	cfg.Nodes = 100_000
+	cfg.Alpha = 0 // boot + routing load is the point; churn scales separately
+	cfg.Partition = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPartitionMillionNodes is the off-CI 10^6-node target: the
+// million-node live point of the partition engine's design envelope. It
+// needs tens of GB of RAM and tens of minutes; it is gated behind
+// EMERGE_MILLION=1 so a stray -bench '.' never eats a laptop. Expect the
+// event loops to dominate and the epoch barrier to stay <5% of wall time.
+func BenchmarkPartitionMillionNodes(b *testing.B) {
+	if os.Getenv("EMERGE_MILLION") == "" {
+		b.Skip("set EMERGE_MILLION=1 to run the million-node partitioned point")
+	}
+	cfg := benchCfg(4, 1)
+	cfg.Shards = 0
+	cfg.Nodes = 1_000_000
+	cfg.Alpha = 0
+	cfg.Partition = runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -42,6 +42,16 @@ type Estimator struct {
 	// network replicas, executed concurrently under the sweep-wide budget
 	// (default 1). Part of each point's descriptor and reference cache key.
 	Shards int
+	// Partition runs every point's one population across this many parallel
+	// event loops instead (the partition engine; mutually exclusive with
+	// Shards > 1). A partitioned point occupies one budget slot and spreads
+	// its shard loops over PartitionWorkers goroutines. Part of each point's
+	// descriptor and reference cache key; per-point overrides come from the
+	// sweep's partition axis.
+	Partition int
+	// PartitionWorkers caps concurrent partition shard loops per point (0 =
+	// GOMAXPROCS). Execution throttle only.
+	PartitionWorkers int
 	// Concurrency caps how many shard event loops run at once across the
 	// whole sweep (default GOMAXPROCS) — the shared budget between the
 	// runner's point-level workers and the shards inside each point, so
@@ -94,25 +104,31 @@ func (e *Estimator) config(pt experiment.Point) (Config, error) {
 			mcTrials = 100 // the scenario default mission count
 		}
 	}
+	partition := e.Partition
+	if pt.Partition > 0 {
+		partition = pt.Partition // the sweep's partition axis overrides
+	}
 	return Config{
-		Nodes:         pt.Network,
-		MaliciousRate: pt.P,
-		Drop:          pt.Drop,
-		Strategy:      pt.Strategy,
-		Forge:         pt.Forge,
-		Table:         pt.Table,
-		Alpha:         pt.Alpha,
-		Emerging:      e.Emerging,
-		Missions:      e.Missions,
-		Stagger:       e.Stagger,
-		Plan:          plan,
-		Replicas:      pt.Replicas,
-		Latency:       e.Latency,
-		MCTrials:      mcTrials,
-		ShareModel:    e.ShareModel,
-		Shards:        e.Shards,
-		Budget:        e.sharedBudget(),
-		Seed:          pt.Seed,
+		Nodes:            pt.Network,
+		MaliciousRate:    pt.P,
+		Drop:             pt.Drop,
+		Strategy:         pt.Strategy,
+		Forge:            pt.Forge,
+		Table:            pt.Table,
+		Alpha:            pt.Alpha,
+		Emerging:         e.Emerging,
+		Missions:         e.Missions,
+		Stagger:          e.Stagger,
+		Plan:             plan,
+		Replicas:         pt.Replicas,
+		Latency:          e.Latency,
+		MCTrials:         mcTrials,
+		ShareModel:       e.ShareModel,
+		Shards:           e.Shards,
+		Budget:           e.sharedBudget(),
+		Partition:        partition,
+		PartitionWorkers: e.PartitionWorkers,
+		Seed:             pt.Seed,
 	}, nil
 }
 

@@ -1,0 +1,87 @@
+package scenario_test
+
+import (
+	"bytes"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"selfemerge/internal/core"
+	"selfemerge/internal/experiment"
+	"selfemerge/internal/scenario"
+)
+
+// TestPartitionHundredKByteIdentical is the acceptance run of the partition
+// engine at scale: one population of 100,000 nodes split over 8 event
+// loops, driven through a live mission sweep, with the emitted CSV and JSON
+// compared byte-for-byte across GOMAXPROCS {1, NumCPU} and partition worker
+// counts {1, 4}. Any schedule leak — a racy cross-shard merge, a
+// worker-count-dependent event order, a non-deterministic report drain —
+// shows up as a byte diff here. Gated behind EMERGE_BIG=1: it boots the
+// 10^5-node network once per combination and wants minutes and GBs, not CI.
+func TestPartitionHundredKByteIdentical(t *testing.T) {
+	if os.Getenv("EMERGE_BIG") == "" {
+		t.Skip("set EMERGE_BIG=1 to run the 100k-node partitioned determinism check")
+	}
+
+	axis, err := experiment.ParseAxis("p=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := experiment.Sweep{
+		Name: "partition-100k",
+		Seed: 7,
+		Base: experiment.Point{
+			Scheme:  core.SchemeJoint,
+			Network: 100_000,
+			K:       2, L: 2,
+			Drop: true,
+		},
+		Axes: []experiment.Axis{axis},
+	}
+
+	emit := func(maxprocs, workers int) (string, string) {
+		prev := runtime.GOMAXPROCS(maxprocs)
+		defer runtime.GOMAXPROCS(prev)
+		est := &scenario.Estimator{
+			Missions:         6,
+			Emerging:         time.Hour,
+			MCTrials:         6,
+			Partition:        8,
+			PartitionWorkers: workers,
+		}
+		runner := experiment.Runner{Estimator: est, Parallel: 1}
+		rs, err := runner.Run(sweep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var csv, json bytes.Buffer
+		if err := rs.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		if err := rs.WriteJSON(&json); err != nil {
+			t.Fatal(err)
+		}
+		return csv.String(), json.String()
+	}
+
+	type combo struct{ maxprocs, workers int }
+	combos := []combo{{1, 1}, {1, 4}}
+	if n := runtime.NumCPU(); n > 1 {
+		combos = append(combos, combo{n, 1}, combo{n, 4})
+	}
+	refCSV, refJSON := emit(combos[0].maxprocs, combos[0].workers)
+	if len(refCSV) == 0 || len(refJSON) == 0 {
+		t.Fatal("empty emitted output")
+	}
+	for _, c := range combos[1:] {
+		csv, json := emit(c.maxprocs, c.workers)
+		if csv != refCSV {
+			t.Errorf("CSV differs at GOMAXPROCS=%d workers=%d", c.maxprocs, c.workers)
+		}
+		if json != refJSON {
+			t.Errorf("JSON differs at GOMAXPROCS=%d workers=%d", c.maxprocs, c.workers)
+		}
+	}
+}

@@ -87,6 +87,21 @@ type Config struct {
 	// shares one budget across every point of a sweep. Execution throttle
 	// only — results never depend on it.
 	Budget *Budget
+	// Partition runs the point's ONE population across this many parallel
+	// event loops — the partition engine of selfemerge.NetworkConfig, where
+	// each shard owns a zone of the identifier space and cross-shard traffic
+	// merges at conservative lockstep barriers. It is the scaling mode for
+	// populations a single core's event loop cannot hold (replicate-mode
+	// Shards scales mission count, not population). Zero keeps the classic
+	// single loop; 1 exercises the partition machinery and replays the
+	// classic run byte for byte; like Shards it is part of the point
+	// descriptor (S > 1 samples decorrelated per-shard churn substreams).
+	// Mutually exclusive with Shards > 1.
+	Partition int
+	// PartitionWorkers caps how many partition shard loops run concurrently
+	// (0 = GOMAXPROCS). Execution throttle only: results are byte-identical
+	// for any value.
+	PartitionWorkers int
 	// Stagger spreads mission launches uniformly over this window (default:
 	// one emerging period). Missions sharing one network see the same churn
 	// trajectory; staggering exposes each to a different time slice, which
@@ -182,6 +197,15 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Forge > 0 && c.Strategy != adversary.StrategyEclipse {
 		return c, fmt.Errorf("scenario: forge rate requires the eclipse strategy")
+	}
+	if c.Partition < 0 {
+		return c, fmt.Errorf("scenario: partition %d must be >= 0", c.Partition)
+	}
+	if c.Partition > 0 && c.Shards > 1 {
+		return c, fmt.Errorf("scenario: partition and shards are mutually exclusive (one population across loops vs %d replicas)", c.Shards)
+	}
+	if c.Partition > 0 && c.Forge > 0 {
+		return c, fmt.Errorf("scenario: the eclipse forger requires the single event loop, not partition")
 	}
 	if err := c.Plan.Validate(); err != nil {
 		return c, fmt.Errorf("scenario: %w", err)
@@ -320,18 +344,20 @@ func boot(cfg Config) (Config, *selfemerge.Network, error) {
 		lifetime = time.Duration(float64(cfg.Emerging) / cfg.Alpha)
 	}
 	net, err := selfemerge.NewNetwork(selfemerge.NetworkConfig{
-		Nodes:           cfg.Nodes,
-		MaliciousRate:   cfg.MaliciousRate,
-		Attack:          cfg.Strategy,
-		ForgeRate:       cfg.Forge,
-		Table:           cfg.Table,
-		MeanLifetime:    lifetime,
-		Replace:         true,
-		HonestEndpoints: true,
-		Replicas:        cfg.Replicas,
-		Repair:          true,
-		Latency:         cfg.Latency,
-		Seed:            cfg.Seed,
+		Nodes:            cfg.Nodes,
+		MaliciousRate:    cfg.MaliciousRate,
+		Attack:           cfg.Strategy,
+		ForgeRate:        cfg.Forge,
+		Table:            cfg.Table,
+		MeanLifetime:     lifetime,
+		Replace:          true,
+		HonestEndpoints:  true,
+		Replicas:         cfg.Replicas,
+		Repair:           true,
+		Latency:          cfg.Latency,
+		Partition:        cfg.Partition,
+		PartitionWorkers: cfg.PartitionWorkers,
+		Seed:             cfg.Seed,
 	})
 	if err != nil {
 		return cfg, nil, err
@@ -443,15 +469,20 @@ type Reference struct {
 	// descriptor, so it keys the cache: points that differ only in S never
 	// share a cached reference entry.
 	Shards int
+	// Partition is the live point's partition loop count (0 = classic single
+	// loop). Like Shards it is descriptor, not execution detail: a
+	// partitioned point samples decorrelated per-shard churn substreams, so
+	// it never shares a cached reference entry with the classic run.
+	Partition int
 }
 
 // Key returns a canonical cache key: two references with the same key
 // produce byte-identical estimates.
 func (r Reference) Key() string {
-	return fmt.Sprintf("%v/%d/%d/%d/%v|N%d m%d a%g sm%v|t%d s%d S%d",
+	return fmt.Sprintf("%v/%d/%d/%d/%v|N%d m%d a%g sm%v|t%d s%d S%d P%d",
 		r.Plan.Scheme, r.Plan.K, r.Plan.L, r.Plan.ShareN, r.Plan.ShareM,
 		r.Env.Population, r.Env.Malicious, r.Env.Alpha, r.Env.ShareModel,
-		r.Trials, r.Seed, r.Shards)
+		r.Trials, r.Seed, r.Shards, r.Partition)
 }
 
 // Estimate runs the reference on a single trial worker, so equal keys yield
@@ -477,12 +508,12 @@ func (c Config) References() (release, deliver Reference) {
 	if shards < 1 {
 		shards = 1 // un-defaulted config: the descriptor's canonical form
 	}
-	release = Reference{Plan: c.Plan, Env: env, Trials: c.MCTrials, Seed: c.Seed + 101, Shards: shards}
+	release = Reference{Plan: c.Plan, Env: env, Trials: c.MCTrials, Seed: c.Seed + 101, Shards: shards, Partition: c.Partition}
 	if c.Drop {
 		return release, release
 	}
 	env.Malicious = 0
-	deliver = Reference{Plan: c.Plan, Env: env, Trials: c.MCTrials, Seed: c.Seed + 103, Shards: shards}
+	deliver = Reference{Plan: c.Plan, Env: env, Trials: c.MCTrials, Seed: c.Seed + 103, Shards: shards, Partition: c.Partition}
 	return release, deliver
 }
 

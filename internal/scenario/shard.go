@@ -3,6 +3,7 @@ package scenario
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"selfemerge/internal/stats"
 )
@@ -29,6 +30,9 @@ func NewBudget(slots int) *Budget {
 
 func (b *Budget) acquire() { b.sem <- struct{}{} }
 func (b *Budget) release() { <-b.sem }
+
+// Slots reports the budget's concurrency capacity.
+func (b *Budget) Slots() int { return cap(b.sem) }
 
 // ShardSeed derives the seed of shard i from the point seed. Shard 0 keeps
 // the point seed itself, so a one-shard point is byte-identical to the
@@ -97,6 +101,11 @@ func runShard(cfg Config) shardOutcome {
 // deterministic under its derived seed, and the merge order is the shard
 // index, so the merged point is identical under GOMAXPROCS=1 and a full
 // multi-core run.
+//
+// The spawn itself is bounded to the budget's slot count: min(S, slots)
+// workers pull shard indices from a shared cursor, so a 1000-shard point on
+// a sweep-wide 8-slot budget parks 8 goroutines on the semaphore instead of
+// a thousand.
 func measureShards(cfg Config, report *Report) error {
 	budget := cfg.Budget
 	if budget == nil {
@@ -108,15 +117,29 @@ func measureShards(cfg Config, report *Report) error {
 	}
 	shards := cfg.shardConfigs()
 	outs := make([]shardOutcome, len(shards))
-	var wg sync.WaitGroup
-	for i, sc := range shards {
+	workers := budget.Slots()
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	var (
+		cursor atomic.Int64
+		wg     sync.WaitGroup
+	)
+	cursor.Store(-1)
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int, sc Config) {
+		go func() {
 			defer wg.Done()
-			budget.acquire()
-			defer budget.release()
-			outs[i] = runShard(sc)
-		}(i, sc)
+			for {
+				i := int(cursor.Add(1))
+				if i >= len(shards) {
+					return
+				}
+				budget.acquire()
+				outs[i] = runShard(shards[i])
+				budget.release()
+			}
+		}()
 	}
 	wg.Wait()
 	for _, out := range outs {

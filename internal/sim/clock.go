@@ -278,6 +278,29 @@ func (s *Simulator) Pending() int {
 	return int(s.live.Load())
 }
 
+// NextAt returns the timestamp of the earliest pending event, discarding
+// lazily cancelled heap heads along the way; ok is false when nothing is
+// pending. It is the lookahead probe of the Lockstep epoch barrier: the
+// barrier sizes each epoch from the earliest event across all member
+// simulators. A concurrent Stop between the peek and the epoch merely
+// shrinks the epoch — never past a runnable event — so the probe stays
+// conservative.
+func (s *Simulator) NextAt() (at time.Time, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		ev := s.queue.peek()
+		if ev == nil {
+			return time.Time{}, false
+		}
+		if ev.state.Load()&stateStatusMask == statusPending {
+			return time.Unix(0, ev.at), true
+		}
+		s.queue.pop()
+		s.release(ev)
+	}
+}
+
 // release returns a finished (run or cancelled) event record to the pool,
 // bumping its generation so any still-held timer handle turns inert.
 func (s *Simulator) release(ev *event) {

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Lockstep advances a set of simulators in conservative lockstep epochs: the
+// parallel-discrete-event form of RunUntil. Each member simulator owns a
+// disjoint partition of the modelled system (one shard's nodes and their
+// local traffic), and anything one partition sends another is queued outside
+// the simulators and injected at epoch boundaries by the Exchange hook.
+//
+// The correctness argument is the classic conservative-lookahead one. If
+// every cross-simulator effect scheduled while the clocks are at or past
+// time t lands at or after t+W (W = Lookahead — in the simnet fabric, its
+// base latency), then running every simulator independently up to
+// bound = min(earliest pending event) + W cannot miss an interaction:
+// whatever a shard sends during the epoch arrives no earlier than the next
+// epoch, so draining the cross queues at each barrier is sufficient. Within
+// an epoch the member simulators are entirely independent and may run on
+// separate goroutines; determinism is untouched because each simulator's
+// event order is its own and the Exchange hook injects cross records in a
+// fixed total order.
+//
+// Lockstep itself is not safe for concurrent use: one goroutine drives
+// RunUntil/RunFor, exactly like Simulator.Run.
+type Lockstep struct {
+	// Sims are the member simulators. Their clocks must agree when the
+	// Lockstep is constructed (all fresh, or all previously advanced
+	// together); every barrier re-aligns them exactly.
+	Sims []*Simulator
+	// Lookahead is the minimum cross-simulator latency W. It must be > 0 and
+	// a true lower bound on the delay of every cross record, or epochs would
+	// overrun arrivals.
+	Lookahead time.Duration
+	// Exchange drains the cross queues into the member simulators. It runs
+	// with every simulator paused at a common barrier time, before each
+	// epoch and once before the final clock alignment, so it may touch any
+	// simulator freely. Optional.
+	Exchange func()
+	// Workers caps how many member simulators run concurrently within one
+	// epoch (default GOMAXPROCS). Execution throttle only: results are
+	// identical for any value, including 1.
+	Workers int
+
+	nexts []int64 // per-sim earliest pending event, scratch
+}
+
+// Now returns the common barrier time. Between Run calls every member clock
+// agrees; the first member is as good as any.
+func (l *Lockstep) Now() time.Time { return l.Sims[0].Now() }
+
+// RunFor advances every member simulator by d in lockstep.
+func (l *Lockstep) RunFor(d time.Duration) { l.RunUntil(l.Now().Add(d)) }
+
+// RunUntil executes events with timestamps <= deadline across every member
+// simulator, exchanging cross records at each epoch barrier, then aligns
+// all clocks to the deadline.
+func (l *Lockstep) RunUntil(deadline time.Time) {
+	bound := deadline.UnixNano()
+	lookahead := int64(l.Lookahead)
+	if len(l.nexts) != len(l.Sims) {
+		l.nexts = make([]int64, len(l.Sims))
+	}
+	for {
+		if l.Exchange != nil {
+			l.Exchange()
+		}
+		// Probe the earliest pending event across the members. Cross records
+		// were just injected, so the heaps hold everything schedulable.
+		next := int64(1<<63 - 1)
+		for i, s := range l.Sims {
+			at, ok := s.NextAt()
+			l.nexts[i] = 1<<63 - 1
+			if ok {
+				l.nexts[i] = at.UnixNano()
+				if l.nexts[i] < next {
+					next = l.nexts[i]
+				}
+			}
+		}
+		if next > bound {
+			break
+		}
+		// The epoch window [next, next+W]: every cross effect of an event in
+		// it lands at >= next+W, i.e. not before the next barrier. Skipping
+		// straight to `next` keeps sparse stretches (holding periods between
+		// hops) as cheap as they are under a single event loop.
+		epochEnd := next + lookahead
+		if epochEnd > bound {
+			epochEnd = bound
+		}
+		l.runEpoch(time.Unix(0, epochEnd))
+	}
+	// No runnable event at or before the deadline remains anywhere (and the
+	// probe above ran after a final Exchange); align every clock.
+	for _, s := range l.Sims {
+		s.RunUntil(deadline)
+	}
+}
+
+// runEpoch runs every member with work in the window concurrently up to t
+// and advances the idle members' clocks. Which goroutine runs which member
+// never matters: members share no state inside an epoch.
+func (l *Lockstep) runEpoch(t time.Time) {
+	bound := t.UnixNano()
+	active := 0
+	for i := range l.Sims {
+		if l.nexts[i] <= bound {
+			active++
+		} else {
+			l.Sims[i].RunUntil(t) // clock advance only
+		}
+	}
+	workers := l.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > active {
+		workers = active
+	}
+	if workers <= 1 {
+		// One busy shard (the common sparse-epoch case) or a serial cap: run
+		// inline, no goroutine or barrier cost.
+		for i := range l.Sims {
+			if l.nexts[i] <= bound {
+				l.Sims[i].RunUntil(t)
+			}
+		}
+		return
+	}
+	var cursor atomic.Int64
+	run := func() {
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(l.Sims) {
+				return
+			}
+			if l.nexts[i] <= bound {
+				l.Sims[i].RunUntil(t)
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	run()
+	wg.Wait()
+}

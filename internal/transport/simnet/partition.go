@@ -1,0 +1,233 @@
+// Partitioned fabric: one population of endpoints split across S shard
+// sub-networks, each delivering local traffic on its own simulator, with
+// cross-shard sends turned into timestamped hand-off records merged at the
+// epoch barriers of a sim.Lockstep. This is the transport half of the
+// partition engine; the conservative-lookahead argument lives with
+// sim.Lockstep, and the fabric's base latency is the lookahead it relies on.
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"selfemerge/internal/churn"
+	"selfemerge/internal/sim"
+	"selfemerge/internal/stats"
+	"selfemerge/internal/transport"
+)
+
+// Partition is an in-memory fabric split across S shard sub-networks. Every
+// endpoint is owned by exactly one shard (registered at Endpoint time and
+// frozen thereafter — churn replacements reuse their predecessor's address
+// and shard). Local sends run the plain single-network path on the owning
+// shard's simulator; a send whose destination lives on another shard becomes
+// a hand-off record carrying its absolute delivery time, queued per source
+// shard, and injected into the destination simulator at the next barrier in
+// fixed (deliver-time, source shard, sequence) order — so the merged event
+// schedule, and therefore every observable byte, is a pure function of the
+// configuration, independent of how many goroutines run the shard loops.
+//
+// Loss and jitter for a cross-shard message are drawn from the source
+// shard's RNG at send time, inside that shard's deterministic execution.
+// The one semantic difference from the single fabric: a sender's transient
+// down state (availability flapping) is enforced at send time only for
+// cross-shard messages — the destination shard cannot consult a foreign
+// down map at delivery time. Runs that enable flapping and partitioning
+// accept that in-flight cross-shard datagrams survive the sender flapping
+// down; permanent death (endpoint close) is still enforced at delivery.
+type Partition struct {
+	subs      []*Network
+	owner     map[transport.Addr]int
+	outboxes  []outbox
+	scratch   []handoff
+	lookahead time.Duration
+}
+
+// outbox is one source shard's pending cross-shard records. It is written
+// only from that shard's event loop (or the driving goroutine while all
+// loops are paused at a barrier), and drained only at barriers, so it needs
+// no lock.
+type outbox struct {
+	recs []handoff
+	seq  uint64
+}
+
+// handoff is one cross-shard datagram: the pooled delivery record (payload
+// copy included, net already pointing at the destination sub-network) plus
+// the merge coordinates.
+type handoff struct {
+	at  int64 // absolute delivery time, Unix nanoseconds
+	src int
+	seq uint64
+	d   *delivery
+}
+
+// NewPartition builds a fabric of len(clocks) shard sub-networks, shard i
+// delivering its local traffic on clocks[i]. Shard 0 keeps cfg.Seed for its
+// loss/jitter RNG — a one-shard partition is byte-identical to the plain
+// Network — and higher shards draw decorrelated SplitMix64 substreams. The
+// base latency (after defaults) must be positive: it is the lookahead that
+// makes barrier-drained hand-offs conservative.
+func NewPartition(clocks []sim.Clock, cfg Config) (*Partition, error) {
+	cfg = cfg.withDefaults()
+	if len(clocks) < 1 {
+		return nil, fmt.Errorf("simnet: partition needs at least one shard clock")
+	}
+	if cfg.BaseLatency <= 0 {
+		return nil, fmt.Errorf("simnet: partition needs a positive base latency (the lookahead), got %v", cfg.BaseLatency)
+	}
+	p := &Partition{
+		subs:      make([]*Network, len(clocks)),
+		owner:     make(map[transport.Addr]int),
+		outboxes:  make([]outbox, len(clocks)),
+		lookahead: cfg.BaseLatency,
+	}
+	for i, clock := range clocks {
+		sub := cfg
+		if i > 0 {
+			sub.Seed = stats.Mix64(cfg.Seed, uint64(i))
+		}
+		p.subs[i] = New(clock, sub)
+		p.subs[i].part, p.subs[i].shard = p, i
+	}
+	return p, nil
+}
+
+// Shards returns the shard count.
+func (p *Partition) Shards() int { return len(p.subs) }
+
+// Lookahead returns the minimum cross-shard latency: the sim.Lockstep
+// lookahead this fabric supports.
+func (p *Partition) Lookahead() time.Duration { return p.lookahead }
+
+// Endpoint attaches (or, for a churn replacement, re-attaches) an endpoint
+// with the given address on its owning shard. The first attachment
+// registers the ownership; it is frozen from then on — re-attaching under a
+// different shard panics, because migrating an address would race the
+// lock-free owner lookups on the send path.
+func (p *Partition) Endpoint(shard int, addr transport.Addr) transport.Endpoint {
+	if got, ok := p.owner[addr]; ok {
+		if got != shard {
+			panic(fmt.Sprintf("simnet: endpoint %s owned by shard %d, re-attached on shard %d", addr, got, shard))
+		}
+	} else {
+		// First attachment: boot-time, single-goroutine. After boot the map
+		// is read-only (replacements reuse registered addresses), which is
+		// what lets concurrent shard loops consult it without a lock.
+		p.owner[addr] = shard
+	}
+	return p.subs[shard].Endpoint(addr)
+}
+
+// Owner reports which shard owns an address.
+func (p *Partition) Owner(addr transport.Addr) (int, bool) {
+	shard, ok := p.owner[addr]
+	return shard, ok
+}
+
+// SetDown marks an endpoint unavailable on its owning shard.
+func (p *Partition) SetDown(addr transport.Addr, down bool) {
+	if shard, ok := p.owner[addr]; ok {
+		p.subs[shard].SetDown(addr, down)
+	}
+}
+
+// ApplyChurn wires availability flapping into the owning shard's fabric.
+func (p *Partition) ApplyChurn(addr transport.Addr, proc *churn.Process) (stop func()) {
+	shard, ok := p.owner[addr]
+	if !ok {
+		return func() {}
+	}
+	return p.subs[shard].ApplyChurn(addr, proc)
+}
+
+// Stats sums (sent, delivered, dropped) across the shard sub-networks.
+// Sends are counted on the source shard and deliveries/drops on the
+// destination, so the totals match what one fused network would report.
+func (p *Partition) Stats() (sent, delivered, dropped int) {
+	for _, sub := range p.subs {
+		s, d, r := sub.Stats()
+		sent += s
+		delivered += d
+		dropped += r
+	}
+	return sent, delivered, dropped
+}
+
+// handoff queues one cross-shard datagram from src's shard to dst. Runs
+// inside the source shard's deterministic execution (its event loop, or the
+// driver at a barrier), which is what makes the per-source sequence — and
+// every RNG draw — reproducible.
+func (p *Partition) handoff(src *Network, dst int, from, to transport.Addr, payload []byte) {
+	src.mu.Lock()
+	src.sent++
+	if src.down[from] {
+		src.dropped++
+		src.mu.Unlock()
+		return
+	}
+	src.mu.Unlock()
+
+	src.rngMu.Lock()
+	if src.cfg.LossRate > 0 && src.rng.Bool(src.cfg.LossRate) {
+		src.rngMu.Unlock()
+		src.mu.Lock()
+		src.dropped++
+		src.mu.Unlock()
+		return
+	}
+	delay := src.cfg.BaseLatency
+	if src.cfg.Jitter > 0 {
+		delay += time.Duration(src.rng.Uint64n(uint64(src.cfg.Jitter)))
+	}
+	src.rngMu.Unlock()
+
+	d := deliveries.Get().(*delivery)
+	d.net, d.from, d.to = p.subs[dst], from, to
+	d.msg = append(d.msg[:0], payload...)
+	box := &p.outboxes[src.shard]
+	box.recs = append(box.recs, handoff{
+		at:  src.clock.Now().UnixNano() + int64(delay),
+		src: src.shard,
+		seq: box.seq,
+		d:   d,
+	})
+	box.seq++
+}
+
+// Flush drains every outbox and injects the records into their destination
+// simulators in fixed (deliver-time, source shard, sequence) order: the
+// sim.Lockstep Exchange hook. It must run while every shard loop is paused
+// at a common barrier; the lookahead guarantees every queued record's
+// delivery time is at or after that barrier, so nothing is scheduled in the
+// past. Destination-side state (endpoint attached, down, handler) is
+// checked at delivery time by the ordinary deliver path.
+func (p *Partition) Flush() {
+	p.scratch = p.scratch[:0]
+	for i := range p.outboxes {
+		box := &p.outboxes[i]
+		p.scratch = append(p.scratch, box.recs...)
+		box.recs = box.recs[:0]
+	}
+	if len(p.scratch) == 0 {
+		return
+	}
+	sort.Slice(p.scratch, func(i, j int) bool {
+		a, b := p.scratch[i], p.scratch[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	for _, h := range p.scratch {
+		dst := h.d.net
+		sim.ScheduleArg(dst.clock, time.Duration(h.at-dst.clock.Now().UnixNano()), deliver, h.d)
+	}
+	for i := range p.scratch {
+		p.scratch[i].d = nil // do not pin pooled records past injection
+	}
+}

@@ -1,0 +1,308 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"selfemerge/internal/sim"
+	"selfemerge/internal/transport"
+)
+
+func newTestPartition(t *testing.T, shards int, cfg Config) ([]*sim.Simulator, *Partition, *sim.Lockstep) {
+	t.Helper()
+	sims := make([]*sim.Simulator, shards)
+	clocks := make([]sim.Clock, shards)
+	for i := range sims {
+		sims[i] = sim.NewSimulator()
+		clocks[i] = sims[i]
+	}
+	p, err := NewPartition(clocks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &sim.Lockstep{Sims: sims, Lookahead: p.Lookahead(), Exchange: p.Flush}
+	return sims, p, l
+}
+
+// TestPartitionPerPairOrdering checks that with zero jitter the cross-shard
+// path preserves per-pair FIFO order, exactly like the single fabric: sends
+// staggered across many epochs from one endpoint arrive in send order.
+func TestPartitionPerPairOrdering(t *testing.T) {
+	sims, p, l := newTestPartition(t, 2, Config{BaseLatency: 3 * time.Millisecond})
+	a := p.Endpoint(0, "a")
+	b := p.Endpoint(1, "b")
+
+	var got []byte
+	b.SetHandler(func(from transport.Addr, payload []byte) {
+		got = append(got, payload[0])
+	})
+
+	// Irregular, non-monotonic send instants with collisions: several sends
+	// land in one epoch and several share an instant, exercising the
+	// (deliver-time, source shard, seq) merge.
+	const n = 50
+	when := func(i int) time.Duration {
+		return time.Duration(i*i%17)*time.Millisecond + time.Duration(i%5)*100*time.Microsecond
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		sims[0].AfterFunc(when(i), func() {
+			if err := a.Send("b", []byte{byte(i)}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	l.RunFor(time.Second)
+
+	// Zero jitter makes arrival order the send order: indices sorted by send
+	// instant, schedule order breaking ties (the simulator's (at, seq) rule).
+	want := make([]byte, 0, n)
+	for i := 0; i < n; i++ {
+		want = append(want, byte(i))
+	}
+	sort.SliceStable(want, func(x, y int) bool { return when(int(want[x])) < when(int(want[y])) })
+	if len(got) != n {
+		t.Fatalf("delivered %d messages, want %d", len(got), n)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("arrival %d is message %d, want %d (full order %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestPartitionLatencyLowerBound checks every cross-shard message arrives at
+// least BaseLatency after its send, jitter included — the invariant the
+// conservative epoch barrier relies on.
+func TestPartitionLatencyLowerBound(t *testing.T) {
+	const base = 2 * time.Millisecond
+	sims, p, l := newTestPartition(t, 3, Config{BaseLatency: base, Jitter: 5 * time.Millisecond, Seed: 9})
+	a := p.Endpoint(0, "a")
+	b := p.Endpoint(1, "b")
+	c := p.Endpoint(2, "c")
+
+	sendAt := make([]time.Time, 64)
+	var delivered int
+	check := func(s *sim.Simulator) transport.Handler {
+		return func(_ transport.Addr, payload []byte) {
+			delivered++
+			if lat := s.Now().Sub(sendAt[payload[0]]); lat < base {
+				t.Errorf("message %d latency %v below base %v", payload[0], lat, base)
+			}
+		}
+	}
+	b.SetHandler(check(sims[1]))
+	c.SetHandler(check(sims[2]))
+
+	for i := 0; i < 40; i++ {
+		i := i
+		to := transport.Addr("b")
+		if i%2 == 1 {
+			to = "c"
+		}
+		sims[0].AfterFunc(time.Duration(i)*700*time.Microsecond, func() {
+			sendAt[i] = sims[0].Now()
+			if err := a.Send(to, []byte{byte(i)}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	l.RunFor(time.Second)
+	if delivered != 40 {
+		t.Fatalf("delivered %d, want 40", delivered)
+	}
+}
+
+// ringTrace runs a deterministic cascade workload — 12 endpoints round-robin
+// across 3 shards, each receipt forwarded around the ring with a TTL, under
+// jitter and loss — and returns the per-shard delivery logs plus the fabric
+// stats. Each shard's log is appended only from that shard's event loop, so
+// the logs are well-defined under any worker count.
+func ringTrace(t *testing.T, workers int) ([][]string, [3]int) {
+	t.Helper()
+	sims, p, l := newTestPartition(t, 3, Config{
+		BaseLatency: time.Millisecond,
+		Jitter:      4 * time.Millisecond,
+		LossRate:    0.1,
+		Seed:        42,
+	})
+	l.Workers = workers
+
+	const n = 12
+	addr := func(i int) transport.Addr { return transport.Addr(fmt.Sprintf("node-%d", i)) }
+	eps := make([]transport.Endpoint, n)
+	for i := 0; i < n; i++ {
+		eps[i] = p.Endpoint(i%3, addr(i))
+	}
+	logs := make([][]string, 3)
+	for i := 0; i < n; i++ {
+		i := i
+		shard := i % 3
+		eps[i].SetHandler(func(from transport.Addr, payload []byte) {
+			ttl, id := payload[0], payload[1]
+			logs[shard] = append(logs[shard],
+				fmt.Sprintf("%s<-%s id=%d ttl=%d @%d", addr(i), from, id, ttl, sims[shard].Now().UnixNano()))
+			if ttl > 0 {
+				if err := eps[i].Send(addr((i+1)%n), []byte{ttl - 1, id}); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	}
+	for k := 0; k < 6; k++ {
+		if err := eps[k].Send(addr((k+5)%n), []byte{8, byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.RunFor(2 * time.Second)
+	sent, delivered, dropped := p.Stats()
+	return logs, [3]int{sent, delivered, dropped}
+}
+
+// TestPartitionDeterministicAcrossWorkers checks the headline property: the
+// partitioned fabric's observable behaviour is byte-identical whether the
+// shard loops run serially or on concurrent workers.
+func TestPartitionDeterministicAcrossWorkers(t *testing.T) {
+	baseLogs, baseStats := ringTrace(t, 1)
+	total := 0
+	for _, lg := range baseLogs {
+		total += len(lg)
+	}
+	if total == 0 {
+		t.Fatal("workload delivered nothing")
+	}
+	if baseStats[0] != baseStats[1]+baseStats[2] {
+		t.Fatalf("stats inconsistent after drain: sent %d != delivered %d + dropped %d",
+			baseStats[0], baseStats[1], baseStats[2])
+	}
+	for _, workers := range []int{2, 4} {
+		logs, stats := ringTrace(t, workers)
+		if stats != baseStats {
+			t.Errorf("workers=%d stats %v, want %v", workers, stats, baseStats)
+		}
+		for s := range logs {
+			if len(logs[s]) != len(baseLogs[s]) {
+				t.Errorf("workers=%d shard %d logged %d events, want %d", workers, s, len(logs[s]), len(baseLogs[s]))
+				continue
+			}
+			for i := range logs[s] {
+				if logs[s][i] != baseLogs[s][i] {
+					t.Errorf("workers=%d shard %d event %d = %q, want %q", workers, s, i, logs[s][i], baseLogs[s][i])
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionSingleShardMatchesPlainNetwork checks a one-shard partition
+// reproduces the plain fabric byte for byte: same seed, same jitter and loss
+// draws, same delivery trace. This is the compatibility contract that lets
+// partition mode claim S=1 equivalence with historical runs.
+func TestPartitionSingleShardMatchesPlainNetwork(t *testing.T) {
+	cfg := Config{BaseLatency: time.Millisecond, Jitter: 3 * time.Millisecond, LossRate: 0.15, Seed: 7}
+
+	run := func(build func(s *sim.Simulator) (func(i int, a transport.Addr) transport.Endpoint, func(d time.Duration))) []string {
+		s := sim.NewSimulator()
+		endpoint, runFor := build(s)
+		const n = 8
+		addr := func(i int) transport.Addr { return transport.Addr(fmt.Sprintf("node-%d", i)) }
+		eps := make([]transport.Endpoint, n)
+		for i := 0; i < n; i++ {
+			eps[i] = endpoint(i, addr(i))
+		}
+		var log []string
+		for i := 0; i < n; i++ {
+			i := i
+			eps[i].SetHandler(func(from transport.Addr, payload []byte) {
+				log = append(log, fmt.Sprintf("%s<-%s ttl=%d @%d", addr(i), from, payload[0], s.Now().UnixNano()))
+				if payload[0] > 0 {
+					if err := eps[i].Send(addr((i+3)%n), []byte{payload[0] - 1}); err != nil {
+						t.Error(err)
+					}
+				}
+			})
+		}
+		for k := 0; k < 4; k++ {
+			if err := eps[k].Send(addr((k+1)%n), []byte{6}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		runFor(time.Second)
+		return log
+	}
+
+	plain := run(func(s *sim.Simulator) (func(int, transport.Addr) transport.Endpoint, func(time.Duration)) {
+		net := New(s, cfg)
+		return func(_ int, a transport.Addr) transport.Endpoint { return net.Endpoint(a) }, s.RunFor
+	})
+	part := run(func(s *sim.Simulator) (func(int, transport.Addr) transport.Endpoint, func(time.Duration)) {
+		p, err := NewPartition([]sim.Clock{s}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := &sim.Lockstep{Sims: []*sim.Simulator{s}, Lookahead: p.Lookahead(), Exchange: p.Flush}
+		return func(i int, a transport.Addr) transport.Endpoint { return p.Endpoint(0, a) }, l.RunFor
+	})
+
+	if len(plain) == 0 {
+		t.Fatal("plain run delivered nothing")
+	}
+	if len(plain) != len(part) {
+		t.Fatalf("plain logged %d events, partition %d", len(plain), len(part))
+	}
+	for i := range plain {
+		if plain[i] != part[i] {
+			t.Errorf("event %d: plain %q, partition %q", i, plain[i], part[i])
+		}
+	}
+}
+
+// TestPartitionDownAndClose checks endpoint state is enforced across shards:
+// a down sender drops at send, a closed destination drops at delivery, and a
+// re-attached destination (churn replacement) receives again.
+func TestPartitionDownAndClose(t *testing.T) {
+	_, p, l := newTestPartition(t, 2, Config{BaseLatency: time.Millisecond})
+	a := p.Endpoint(0, "a")
+	b := p.Endpoint(1, "b")
+	var got int
+	recv := func(transport.Addr, []byte) { got++ }
+	b.SetHandler(recv)
+
+	p.SetDown("a", true)
+	if err := a.Send("b", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	p.SetDown("a", false)
+	l.RunFor(50 * time.Millisecond)
+	if got != 0 {
+		t.Fatalf("down sender delivered %d messages", got)
+	}
+
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	l.RunFor(50 * time.Millisecond)
+	if got != 0 {
+		t.Fatalf("closed destination delivered %d messages", got)
+	}
+
+	b2 := p.Endpoint(1, "b") // replacement reuses the address and shard
+	b2.SetHandler(recv)
+	if err := a.Send("b", []byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	l.RunFor(50 * time.Millisecond)
+	if got != 1 {
+		t.Fatalf("replacement received %d messages, want 1", got)
+	}
+
+	sent, delivered, dropped := p.Stats()
+	if sent != 3 || delivered != 1 || dropped != 2 {
+		t.Fatalf("stats sent=%d delivered=%d dropped=%d, want 3/1/2", sent, delivered, dropped)
+	}
+}

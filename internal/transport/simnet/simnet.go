@@ -40,6 +40,12 @@ type Network struct {
 	clock sim.Clock
 	cfg   Config
 
+	// part and shard are set when this network is one shard sub-network of a
+	// Partition; sends whose destination another shard owns divert into the
+	// partition's hand-off queues instead of this network's event loop.
+	part  *Partition
+	shard int
+
 	mu        sync.Mutex
 	endpoints map[transport.Addr]*endpoint
 	down      map[transport.Addr]bool
@@ -108,6 +114,16 @@ func (n *Network) Stats() (sent, delivered, dropped int) {
 }
 
 func (n *Network) send(from transport.Addr, to transport.Addr, payload []byte) {
+	if n.part != nil {
+		// The owner map is frozen after boot (churn replacements reuse their
+		// predecessor's address), so this lookup is safe from concurrent shard
+		// loops without a lock. An address no shard owns falls through to the
+		// local path and drops as unattached.
+		if dst, ok := n.part.owner[to]; ok && dst != n.shard {
+			n.part.handoff(n, dst, from, to, payload)
+			return
+		}
+	}
 	n.mu.Lock()
 	n.sent++
 	_, attached := n.endpoints[to]

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -105,6 +106,21 @@ type NetworkConfig struct {
 	// Repair enables protocol-level churn repair: surviving key custodians
 	// re-grant layer keys to churn replacements once per holding period.
 	Repair bool
+	// Partition splits the one population across this many parallel event
+	// loops (shards), each with its own simulator and simnet fabric slice,
+	// advancing in conservative lockstep epochs with cross-shard sends
+	// merged at epoch barriers in a fixed order — the scaling mode for
+	// populations one core's event loop cannot hold. A node's shard is a
+	// pure function of its DHT identifier (dht.ID.Shard), so churn
+	// replacements stay on their predecessor's shard. Zero keeps the
+	// historical single event loop; 1 runs the partition machinery with one
+	// shard, which is byte-identical to the single loop. Results are
+	// byte-deterministic at any worker count or GOMAXPROCS.
+	Partition int
+	// PartitionWorkers caps how many shard loops run concurrently within an
+	// epoch (0 = GOMAXPROCS). Execution throttle only: results are
+	// identical for any value.
+	PartitionWorkers int
 	// Latency is the one-way network latency (default 5ms).
 	Latency time.Duration
 	// Seed makes the network fully reproducible.
@@ -150,6 +166,17 @@ func (c NetworkConfig) withDefaults() (NetworkConfig, error) {
 	if c.Table == dht.TableDefault {
 		c.Table = dht.TableNaive
 	}
+	if c.Partition < 0 {
+		return c, fmt.Errorf("selfemerge: negative partition count %d", c.Partition)
+	}
+	if c.Partition > 0 && c.ForgeRate > 0 {
+		// The eclipse forger is a global actor ticking on the single
+		// simulator and reading zone intelligence as it is collected; under
+		// the partition engine reports are deferred to epoch barriers, which
+		// would shift its observations. Eclipse measurements stay on the
+		// single loop (or replicate-mode sharding).
+		return c, errors.New("selfemerge: ForgeRate requires the single event loop, not Partition")
+	}
 	return c, nil
 }
 
@@ -165,6 +192,21 @@ type Network struct {
 	collector *adversary.Collector
 	rng       *stats.RNG
 	churnProc *churn.Process
+
+	// Partition mode (cfg.Partition >= 1): per-shard event loops advancing
+	// in lockstep, the partitioned fabric, and the per-shard state that
+	// keeps concurrent shard loops deterministic — a churn process and a
+	// replacement-marking RNG per shard (shard 0 aliases the classic
+	// rng/seed streams, so a one-shard partition replays the single-loop
+	// run byte for byte), plus per-shard adversary report queues drained at
+	// barriers. simulator aliases sims[0]: its clock is the barrier time.
+	sims       []*sim.Simulator
+	lockstep   *sim.Lockstep
+	partFab    *simnet.Partition
+	shardRng   []*stats.RNG
+	shardChurn []*churn.Process
+	reports    []reportQueue
+	repScratch []reportRec
 	// cryptoSrc feeds every sender-side cryptographic draw; sender wraps it
 	// for mission construction. Seed-derived ChaCha8 by default, crypto/rand
 	// with SystemRand.
@@ -195,7 +237,6 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 	}
 	n := &Network{
 		cfg:        cfg,
-		simulator:  sim.NewSimulator(),
 		cloudSt:    cloud.NewStore(),
 		collector:  adversary.NewCollector(),
 		rng:        stats.NewRNG(cfg.Seed),
@@ -207,14 +248,59 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 		n.cryptoSrc = stats.NewByteStream(stats.Mix64(cfg.Seed, 0xc0de))
 	}
 	n.sender = protocol.NewSender(n.cryptoSrc)
-	n.fabric = simnet.New(n.simulator, simnet.Config{BaseLatency: cfg.Latency, Seed: cfg.Seed + 1})
-	if cfg.MeanLifetime > 0 || (cfg.MeanUptime > 0 && cfg.MeanDowntime > 0) {
-		n.churnProc = churn.New(n.simulator, churn.Config{
-			MeanLifetime: cfg.MeanLifetime,
-			MeanUptime:   cfg.MeanUptime,
-			MeanDowntime: cfg.MeanDowntime,
-			Seed:         cfg.Seed + 2,
-		})
+	churnCfg := churn.Config{
+		MeanLifetime: cfg.MeanLifetime,
+		MeanUptime:   cfg.MeanUptime,
+		MeanDowntime: cfg.MeanDowntime,
+		Seed:         cfg.Seed + 2,
+	}
+	churnEnabled := cfg.MeanLifetime > 0 || (cfg.MeanUptime > 0 && cfg.MeanDowntime > 0)
+	if cfg.Partition > 0 {
+		// Partition mode: one event loop, fabric slice, churn process and
+		// replacement RNG per shard. Shard 0 keeps every historical seed
+		// derivation (fabric Seed+1, churn Seed+2, the shared structural
+		// rng), so Partition: 1 replays the classic run byte for byte;
+		// higher shards draw decorrelated substreams.
+		n.sims = make([]*sim.Simulator, cfg.Partition)
+		clocks := make([]sim.Clock, cfg.Partition)
+		for i := range n.sims {
+			n.sims[i] = sim.NewSimulator()
+			clocks[i] = n.sims[i]
+		}
+		n.simulator = n.sims[0]
+		part, err := simnet.NewPartition(clocks, simnet.Config{BaseLatency: cfg.Latency, Seed: cfg.Seed + 1})
+		if err != nil {
+			return nil, err
+		}
+		n.partFab = part
+		n.reports = make([]reportQueue, cfg.Partition)
+		n.shardRng = make([]*stats.RNG, cfg.Partition)
+		n.shardRng[0] = n.rng
+		for i := 1; i < cfg.Partition; i++ {
+			n.shardRng[i] = stats.NewRNG(stats.Mix64(cfg.Seed+3, uint64(i)))
+		}
+		if churnEnabled {
+			n.shardChurn = make([]*churn.Process, cfg.Partition)
+			for i := range n.shardChurn {
+				sub := churnCfg
+				if i > 0 {
+					sub.Seed = stats.Mix64(cfg.Seed+2, uint64(i))
+				}
+				n.shardChurn[i] = churn.New(n.sims[i], sub)
+			}
+		}
+		n.lockstep = &sim.Lockstep{
+			Sims:      n.sims,
+			Lookahead: part.Lookahead(),
+			Workers:   cfg.PartitionWorkers,
+			Exchange:  n.exchange,
+		}
+	} else {
+		n.simulator = sim.NewSimulator()
+		n.fabric = simnet.New(n.simulator, simnet.Config{BaseLatency: cfg.Latency, Seed: cfg.Seed + 1})
+		if churnEnabled {
+			n.churnProc = churn.New(n.simulator, churnCfg)
+		}
 	}
 
 	if cfg.Attack == adversary.StrategyEclipse && cfg.ForgeRate > 0 {
@@ -240,8 +326,111 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 	}
 	// Settle the join traffic within a bounded window. Draining the whole
 	// event queue would fast-forward through every scheduled churn death.
-	n.simulator.RunFor(time.Minute)
+	n.RunFor(time.Minute)
 	return n, nil
+}
+
+// shardOf maps a node identifier to its owning shard (always 0 on the
+// classic single loop).
+func (n *Network) shardOf(id dht.ID) int {
+	if n.partFab == nil {
+		return 0
+	}
+	return id.Shard(n.partFab.Shards())
+}
+
+// clockOf returns the event loop a shard's nodes run on.
+func (n *Network) clockOf(shard int) *sim.Simulator {
+	if n.sims != nil {
+		return n.sims[shard]
+	}
+	return n.simulator
+}
+
+// churnOf returns the churn process driving a shard's deaths and flapping
+// (nil when churn is disabled).
+func (n *Network) churnOf(shard int) *churn.Process {
+	if n.shardChurn != nil {
+		return n.shardChurn[shard]
+	}
+	return n.churnProc
+}
+
+// rngOf returns the RNG for a shard's post-boot structural draws
+// (replacement maliciousness marking).
+func (n *Network) rngOf(shard int) *stats.RNG {
+	if n.shardRng != nil {
+		return n.shardRng[shard]
+	}
+	return n.rng
+}
+
+// reportQueue collects one shard's malicious-holder observations during an
+// epoch. It is written only from that shard's event loop and drained only at
+// barriers, so it needs no lock.
+type reportQueue struct {
+	recs []reportRec
+	seq  uint64
+}
+
+// reportRec is one deferred adversary observation with its merge
+// coordinates.
+type reportRec struct {
+	at    int64
+	shard int
+	seq   uint64
+	from  dht.ID
+	pkt   protocol.Packet
+}
+
+// shardReporter defers one shard's collector reports into its queue. The
+// packet's payload is cloned at enqueue: the transport reclaims the handler's
+// buffer when the event returns, long before the barrier drain.
+type shardReporter struct {
+	n     *Network
+	shard int
+}
+
+func (r shardReporter) Report(now time.Time, from dht.ID, pkt protocol.Packet) {
+	q := &r.n.reports[r.shard]
+	pkt.Data = append([]byte(nil), pkt.Data...)
+	q.recs = append(q.recs, reportRec{at: now.UnixNano(), shard: r.shard, seq: q.seq, from: from, pkt: pkt})
+	q.seq++
+}
+
+// exchange is the lockstep barrier hook: inject the cross-shard datagrams,
+// then feed the deferred adversary reports to the collector single-threaded
+// in (time, shard, seq) order. The collector's first-wins ingestion uses the
+// timestamps carried by the records, so deferring the calls to the barrier
+// never changes what the adversary is judged to have known, and the fixed
+// order makes the collector's state a pure function of the run.
+func (n *Network) exchange() {
+	n.partFab.Flush()
+	n.repScratch = n.repScratch[:0]
+	for i := range n.reports {
+		q := &n.reports[i]
+		n.repScratch = append(n.repScratch, q.recs...)
+		q.recs = q.recs[:0]
+	}
+	if len(n.repScratch) == 0 {
+		return
+	}
+	sort.Slice(n.repScratch, func(i, j int) bool {
+		a, b := n.repScratch[i], n.repScratch[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.shard != b.shard {
+			return a.shard < b.shard
+		}
+		return a.seq < b.seq
+	})
+	for _, r := range n.repScratch {
+		n.collector.Report(time.Unix(0, r.at), r.from, r.pkt)
+	}
+	for i := range n.repScratch {
+		n.repScratch[i].pkt.Data = nil // release the clones while the scratch persists
+	}
 }
 
 // markMalicious draws the initial malicious marking. With HonestEndpoints
@@ -271,28 +460,43 @@ func (n *Network) addNode(idx int, malicious bool) error {
 // predecessor there), and, for churn-eligible slots, schedules its death
 // and replacement.
 func (n *Network) spawn(addr transport.Addr, id dht.ID, idx int, malicious bool) error {
-	ep := n.fabric.Endpoint(addr)
+	shard := n.shardOf(id)
+	clock := n.clockOf(shard)
+	var ep transport.Endpoint
+	if n.partFab != nil {
+		ep = n.partFab.Endpoint(shard, addr)
+	} else {
+		ep = n.fabric.Endpoint(addr)
+	}
 	var onSecret func(protocol.MissionID, []byte)
 	if idx == 1 {
 		// Only the receiver's deliveries count: a stray PkSecret landing on
 		// another node (possible while routing tables converge) is not an
-		// emergence.
+		// emergence. The timestamp comes from the receiver's own shard
+		// clock — the loop this callback runs on.
 		onSecret = func(mission protocol.MissionID, secret []byte) {
 			n.mu.Lock()
 			defer n.mu.Unlock()
 			if _, dup := n.deliveries[mission]; !dup {
 				n.deliveries[mission] = delivery{
-					at:     n.simulator.Now(),
+					at:     clock.Now(),
 					secret: append([]byte(nil), secret...),
 				}
 			}
 		}
 	}
+	var reporter protocol.Reporter = n.collector
+	if n.partFab != nil {
+		// Concurrent shard loops reporting straight into the collector would
+		// interleave nondeterministically: queue per shard instead and merge
+		// at epoch barriers in (time, shard, seq) order.
+		reporter = shardReporter{n: n, shard: shard}
+	}
 	host := protocol.NewHost(protocol.HostConfig{
-		Clock:     n.simulator,
+		Clock:     clock,
 		Malicious: malicious,
 		Drop:      malicious && n.cfg.Attack.Drops(),
-		Reporter:  n.collector,
+		Reporter:  reporter,
 		OnSecret:  onSecret,
 		Replicas:  n.cfg.Replicas,
 		Repair:    n.cfg.Repair,
@@ -300,7 +504,7 @@ func (n *Network) spawn(addr transport.Addr, id dht.ID, idx int, malicious bool)
 	node, err := dht.NewNode(dht.Config{
 		ID:       id,
 		Endpoint: ep,
-		Clock:    n.simulator,
+		Clock:    clock,
 		Table:    n.cfg.Table,
 		OnApp:    host.HandleApp,
 	})
@@ -329,11 +533,17 @@ func (n *Network) spawn(addr transport.Addr, id dht.ID, idx int, malicious bool)
 	// (node 1) and dispatcher (node 2) are exempt so experiments can always
 	// launch missions and observe outcomes — the model's honest, stable
 	// endpoints.
-	if n.churnProc == nil || idx <= 2 {
+	proc := n.churnOf(shard)
+	if proc == nil || idx <= 2 {
 		return nil
 	}
-	stopFlap := n.fabric.ApplyChurn(addr, n.churnProc)
-	n.churnProc.ScheduleDeath(func() {
+	var stopFlap func()
+	if n.partFab != nil {
+		stopFlap = n.partFab.ApplyChurn(addr, proc)
+	} else {
+		stopFlap = n.fabric.ApplyChurn(addr, proc)
+	}
+	proc.ScheduleDeath(func() {
 		stopFlap()
 		_ = node.Close()
 		n.mu.Lock()
@@ -351,7 +561,10 @@ func (n *Network) spawn(addr transport.Addr, id dht.ID, idx int, malicious bool)
 // and bootstraps it. It is malicious with probability MaliciousRate,
 // keeping the Sybil fraction stationary as churn replenishes the network.
 func (n *Network) join(addr transport.Addr, id dht.ID, idx int) {
-	if err := n.spawn(addr, id, idx, n.rng.Bool(n.cfg.MaliciousRate)); err != nil {
+	// The maliciousness draw comes from the joining node's shard RNG: the
+	// death event runs on that shard's loop, and a shared RNG across
+	// concurrent loops would make the marking sequence depend on scheduling.
+	if err := n.spawn(addr, id, idx, n.rngOf(n.shardOf(id)).Bool(n.cfg.MaliciousRate)); err != nil {
 		// Unreachable by construction: spawn only fails on a nil
 		// endpoint/clock or zero ID, and a replacement reuses a valid ID on
 		// a fresh endpoint. If it ever fires, the joins counter diverging
@@ -411,23 +624,39 @@ func (n *Network) RouteAudit() (live, poisoned int) {
 // FabricStats reports transport-level (sent, delivered, dropped) datagram
 // counts.
 func (n *Network) FabricStats() (sent, delivered, dropped int) {
+	if n.partFab != nil {
+		return n.partFab.Stats()
+	}
 	return n.fabric.Stats()
 }
 
-// Now returns the current simulated time.
+// Now returns the current simulated time. In partition mode this is the
+// barrier time: between Run calls every shard clock agrees.
 func (n *Network) Now() time.Time { return n.simulator.Now() }
 
 // RunFor advances simulated time by d, executing all due events.
-func (n *Network) RunFor(d time.Duration) { n.simulator.RunFor(d) }
+func (n *Network) RunFor(d time.Duration) {
+	if n.lockstep != nil {
+		n.lockstep.RunFor(d)
+		return
+	}
+	n.simulator.RunFor(d)
+}
 
 // RunUntil advances simulated time to the given instant.
-func (n *Network) RunUntil(t time.Time) { n.simulator.RunUntil(t) }
+func (n *Network) RunUntil(t time.Time) {
+	if n.lockstep != nil {
+		n.lockstep.RunUntil(t)
+		return
+	}
+	n.simulator.RunUntil(t)
+}
 
 // Settle flushes in-flight traffic by advancing simulated time a few
 // minutes. It deliberately does not drain the whole event queue: with churn
 // enabled the queue always holds far-future death timers, and jumping to
 // them would kill the network.
-func (n *Network) Settle() { n.simulator.RunFor(5 * time.Minute) }
+func (n *Network) Settle() { n.RunFor(5 * time.Minute) }
 
 // Nodes returns the population size: one slot per node, with churn
 // replacements taking over their dead predecessor's slot. Without Replace,

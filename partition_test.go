@@ -1,0 +1,120 @@
+package selfemerge
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"selfemerge/internal/protocol"
+)
+
+// runTrace drives a fixed two-mission workload under churn and a drop
+// adversary and returns a full observable fingerprint of the run: mission
+// outcomes with timestamps and secrets, churn totals, and fabric counters.
+func runTrace(t *testing.T, cfg NetworkConfig) string {
+	t.Helper()
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ""
+	for m := 0; m < 2; m++ {
+		var id protocol.MissionID
+		id[0] = byte(m + 1)
+		msg, err := net.Send([]byte("partition golden"), 2*time.Hour,
+			WithScheme(SchemeJoint), WithThreatModel(0.1), WithMissionID(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.RunUntil(msg.Release().Add(time.Minute))
+		net.Settle()
+		plain, at, ok := net.Emerged(msg)
+		recAt, rec := net.AdversaryRecovered(msg)
+		out += fmt.Sprintf("mission=%d emerged=%v at=%d plain=%q recovered=%v recAt=%d\n",
+			m, ok, at.UnixNano(), plain, rec, recAt.UnixNano())
+	}
+	deaths, joins := net.ChurnEvents()
+	sent, delivered, dropped := net.FabricStats()
+	out += fmt.Sprintf("deaths=%d joins=%d sent=%d delivered=%d dropped=%d now=%d\n",
+		deaths, joins, sent, delivered, dropped, net.Now().UnixNano())
+	return out
+}
+
+// TestPartitionOneMatchesClassic is the compatibility golden: the partition
+// engine with a single shard must reproduce the historical single-loop run
+// byte for byte — same deliveries, same timestamps, same churn and fabric
+// counters — because shard 0 keeps every classic seed derivation and a
+// one-shard lockstep runs the same event sequence.
+func TestPartitionOneMatchesClassic(t *testing.T) {
+	cfg := NetworkConfig{
+		Nodes:           80,
+		MaliciousRate:   0.2,
+		Attack:          AttackDrop,
+		MeanLifetime:    3 * time.Hour,
+		Replace:         true,
+		Repair:          true,
+		HonestEndpoints: true,
+		Replicas:        1,
+		Seed:            11,
+	}
+	classic := runTrace(t, cfg)
+	part := cfg
+	part.Partition = 1
+	if got := runTrace(t, part); got != classic {
+		t.Errorf("Partition:1 diverged from the classic run\nclassic:\n%spartition:\n%s", classic, got)
+	}
+}
+
+// TestPartitionDeterministicAcrossWorkers checks the partition engine's
+// headline property end to end: a multi-shard run's full observable
+// fingerprint is identical whether the shard loops run serially or on
+// concurrent workers.
+func TestPartitionDeterministicAcrossWorkers(t *testing.T) {
+	cfg := NetworkConfig{
+		Nodes:           80,
+		MaliciousRate:   0.2,
+		Attack:          AttackDrop,
+		MeanLifetime:    3 * time.Hour,
+		Replace:         true,
+		Repair:          true,
+		HonestEndpoints: true,
+		Replicas:        1,
+		Seed:            11,
+		Partition:       4,
+	}
+	cfg.PartitionWorkers = 1
+	serial := runTrace(t, cfg)
+	for _, workers := range []int{0, 4} {
+		cfg.PartitionWorkers = workers
+		if got := runTrace(t, cfg); got != serial {
+			t.Errorf("workers=%d diverged from serial run\nserial:\n%sworkers:\n%s", workers, serial, got)
+		}
+	}
+}
+
+// TestPartitionDeliversAcrossShards is a plain liveness check: missions
+// still emerge when the population spans several shards.
+func TestPartitionDeliversAcrossShards(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{Nodes: 60, Seed: 1, Partition: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := net.Send([]byte("cross-shard"), 4*time.Hour,
+		WithScheme(SchemeJoint), WithThreatModel(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RunUntil(msg.Release().Add(-time.Minute))
+	if _, _, ok := net.Emerged(msg); ok {
+		t.Fatal("message emerged before release time")
+	}
+	net.RunUntil(msg.Release().Add(time.Minute))
+	net.Settle()
+	plain, _, ok := net.Emerged(msg)
+	if !ok {
+		t.Fatal("message never emerged across shards")
+	}
+	if string(plain) != "cross-shard" {
+		t.Fatalf("plaintext = %q", plain)
+	}
+}
