@@ -1,0 +1,73 @@
+// Command emergelint is the repository's analyzer suite: machine-checked
+// determinism, copy-to-retain and pool acquire/release invariants as a
+// vet-style multichecker.
+//
+// Standalone:
+//
+//	go run ./cmd/emergelint ./...
+//
+// As a vet tool (what CI runs; covers test files and build variants):
+//
+//	go build -o emergelint ./cmd/emergelint
+//	go vet -vettool=$(pwd)/emergelint ./...
+//
+// Diagnostics at audited exception sites are suppressed with a mandatory
+// reason: //lint:allow <analyzer> <reason>. Unused annotations are
+// themselves diagnostics, so exemptions cannot go stale.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"selfemerge/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	if lint.VetMain(args, lint.Suite()) {
+		return
+	}
+	if len(args) == 1 && args[0] == "help" {
+		usage()
+		return
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emergelint:", err)
+		os.Exit(1)
+	}
+	pkgs, err := lint.Load(dir, args...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emergelint:", err)
+		os.Exit(1)
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.RunAnalyzers(pkg, lint.Suite())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "emergelint:", err)
+			os.Exit(1)
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func usage() {
+	fmt.Println("emergelint checks the repository's determinism, retain and pool contracts.")
+	fmt.Println()
+	fmt.Println("usage: emergelint [packages]   (standalone, non-test files)")
+	fmt.Println("       go vet -vettool=emergelint ./...   (full coverage)")
+	fmt.Println()
+	for _, a := range lint.Suite() {
+		fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		fmt.Println()
+	}
+}

@@ -111,9 +111,23 @@ func BuildSealers(layers []Layer, sealers []*seal.Sealer) ([]byte, error) {
 
 // Peel removes the outermost layer of the onion with key, returning the
 // revealed layer. Layer.Rest holds the remaining onion (nil at the
-// innermost layer).
+// innermost layer). It is a one-shot wrapper around PeelSealer; callers
+// peeling repeatedly under the same key should construct the sealer once.
 func Peel(key seal.Key, wrapped []byte) (Layer, error) {
-	plain, err := seal.Decrypt(key, wrapped, nil)
+	s, err := seal.NewSealer(key)
+	if err != nil {
+		return Layer{}, fmt.Errorf("onion: %w", err)
+	}
+	return PeelSealer(s, wrapped)
+}
+
+// PeelSealer is Peel over a pre-constructed Sealer handle: the AES-GCM key
+// schedule is paid once per Sealer, not once per peel attempt. This is the
+// peel-side twin of BuildSealers — a holder retrying the same granted key
+// across advance rounds (or probing many candidate onions with it) reuses
+// one cipher state instead of rebuilding it per call.
+func PeelSealer(s *seal.Sealer, wrapped []byte) (Layer, error) {
+	plain, err := s.Decrypt(wrapped, nil)
 	if err != nil {
 		return Layer{}, fmt.Errorf("onion: %w", err)
 	}

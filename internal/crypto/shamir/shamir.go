@@ -55,7 +55,7 @@ func SplitRand(r io.Reader, secret []byte, m, n int) ([]Share, error) {
 		return nil, errors.New("shamir: empty secret")
 	}
 	if r == nil {
-		r = rand.Reader
+		r = rand.Reader //lint:allow detrand real deployments key from the OS CSPRNG; deterministic runs inject a seeded reader
 	}
 	shares := make([]Share, n)
 	data := make([]byte, n*len(secret)) // one backing array for all shares

@@ -230,7 +230,7 @@ func (n *Node) newLookup(target ID, wantValue bool, cb func([]Contact, []byte, b
 			return
 		}
 	}
-	ls := lookupStates.Get().(*lookupState)
+	ls := lookupStates.Get().(*lookupState) //lint:allow poolpair step() assumes ownership: the state releases itself when the lookup drains
 	ls.node = n
 	ls.target = target
 	ls.wantVal = wantValue

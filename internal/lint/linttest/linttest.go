@@ -1,0 +1,144 @@
+// Package linttest is a compact analysistest: it loads fixture packages
+// from a testdata module, runs one analyzer over them, and checks the
+// diagnostics against `// want "regexp"` expectations embedded in the
+// fixture sources. A diagnostic with no matching want, or a want with no
+// matching diagnostic, fails the test.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"selfemerge/internal/lint"
+)
+
+// expectation is one `// want` regexp anchored to a file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads patterns from the testdata module rooted at dir, runs analyzer
+// over every matched package, and compares diagnostics with the fixtures'
+// want comments.
+func Run(t *testing.T, dir string, analyzer *lint.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := lint.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages matched %v", patterns)
+	}
+	for _, pkg := range pkgs {
+		diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{analyzer})
+		if err != nil {
+			t.Fatalf("running %s over %s: %v", analyzer.Name, pkg.PkgPath, err)
+		}
+		wants := collectWants(t, pkg)
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if w := matchWant(wants, pos.Filename, pos.Line, d.Message); w == nil {
+				t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+			}
+		}
+	}
+}
+
+// matchWant finds the first unmatched expectation on the diagnostic's line
+// whose regexp matches the message.
+func matchWant(wants []*expectation, file string, line int, message string) *expectation {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(message) {
+			w.matched = true
+			return w
+		}
+	}
+	return nil
+}
+
+// collectWants parses every `// want` comment in the package. The marker
+// may open the comment or trail other text (so a fixture can annotate a
+// //lint:allow line); each following quoted string is one expected-message
+// regexp for the marker's own line.
+func collectWants(t *testing.T, pkg *lint.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				wants = append(wants, parseWant(t, pkg, c)...)
+			}
+		}
+	}
+	return wants
+}
+
+func parseWant(t *testing.T, pkg *lint.Package, c *ast.Comment) []*expectation {
+	t.Helper()
+	text := c.Text
+	trimmed := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	var rest string
+	switch i := strings.LastIndex(text, "// want "); {
+	case strings.HasPrefix(trimmed, "want "):
+		rest = strings.TrimPrefix(trimmed, "want ")
+	case i >= 0:
+		// Nested marker: `code //lint:allow x reason // want "..."`.
+		rest = text[i+len("// want "):]
+	default:
+		return nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	var out []*expectation
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		if rest[0] != '"' && rest[0] != '`' {
+			t.Fatalf("%s: malformed want comment %q", pos, text)
+		}
+		lit, remainder, err := cutQuoted(rest)
+		if err != nil {
+			t.Fatalf("%s: malformed want comment %q: %v", pos, text, err)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, lit, err)
+		}
+		out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: lit})
+		rest = strings.TrimSpace(remainder)
+	}
+	return out
+}
+
+// cutQuoted splits one leading Go string literal off s.
+func cutQuoted(s string) (string, string, error) {
+	if s[0] == '`' {
+		end := strings.IndexByte(s[1:], '`')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated raw string")
+		}
+		return s[1 : 1+end], s[end+2:], nil
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == '"' {
+			lit, err := strconv.Unquote(s[:i+1])
+			return lit, s[i+1:], err
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string")
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"selfemerge/internal/lint"
+	"selfemerge/internal/lint/linttest"
+)
+
+func TestPoolpair(t *testing.T) {
+	linttest.Run(t, "testdata", lint.Poolpair, "fixture/poolpair")
+}

@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Retain enforces the copy-to-retain transport.Handler contract: a
+// handler's payload slice is only valid for the duration of the call
+// (transports recycle delivery buffers), so any byte of it that outlives
+// the call — stored in a field, a map, a slice, captured by an escaping
+// closure, sent on a channel — must first be cloned. The analyzer tracks
+// the payload parameter and its subslice aliases through handler-shaped
+// functions (func(transport.Addr, []byte)) and reports retention without an
+// intervening clone.
+var Retain = &Analyzer{
+	Name: "retain",
+	Doc: "enforce the copy-to-retain transport.Handler contract: pooled payload bytes must be " +
+		"cloned (append([]byte(nil), p...), bytes.Clone, string(p)) before escaping the handler call",
+	Run: runRetain,
+}
+
+func runRetain(pass *Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil && isHandlerSig(pass, fn.Type) {
+					checkHandlerBody(pass, fn.Type, fn.Body)
+				}
+			case *ast.FuncLit:
+				if isHandlerSig(pass, fn.Type) {
+					checkHandlerBody(pass, fn.Type, fn.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isHandlerSig reports whether ft is handler-shaped: exactly
+// (transport.Addr, []byte) with no results. This matches both values of the
+// named transport.Handler type and methods like a node's inbound dispatch
+// that go vet sees before conversion.
+func isHandlerSig(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Results != nil && len(ft.Results.List) > 0 {
+		return false
+	}
+	params := flattenFields(ft.Params)
+	if len(params) != 2 {
+		return false
+	}
+	addr, ok := pass.TypesInfo.Types[params[0].typ].Type.(*types.Named)
+	if !ok || addr.Obj().Name() != "Addr" || !pkgPathEndsWith(addr.Obj().Pkg(), "transport") {
+		return false
+	}
+	slice, ok := pass.TypesInfo.Types[params[1].typ].Type.(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := slice.Elem().(*types.Basic)
+	return ok && basic.Kind() == types.Byte
+}
+
+// param is one flattened parameter declaration.
+type param struct {
+	name *ast.Ident // nil for unnamed
+	typ  ast.Expr
+}
+
+func flattenFields(fl *ast.FieldList) []param {
+	var out []param
+	if fl == nil {
+		return nil
+	}
+	for _, f := range fl.List {
+		if len(f.Names) == 0 {
+			out = append(out, param{typ: f.Type})
+			continue
+		}
+		for _, name := range f.Names {
+			out = append(out, param{name: name, typ: f.Type})
+		}
+	}
+	return out
+}
+
+func pkgPathEndsWith(pkg *types.Package, elem string) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == elem || strings.HasSuffix(path, "/"+elem)
+}
+
+// checkHandlerBody tracks the payload parameter through one handler body.
+func checkHandlerBody(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	params := flattenFields(ft.Params)
+	payload := params[1].name
+	if payload == nil || payload.Name == "_" {
+		return
+	}
+	// tainted holds objects aliasing the pooled payload bytes: the
+	// parameter itself plus subslice/plain-copy locals.
+	tainted := map[types.Object]bool{pass.TypesInfo.ObjectOf(payload): true}
+	isTainted := func(e ast.Expr) bool { return exprTainted(pass, tainted, e) }
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if len(n.Rhs) != len(n.Lhs) {
+					continue
+				}
+				rhs := n.Rhs[i]
+				if !isTainted(rhs) {
+					continue
+				}
+				switch lhs := lhs.(type) {
+				case *ast.Ident:
+					obj := pass.TypesInfo.ObjectOf(lhs)
+					if obj == nil {
+						continue
+					}
+					if obj.Parent() == pass.Pkg.Scope() {
+						// A package-level variable outlives every call.
+						pass.Reportf(n.Pos(),
+							"handler payload escapes to package variable %s without a clone; the transport recycles the buffer after the call (copy-to-retain contract)",
+							lhs.Name)
+						continue
+					}
+					// A plain local copy aliases the same backing array.
+					tainted[obj] = true
+				case *ast.SelectorExpr:
+					pass.Reportf(n.Pos(),
+						"handler payload escapes to field %s without a clone; the transport recycles the buffer after the call (copy-to-retain contract)",
+						exprString(lhs))
+				case *ast.IndexExpr:
+					pass.Reportf(n.Pos(),
+						"handler payload escapes into %s without a clone; the transport recycles the buffer after the call (copy-to-retain contract)",
+						exprString(lhs.X))
+				}
+			}
+		case *ast.SendStmt:
+			if isTainted(n.Value) {
+				pass.Reportf(n.Pos(),
+					"handler payload sent on a channel without a clone; the receiver outlives the call (copy-to-retain contract)")
+			}
+		case *ast.GoStmt:
+			if captures(pass, tainted, n.Call) {
+				pass.Reportf(n.Pos(),
+					"handler payload captured by a goroutine; it runs after the transport recycles the buffer (copy-to-retain contract)")
+			}
+		case *ast.FuncLit:
+			// An escaping closure (scheduled, stored, passed along) may run
+			// after the handler returns. Immediately-invoked literals are
+			// checked by their surrounding statements instead.
+			if immediatelyInvoked(body, n) {
+				return true
+			}
+			if capturesTainted(pass, tainted, n) {
+				pass.Reportf(n.Pos(),
+					"handler payload captured by an escaping closure without a clone (copy-to-retain contract)")
+				return false // one report per closure
+			}
+		}
+		return true
+	})
+}
+
+// exprTainted reports whether e carries pooled payload bytes: a tainted
+// identifier, a subslice of one, or an append whose destination is tainted.
+// Cloning forms launder the taint: append onto an untainted destination,
+// slices.Clone/bytes.Clone, string conversion.
+func exprTainted(pass *Pass, tainted map[types.Object]bool, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return tainted[pass.TypesInfo.ObjectOf(e)]
+	case *ast.SliceExpr:
+		return exprTainted(pass, tainted, e.X)
+	case *ast.ParenExpr:
+		return exprTainted(pass, tainted, e.X)
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "append" && len(e.Args) > 0 {
+			// append(dst, p...) copies the bytes: taint follows dst alone.
+			// append(dst, p) (no ellipsis, element type []byte) retains the
+			// slice header itself.
+			if exprTainted(pass, tainted, e.Args[0]) {
+				return true
+			}
+			if e.Ellipsis == 0 {
+				for _, arg := range e.Args[1:] {
+					if exprTainted(pass, tainted, arg) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		// Clone helpers and conversions launder; any other call's result is
+		// the callee's responsibility.
+		return false
+	}
+	return false
+}
+
+// capturesTainted reports whether the function literal references a tainted
+// identifier.
+func capturesTainted(pass *Pass, tainted map[types.Object]bool, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && tainted[pass.TypesInfo.ObjectOf(id)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// captures reports whether a call statement references tainted bytes either
+// in its arguments' closures or by passing them to a goroutine.
+func captures(pass *Pass, tainted map[types.Object]bool, call *ast.CallExpr) bool {
+	if lit, ok := call.Fun.(*ast.FuncLit); ok && capturesTainted(pass, tainted, lit) {
+		return true
+	}
+	for _, arg := range call.Args {
+		if exprTainted(pass, tainted, arg) {
+			return true
+		}
+		if lit, ok := arg.(*ast.FuncLit); ok && capturesTainted(pass, tainted, lit) {
+			return true
+		}
+	}
+	return false
+}
+
+// immediatelyInvoked reports whether lit appears as the function expression
+// of a call (including deferred calls, which still run before the handler
+// returns; goroutine launches are reported by the GoStmt case before the
+// walk descends here).
+func immediatelyInvoked(body *ast.BlockStmt, lit *ast.FuncLit) bool {
+	invoked := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && call.Fun == lit {
+			invoked = true
+		}
+		return !invoked
+	})
+	return invoked
+}

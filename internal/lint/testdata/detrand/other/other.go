@@ -1,0 +1,14 @@
+// Package other sits outside the deterministic boundary: wall clocks and
+// ambient randomness are its business.
+package other
+
+import (
+	crand "crypto/rand"
+	"time"
+)
+
+func free() time.Time {
+	b := make([]byte, 8)
+	_, _ = crand.Read(b)
+	return time.Now()
+}

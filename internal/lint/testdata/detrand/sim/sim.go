@@ -1,0 +1,65 @@
+// Package sim is a detrand fixture: its path ends in a determinism-critical
+// package name, so ambient time and randomness are forbidden.
+package sim
+
+import (
+	crand "crypto/rand"
+	mrand "math/rand"
+	rand2 "math/rand/v2"
+	"time"
+)
+
+// Clock stands in for the injected seam.
+type Clock interface {
+	Now() time.Time
+}
+
+func wallClock() {
+	_ = time.Now()               // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	_ = time.Since(time.Time{})  // want `time\.Since reads the wall clock`
+	t := time.NewTimer(0)        // want `time\.NewTimer reads the wall clock`
+	t.Stop()
+}
+
+func globalRand() {
+	_ = mrand.Intn(4)                   // want `global rand\.Intn is ambiently seeded`
+	_ = rand2.IntN(4)                   // want `global rand\.IntN is ambiently seeded`
+	mrand.Shuffle(1, func(i, j int) {}) // want `global rand\.Shuffle is ambiently seeded`
+}
+
+func cryptoRand() {
+	b := make([]byte, 8)
+	_, _ = crand.Read(b) // want `crypto/rand\.Read is unseedable`
+	_ = crand.Reader     // want `crypto/rand\.Reader is unseedable`
+}
+
+// seeded generators, injected clocks and pure time construction stay legal.
+func clean(c Clock) {
+	_ = c.Now()
+	r := mrand.New(mrand.NewSource(1))
+	_ = r.Intn(4)
+	r2 := rand2.New(rand2.NewPCG(1, 2))
+	_ = r2.IntN(4)
+	_ = 5 * time.Second
+	_ = time.Unix(0, 0)
+}
+
+// The audited real-world seam: a load-bearing annotation suppresses the
+// diagnostic.
+//
+//lint:allow detrand the real-clock seam serves the UDP deployment path
+func realNow() time.Time { return time.Now() }
+
+func allowedInline() time.Time {
+	return time.Now() //lint:allow detrand wall-clock Elapsed diagnostics only
+}
+
+func missingReason() time.Time {
+	return time.Now() //lint:allow detrand // want `time\.Now reads the wall clock` `//lint:allow needs a reason`
+}
+
+func unusedAllow() {
+	//lint:allow detrand nothing here needs an exemption // want `unused //lint:allow detrand`
+	_ = time.Unix(0, 0)
+}

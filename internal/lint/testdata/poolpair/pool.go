@@ -1,0 +1,104 @@
+// Package poolpair exercises the pool acquire/release protocol: every
+// sync.Pool Get must reach its paired Put or an ownership transfer on every
+// path out of the acquiring function.
+package poolpair
+
+import (
+	"errors"
+	"sync"
+)
+
+type rec struct{ n int }
+
+var pool = sync.Pool{New: func() any { return new(rec) }}
+
+type registry struct {
+	parked map[int]*rec
+}
+
+func errOut() error { return errors.New("nope") }
+
+func leakOnError(fail bool) error {
+	r := pool.Get().(*rec) // want `pooled record r acquired here may reach this return unreleased`
+	if fail {
+		return errOut()
+	}
+	pool.Put(r)
+	return nil
+}
+
+func leakAtEnd(fail bool) {
+	r := pool.Get().(*rec) // want `pooled record r acquired here may reach function end unreleased`
+	if fail {
+		pool.Put(r)
+	}
+}
+
+func leakInLoop(n int) {
+	for i := 0; i < n; i++ {
+		r := pool.Get().(*rec) // want `pooled record r acquired here may reach the next loop iteration unreleased`
+		if r.n > 0 {
+			continue
+		}
+		pool.Put(r)
+	}
+}
+
+func leakInSwitch(mode int) {
+	r := pool.Get().(*rec) // want `pooled record r acquired here may reach function end unreleased`
+	switch mode {
+	case 0:
+		pool.Put(r)
+	case 1:
+		r.n = 0
+	}
+}
+
+func releasedBothBranches(fail bool) error {
+	r := pool.Get().(*rec)
+	if fail {
+		pool.Put(r)
+		return errOut()
+	}
+	pool.Put(r)
+	return nil
+}
+
+func releasedByDefer(fail bool) error {
+	r := pool.Get().(*rec)
+	defer pool.Put(r)
+	if fail {
+		return errOut()
+	}
+	return nil
+}
+
+// The documented Stop-ownership pattern: arming a timer with the record
+// transfers ownership; the timer's fire/Stop paths release it.
+func armTimer(arm func(*rec)) {
+	r := pool.Get().(*rec)
+	arm(r)
+}
+
+// Storing the record parks ownership with the registry.
+func parkInRegistry(reg *registry, id int) {
+	r := pool.Get().(*rec)
+	reg.parked[id] = r
+}
+
+// Returning the record hands ownership to the caller.
+func handOut() *rec {
+	r := pool.Get().(*rec)
+	return r
+}
+
+// A capturing closure owns the record wherever it ends up running.
+func closureOwns(schedule func(func())) {
+	r := pool.Get().(*rec)
+	schedule(func() { pool.Put(r) })
+}
+
+func allowedDrop() {
+	r := pool.Get().(*rec) //lint:allow poolpair deliberate drop: the pool refills from New
+	r.n = 0
+}

@@ -1,0 +1,80 @@
+// Package retain exercises the copy-to-retain transport.Handler contract:
+// pooled payload bytes must be cloned before anything retains them past the
+// handler call.
+package retain
+
+import (
+	"fixture/transport"
+)
+
+type keeper struct {
+	last   []byte
+	frames [][]byte
+}
+
+var (
+	sink    []byte
+	store   = map[string][]byte{}
+	byteCh  = make(chan []byte, 1)
+	pending []func()
+)
+
+func use(b []byte) {}
+
+func later(f func()) { pending = append(pending, f) }
+
+func fieldEscape(k *keeper) transport.Handler {
+	return func(from transport.Addr, payload []byte) {
+		k.last = payload // want `handler payload escapes to field k\.last`
+	}
+}
+
+func mapEscape(from transport.Addr, payload []byte) {
+	store["x"] = payload // want `handler payload escapes into store`
+}
+
+func subsliceEscape(from transport.Addr, payload []byte) {
+	body := payload[4:]
+	store["x"] = body // want `handler payload escapes into store`
+}
+
+func globalEscape(from transport.Addr, payload []byte) {
+	sink = payload // want `handler payload escapes to package variable sink`
+}
+
+func (k *keeper) sliceOfSlices(from transport.Addr, payload []byte) {
+	k.frames = append(k.frames, payload) // want `handler payload escapes to field k\.frames`
+}
+
+func channelEscape(from transport.Addr, payload []byte) {
+	byteCh <- payload // want `handler payload sent on a channel`
+}
+
+func closureEscape(from transport.Addr, payload []byte) {
+	later(func() { use(payload) }) // want `handler payload captured by an escaping closure`
+}
+
+func goroutineEscape(from transport.Addr, payload []byte) {
+	go use(payload) // want `handler payload captured by a goroutine`
+}
+
+// Cloning first satisfies the contract, as does purely synchronous use.
+func (k *keeper) clean(from transport.Addr, payload []byte) {
+	k.last = append(k.last[:0], payload...)
+	store["y"] = append([]byte(nil), payload...)
+	k.frames = append(k.frames, append([]byte(nil), payload...))
+	use(payload)
+	func() { use(payload) }()
+	if len(payload) > 8 {
+		use(payload[8:])
+	}
+}
+
+func allowed(from transport.Addr, payload []byte) {
+	sink = payload //lint:allow retain the fixture transport never recycles this buffer
+}
+
+// Non-handler shapes are out of scope even when they touch slices.
+func notAHandler(name string, payload []byte) {
+	sink = payload
+}

@@ -1,0 +1,12 @@
+// Package transport mirrors the real transport package's Handler contract
+// for the retain fixtures: the analyzer matches the (Addr, []byte) handler
+// shape by the package path's final element, so fixtures exercise it
+// without importing the module under test.
+package transport
+
+// Addr identifies an endpoint.
+type Addr string
+
+// Handler consumes an inbound datagram; the payload is only valid for the
+// duration of the call.
+type Handler func(from Addr, payload []byte)

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+)
+
+// vetConfig mirrors the JSON compilation-unit description `go vet` hands an
+// alternative tool (the unpublished -vettool protocol implemented by the
+// x/tools unitchecker). Only the fields this driver consumes are declared;
+// unknown fields are ignored by encoding/json.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetMain implements the `go vet -vettool` command-line protocol:
+//
+//	emergelint -V=full     describe the executable for build caching
+//	emergelint -flags      describe analyzer flags in JSON
+//	emergelint unit.cfg    analyze one compilation unit
+//
+// It returns true when it handled the invocation (the caller should exit),
+// false when the arguments select the standalone driver instead.
+func VetMain(args []string, analyzers []*Analyzer) bool {
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		// The go command parses `<name> version <id>` and folds the id into
+		// its action cache key, so the id must change when the analyzers
+		// do: derive it from the binary's own content hash.
+		fmt.Printf("emergelint version %s\n", selfID())
+		return true
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		// No analyzer flags: every check is always on. An empty JSON array
+		// tells `go vet` there is nothing to forward.
+		fmt.Println("[]")
+		return true
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnit(args[0], analyzers)
+		return true
+	}
+	return false
+}
+
+// selfID returns a content-derived version token for -V=full.
+func selfID() string {
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			defer f.Close()
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				return fmt.Sprintf("v1-%x", h.Sum(nil)[:12])
+			}
+		}
+	}
+	return "v1-unknown"
+}
+
+// runUnit analyzes one go-vet compilation unit and exits.
+func runUnit(cfgFile string, analyzers []*Analyzer) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fatalf("cannot decode vet config %s: %v", cfgFile, err)
+	}
+	// The go command requests a facts file for every vet action, including
+	// dependency-only ones; this suite carries no facts, so an empty file
+	// satisfies the cache either way.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatalf("writing facts output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				os.Exit(0)
+			}
+			fatalf("%v", err)
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	pkg, err := check(fset, imp, cfg.ImportPath, cfg.GoVersion, cfg.ImportMap, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		fatalf("%v", err)
+	}
+	diags, err := RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "emergelint: "+format+"\n", args...)
+	os.Exit(1)
+}

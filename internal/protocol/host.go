@@ -94,6 +94,33 @@ type missionState struct {
 
 	// Central-scheme custody.
 	central *heldPackage
+
+	// sealers caches one decrypt handle per confirmed layer key so the
+	// AES-GCM key schedule is paid once per (mission, key) rather than once
+	// per peel attempt. Only granted or oracle-confirmed keys land here;
+	// garbage interpolation candidates never do.
+	sealers map[seal.Key]*seal.Sealer
+}
+
+// sealerFor returns the mission's cached decrypt handle for key,
+// constructing and caching it on first use. Callers hold h.mu.
+func (ms *missionState) sealerFor(key seal.Key) *seal.Sealer {
+	if s, ok := ms.sealers[key]; ok {
+		return s
+	}
+	s, err := seal.NewSealer(key)
+	if err != nil {
+		return nil
+	}
+	ms.cacheSealer(key, s)
+	return s
+}
+
+func (ms *missionState) cacheSealer(key seal.Key, s *seal.Sealer) {
+	if ms.sealers == nil {
+		ms.sealers = make(map[seal.Key]*seal.Sealer, 2)
+	}
+	ms.sealers[key] = s
 }
 
 // heldPackage is a package waiting on its keys and/or its hold timer.
@@ -536,7 +563,7 @@ func (h *Host) advance(mission MissionID) {
 	// or recovered from shares and validated against the onion itself.
 	for _, col := range mainCols {
 		key, direct := ms.colKeys[col]
-		if k, recovered := peelLocked(ms.mainSealed[col], key, direct, ms.colShares[col]); recovered {
+		if k, recovered := ms.peelLocked(ms.mainSealed[col], key, direct, ms.colShares[col]); recovered {
 			if ms.colKeys == nil {
 				ms.colKeys = make(map[int]seal.Key, 2)
 			}
@@ -546,7 +573,7 @@ func (h *Host) advance(mission MissionID) {
 	// Slot onions likewise with slot keys.
 	for _, ref := range slotRefs {
 		key, direct := ms.slotKeys[ref]
-		if k, recovered := peelLocked(ms.slotSealed[ref], key, direct, ms.slotShares[ref]); recovered {
+		if k, recovered := ms.peelLocked(ms.slotSealed[ref], key, direct, ms.slotShares[ref]); recovered {
 			if ms.slotKeys == nil {
 				ms.slotKeys = make(map[slotRef]seal.Key, 2)
 			}
@@ -583,14 +610,18 @@ func (h *Host) advance(mission MissionID) {
 // churn-duplicated or adversary-injected shares can delay recovery but
 // never poison it. A key the oracle confirms is returned (recovered=true)
 // for the caller to cache, so later peels (and re-grants) skip the search.
-// Callers hold h.mu.
-func peelLocked(hp *heldPackage, key seal.Key, direct bool, shares []shamir.Share) (recoveredKey seal.Key, recovered bool) {
+// Peels run through the mission's sealer cache: a granted key's cipher
+// state is built once, and a confirmed candidate's sealer is kept so the
+// re-grant path never rebuilds it. Callers hold h.mu.
+func (ms *missionState) peelLocked(hp *heldPackage, key seal.Key, direct bool, shares []shamir.Share) (recoveredKey seal.Key, recovered bool) {
 	if hp == nil || hp.peeled != nil {
 		return seal.Key{}, false
 	}
 	if direct {
-		if layer, err := onion.Peel(key, hp.pkt.Data); err == nil {
-			hp.peeled = &layer
+		if s := ms.sealerFor(key); s != nil {
+			if layer, err := onion.PeelSealer(s, hp.pkt.Data); err == nil {
+				hp.peeled = &layer
+			}
 		}
 		return seal.Key{}, false
 	}
@@ -599,8 +630,13 @@ func peelLocked(hp *heldPackage, key seal.Key, direct bool, shares []shamir.Shar
 	}
 	hp.triedShares = len(shares)
 	for _, cand := range shareKeyCandidates(shares) {
-		if layer, err := onion.Peel(cand, hp.pkt.Data); err == nil {
+		s, err := seal.NewSealer(cand)
+		if err != nil {
+			continue
+		}
+		if layer, err := onion.PeelSealer(s, hp.pkt.Data); err == nil {
 			hp.peeled = &layer
+			ms.cacheSealer(cand, s)
 			return cand, true
 		}
 	}

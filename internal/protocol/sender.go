@@ -57,7 +57,7 @@ type Sender struct {
 // (nil means crypto/rand).
 func NewSender(r io.Reader) *Sender {
 	if r == nil {
-		r = rand.Reader
+		r = rand.Reader //lint:allow detrand real deployments key from the OS CSPRNG; deterministic runs inject a seeded reader
 	}
 	return &Sender{rand: r}
 }

@@ -111,14 +111,14 @@ type realClock struct{}
 // RealClock returns a Clock backed by the system clock.
 func RealClock() Clock { return realClock{} }
 
-func (realClock) Now() time.Time { return time.Now() }
+func (realClock) Now() time.Time { return time.Now() } //lint:allow detrand realClock is the one sanctioned wall-clock bridge; sims inject Simulator instead
 
 func (realClock) AfterFunc(d time.Duration, fn func()) Timer {
-	return realTimer{t: time.AfterFunc(d, fn)}
+	return realTimer{t: time.AfterFunc(d, fn)} //lint:allow detrand realClock is the one sanctioned wall-clock bridge; sims inject Simulator instead
 }
 
 func (realClock) Schedule(d time.Duration, fn func()) {
-	time.AfterFunc(d, fn)
+	time.AfterFunc(d, fn) //lint:allow detrand realClock is the one sanctioned wall-clock bridge; sims inject Simulator instead
 }
 
 type realTimer struct{ t *time.Timer }
