@@ -12,9 +12,9 @@
 //
 // An axis is "name=v1,v2,..." or "name=start:stop:step" over p, alpha,
 // network (alias: nodes), budget, k, l, sharen, replicas, forge, partition,
-// scheme, drop, strategy or table; the first axis is the X axis, the rest
-// form the series. The figure names remain as aliases for the canned
-// full-resolution specs.
+// faultsev, retry, scheme, drop, strategy, table or fault; the first axis is
+// the X axis, the rest form the series. The figure names remain as aliases
+// for the canned full-resolution specs.
 //
 // The eclipse attack curves (release failure vs forgery rate, naive vs
 // ping-evict tables) come from, e.g.:
@@ -56,6 +56,7 @@ import (
 	"selfemerge/internal/core"
 	"selfemerge/internal/dht"
 	"selfemerge/internal/experiment"
+	"selfemerge/internal/fault"
 	"selfemerge/internal/mc"
 	"selfemerge/internal/scenario"
 )
@@ -129,6 +130,9 @@ func runSweep(args []string) {
 		strategy  = fs.String("strategy", "spy", "adversary strategy: spy|drop|eclipse (base; live estimator)")
 		forge     = fs.Float64("forge", 0, "eclipse forgery rate, forged contacts per attacker per minute (live estimator)")
 		table     = fs.String("table", "", "DHT routing-table policy: naive|pingevict (base; live estimator)")
+		faultProf = fs.String("fault", "", "fault-injection profile: none|burst|partition|flap (base; live estimator)")
+		faultSev  = fs.Float64("faultsev", 0, "fault severity in [0,1] (base; live estimator)")
+		retry     = fs.Int("retry", 0, "total send attempts per DHT RPC, >1 enables retry/backoff hardening (base; live estimator)")
 		replicas  = fs.Int("replicas", 1, "packet replica count (live; 1 = model-faithful)")
 		trials    = fs.Int("trials", 1000, "Monte Carlo trials per point (mc estimator)")
 		missions  = fs.Int("missions", 100, "live emergence trials per point (live estimator)")
@@ -156,8 +160,8 @@ func runSweep(args []string) {
 	setFlags := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 	irrelevant := map[string][]string{
-		"analytic": {"trials", "missions", "shards", "partition", "partition-workers", "emerging", "mc-trials", "share-model", "strategy", "forge", "table"},
-		"mc":       {"missions", "shards", "partition", "partition-workers", "emerging", "mc-trials", "strategy", "forge", "table"},
+		"analytic": {"trials", "missions", "shards", "partition", "partition-workers", "emerging", "mc-trials", "share-model", "strategy", "forge", "table", "fault", "faultsev", "retry"},
+		"mc":       {"missions", "shards", "partition", "partition-workers", "emerging", "mc-trials", "strategy", "forge", "table", "fault", "faultsev", "retry"},
 		"live":     {"trials"},
 	}
 	for _, name := range irrelevant[*estimator] {
@@ -180,6 +184,10 @@ func runSweep(args []string) {
 			fatalf(2, "%v", err)
 		}
 	}
+	profile, err := fault.ParseProfile(*faultProf)
+	if err != nil {
+		fatalf(2, "%v", err)
+	}
 	sw := experiment.Sweep{
 		Name: *name,
 		Seed: *seed,
@@ -189,6 +197,7 @@ func runSweep(args []string) {
 			K: base.K, L: base.L, ShareN: base.ShareN, ShareM: base.ShareM,
 			Replicas: *replicas, Drop: *drop,
 			Strategy: strat, Forge: *forge, Table: policy,
+			Fault: profile, FaultSev: *faultSev, Retry: *retry,
 		},
 		Axes: axes.axes,
 	}
@@ -282,6 +291,9 @@ func runScenario(args []string) {
 		shards    = fs.Int("shards", 1, "independent network replicas run in parallel (each gets its own zone map)")
 		partition = fs.Int("partition", 0, "split the one population across this many parallel event loops (exclusive with -shards > 1)")
 		partWork  = fs.Int("partition-workers", 0, "concurrent partition shard loops (0 = GOMAXPROCS)")
+		faultProf = fs.String("fault", "", "fault-injection profile: none|burst|partition|flap")
+		faultSev  = fs.Float64("faultsev", 0, "fault severity in [0,1]")
+		retry     = fs.Int("retry", 0, "total send attempts per DHT RPC (>1 enables retry/backoff hardening)")
 		emerging  = fs.Duration("emerging", 2*time.Hour, "emerging period T")
 		replicas  = fs.Int("replicas", 1, "packet replica count (1 = model-faithful)")
 		mcTrials  = fs.Int("mc-trials", 2000, "Monte Carlo reference trials")
@@ -308,6 +320,10 @@ func runScenario(args []string) {
 			fatalf(2, "%v", err)
 		}
 	}
+	profile, err := fault.ParseProfile(*faultProf)
+	if err != nil {
+		fatalf(2, "%v", err)
+	}
 	report, err := scenario.Run(scenario.Config{
 		Nodes:            *nodes,
 		MaliciousRate:    *p,
@@ -321,6 +337,9 @@ func runScenario(args []string) {
 		Shards:           *shards,
 		Partition:        *partition,
 		PartitionWorkers: *partWork,
+		Fault:            profile,
+		FaultSeverity:    *faultSev,
+		Retry:            *retry,
 		Plan:             plan,
 		Replicas:         *replicas,
 		MCTrials:         *mcTrials,

@@ -198,14 +198,16 @@ type lookupState struct {
 	result    []Contact
 	seen      map[ID]bool
 	queried   map[ID]bool
+	requeried map[ID]bool
 	inflight  int
 	finished  bool
 }
 
 var lookupStates = sync.Pool{New: func() any {
 	return &lookupState{
-		seen:    make(map[ID]bool, 32),
-		queried: make(map[ID]bool, 16),
+		seen:      make(map[ID]bool, 32),
+		queried:   make(map[ID]bool, 16),
+		requeried: make(map[ID]bool, 4),
 	}
 }}
 
@@ -214,6 +216,7 @@ var lookupStates = sync.Pool{New: func() any {
 func (ls *lookupState) release() {
 	clear(ls.seen)
 	clear(ls.queried)
+	clear(ls.requeried)
 	ls.shortlist = ls.shortlist[:0]
 	ls.result = ls.result[:0]
 	ls.node = nil
@@ -330,14 +333,26 @@ func (ls *lookupState) onResponse(from Contact, resp Message, err error) {
 		return
 	}
 	if err != nil {
-		// Failover: an unresponsive contact (dead, churned out, or down) is
-		// dropped from the shortlist so the final owner set never includes
-		// it — the lookup routes around the failure to the next-closest live
-		// node. The routing table penalty happens in request's timeout path.
-		for i, c := range ls.shortlist {
-			if c.ID == from.ID {
-				ls.shortlist = append(ls.shortlist[:i], ls.shortlist[i+1:]...)
-				break
+		if ls.node.cfg.Retry.enabled() && !ls.requeried[from.ID] {
+			// Re-query before giving up the slot: a retry-hardened lookup
+			// gives a timed-out contact one more full RPC (with its own
+			// retries) before excluding it from the owner set — correlated
+			// faults make a single timeout weak evidence of death. Clearing
+			// the queried mark puts the contact back in step's candidate
+			// window; the requeried mark makes the second failure final.
+			ls.requeried[from.ID] = true
+			delete(ls.queried, from.ID)
+		} else {
+			// Failover: an unresponsive contact (dead, churned out, or down)
+			// is dropped from the shortlist so the final owner set never
+			// includes it — the lookup routes around the failure to the
+			// next-closest live node. The routing table penalty happens in
+			// request's timeout path.
+			for i, c := range ls.shortlist {
+				if c.ID == from.ID {
+					ls.shortlist = append(ls.shortlist[:i], ls.shortlist[i+1:]...)
+					break
+				}
 			}
 		}
 	}

@@ -23,12 +23,13 @@ const (
 	KindFindValue
 	KindFindValueResp
 	KindApp
+	KindAppAck
 )
 
 // String names the kind for logs.
 func (k Kind) String() string {
 	names := [...]string{"?", "PING", "PONG", "FIND_NODE", "FIND_NODE_RESP",
-		"STORE", "STORE_ACK", "FIND_VALUE", "FIND_VALUE_RESP", "APP"}
+		"STORE", "STORE_ACK", "FIND_VALUE", "FIND_VALUE_RESP", "APP", "APP_ACK"}
 	if int(k) < len(names) {
 		return names[k]
 	}
@@ -144,7 +145,7 @@ func decodeMessageInto(m *Message, data []byte, intern func([]byte) transport.Ad
 		return ErrWire
 	}
 	m.Kind = Kind(kindByte)
-	if m.Kind < KindPing || m.Kind > KindApp {
+	if m.Kind < KindPing || m.Kind > KindAppAck {
 		return ErrWire
 	}
 	if m.RPCID, err = r.uint64(); err != nil {

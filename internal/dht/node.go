@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"selfemerge/internal/sim"
+	"selfemerge/internal/stats"
 	"selfemerge/internal/transport"
 )
 
@@ -29,6 +30,17 @@ type Config struct {
 	Replicate int
 	// RPCTimeout bounds each request/response exchange (default 500ms).
 	RPCTimeout time.Duration
+	// ProbeTimeout bounds the ping-evict policy's liveness probes,
+	// independently of RPCTimeout (default: RPCTimeout). Probes never
+	// retry regardless of Retry: the replacement-cache policy wants one
+	// prompt liveness verdict per admission decision, and a retry-stretched
+	// probe would starve the cache of decisions exactly when the network
+	// degrades.
+	ProbeTimeout time.Duration
+	// Retry configures re-sending of timed-out requests. The zero value is
+	// single-shot (the historical behavior, byte-identical event
+	// sequences); see RetryPolicy.
+	Retry RetryPolicy
 	// StaleAfter is the bucket-eviction staleness threshold (default 10m).
 	StaleAfter time.Duration
 	// Table selects the full-bucket admission policy. TableDefault resolves
@@ -54,6 +66,10 @@ func (c Config) withDefaults() Config {
 	if c.RPCTimeout == 0 {
 		c.RPCTimeout = 500 * time.Millisecond
 	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = c.RPCTimeout
+	}
+	c.Retry = c.Retry.withDefaults()
 	if c.StaleAfter == 0 {
 		c.StaleAfter = 10 * time.Minute
 	}
@@ -87,12 +103,35 @@ type Node struct {
 	addrIntern map[string]transport.Addr
 	internFn   func([]byte) transport.Addr
 
-	mu      sync.Mutex
-	pending map[uint64]*pendingRPC
-	rpcSeq  uint64
-	values  map[ID]storedValue
-	closed  bool
+	// appSeen dedups acked app payloads by (sender, RPCID): a retrying or
+	// fault-duplicated sender may deliver one payload several times. Only
+	// the handle path touches it (serial per endpoint), so it needs no
+	// lock; it is nil until the first acked app message arrives, so
+	// fire-and-forget traffic pays nothing.
+	appSeen map[appKey]struct{}
+
+	// retryRng draws the backoff jitter; nil unless cfg.Retry is enabled.
+	// Guarded by mu (the timeout path draws from it).
+	retryRng *stats.RNG
+
+	mu         sync.Mutex
+	pending    map[uint64]*pendingRPC
+	rpcSeq     uint64
+	values     map[ID]storedValue
+	resilience Resilience
+	closed     bool
 }
+
+// appKey identifies one acked app delivery for receiver-side dedup.
+type appKey struct {
+	from ID
+	rpc  uint64
+}
+
+// maxAppSeen bounds the dedup table; at the bound it is cleared wholesale
+// (dedup degrades to best-effort rather than the table growing without
+// limit).
+const maxAppSeen = 1 << 15
 
 // wireBufs pools wire-encode buffers: transport.Endpoint.Send does not
 // retain its payload, so a buffer is reusable the moment the send returns.
@@ -113,6 +152,20 @@ type pendingRPC struct {
 	timer sim.ArgTimer
 	to    ID
 	id    uint64
+
+	// Retry state. wire retains the encoded request for re-sends (empty
+	// when the request is single-shot), addr its destination, timeout the
+	// per-attempt deadline (probes run a shorter one), attempt the number
+	// of sends made so far. waiting marks the backoff gap between a
+	// timed-out attempt and its re-send: the timer is re-armed twice per
+	// retry (timeout, then gap), and whichever phase it is in, the record
+	// stays in n.pending so a late response can still settle it.
+	wire    []byte
+	addr    transport.Addr
+	timeout time.Duration
+	attempt int
+	waiting bool
+	retry   bool
 }
 
 // rpcCallback is either a plain closure or an arg-based package-level
@@ -135,22 +188,59 @@ func (c rpcCallback) deliver(m Message, err error) {
 // pendingRPCs pools in-flight request records.
 var pendingRPCs = sync.Pool{New: func() any { return new(pendingRPC) }}
 
-// releasePending returns a settled record to the pool.
+// releasePending returns a settled record to the pool. The wire buffer
+// keeps its capacity for the record's next life.
 func releasePending(p *pendingRPC) {
 	p.node = nil
 	p.cb = rpcCallback{}
 	p.timer = sim.ArgTimer{}
+	p.wire = p.wire[:0]
+	p.addr = ""
+	p.attempt = 0
+	p.waiting = false
+	p.retry = false
 	pendingRPCs.Put(p)
 }
 
 // rpcTimeout is the package-level timeout callback: fires when the peer did
-// not answer within RPCTimeout.
+// not answer within the attempt's deadline, and again at the end of each
+// retry backoff gap. A retryable record cycles timeout → backoff gap →
+// re-send until its attempts run out; only then does the callback see
+// ErrTimeout.
 func rpcTimeout(v any) {
 	p := v.(*pendingRPC)
 	n := p.node
 	n.mu.Lock()
 	q, still := n.pending[p.id]
 	still = still && q == p
+	if still && p.retry && len(p.wire) > 0 && p.attempt < n.cfg.Retry.Attempts {
+		if !p.waiting {
+			// Attempt timed out with retries left: hold the pending slot
+			// through a deterministic jittered backoff, so a straggling
+			// response can still settle the RPC mid-gap.
+			p.waiting = true
+			gap := n.cfg.Retry.backoff(p.attempt, n.retryRng)
+			p.timer = sim.AfterFuncArg(n.cfg.Clock, gap, rpcTimeout, p)
+			n.mu.Unlock()
+			return
+		}
+		// Backoff elapsed: re-send the retained wire form (same RPCID) and
+		// arm a fresh attempt deadline. The bytes are copied out under the
+		// lock — a response racing this re-send may release the record the
+		// moment the lock drops.
+		p.waiting = false
+		p.attempt++
+		n.resilience.Retries++
+		p.timer = sim.AfterFuncArg(n.cfg.Clock, p.timeout, rpcTimeout, p)
+		addr := p.addr
+		buf := wireBufs.Get().(*[]byte)
+		data := append((*buf)[:0], p.wire...)
+		n.mu.Unlock()
+		_ = n.cfg.Endpoint.Send(addr, data)
+		*buf = data
+		wireBufs.Put(buf)
+		return
+	}
 	if still {
 		delete(n.pending, p.id)
 	}
@@ -195,10 +285,13 @@ func NewNode(cfg Config) (*Node, error) {
 		addrIntern: make(map[string]transport.Addr),
 	}
 	n.internFn = n.internAddr
+	if cfg.Retry.enabled() {
+		n.retryRng = stats.NewRNG(retrySeed(cfg.ID))
+	}
 	n.table.SetPolicy(cfg.Table)
 	if cfg.Table == TablePingEvict {
 		n.table.SetPinger(func(c Contact, done func(alive bool)) {
-			n.Ping(c, func(err error) { done(err == nil) })
+			n.probe(c, func(err error) { done(err == nil) })
 		})
 	}
 	cfg.Endpoint.SetHandler(n.handle)
@@ -309,10 +402,33 @@ func (n *Node) handle(from transport.Addr, data []byte) {
 			Contacts: n.rxContacts,
 		})
 	case KindApp:
+		if msg.RPCID != 0 {
+			// An acked app delivery (the sender runs a retry policy): always
+			// acknowledge — the sender may have missed an earlier ack — and
+			// suppress repeats of the same (sender, RPCID), whether re-sent
+			// or fault-duplicated in flight.
+			key := appKey{from: msg.From.ID, rpc: msg.RPCID}
+			_, dup := n.appSeen[key]
+			if !dup {
+				if n.appSeen == nil {
+					n.appSeen = make(map[appKey]struct{}, 64)
+				} else if len(n.appSeen) >= maxAppSeen {
+					clear(n.appSeen)
+				}
+				n.appSeen[key] = struct{}{}
+			}
+			n.reply(msg.From, Message{Kind: KindAppAck, RPCID: msg.RPCID})
+			if dup {
+				n.mu.Lock()
+				n.resilience.Duplicates++
+				n.mu.Unlock()
+				return
+			}
+		}
 		if n.cfg.OnApp != nil {
 			n.cfg.OnApp(msg.From, msg.App)
 		}
-	case KindPong, KindFindNodeResp, KindStoreAck, KindFindValueResp:
+	case KindPong, KindFindNodeResp, KindStoreAck, KindFindValueResp, KindAppAck:
 		n.settle(*msg)
 	}
 }
@@ -343,6 +459,13 @@ func (n *Node) requestArg(to Contact, m Message, fn func(any, Message, error), a
 }
 
 func (n *Node) startRequest(to Contact, m Message, cb rpcCallback) {
+	n.startRequestOpt(to, m, cb, n.cfg.RPCTimeout, n.cfg.Retry.enabled())
+}
+
+// startRequestOpt is the full-control form: timeout is the per-attempt
+// deadline, retry opts the request into the node's RetryPolicy (probes pass
+// false — one prompt verdict, never stretched).
+func (n *Node) startRequestOpt(to Contact, m Message, cb rpcCallback, timeout time.Duration, retry bool) {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -354,7 +477,8 @@ func (n *Node) startRequest(to Contact, m Message, cb rpcCallback) {
 	m.RPCID = id
 	p := pendingRPCs.Get().(*pendingRPC)
 	p.node, p.cb, p.to, p.id = n, cb, to.ID, id
-	p.timer = sim.AfterFuncArg(n.cfg.Clock, n.cfg.RPCTimeout, rpcTimeout, p)
+	p.addr, p.timeout, p.attempt, p.retry = to.Addr, timeout, 1, retry
+	p.timer = sim.AfterFuncArg(n.cfg.Clock, timeout, rpcTimeout, p)
 	n.pending[id] = p
 	n.mu.Unlock()
 
@@ -372,15 +496,32 @@ func (n *Node) startRequest(to Contact, m Message, cb rpcCallback) {
 		sim.Schedule(n.cfg.Clock, 0, func() { cb.deliver(Message{}, err) })
 		return
 	}
+	if retry {
+		// Retain the encoded request for re-sends — but only while the
+		// record is still ours: with a real clock the timeout (or even a
+		// settle) could in principle win the race and recycle it.
+		n.mu.Lock()
+		if n.pending[id] == p {
+			p.wire = append(p.wire[:0], data...)
+		}
+		n.mu.Unlock()
+	}
 	_ = n.cfg.Endpoint.Send(to.Addr, data)
 	*buf = data
 	wireBufs.Put(buf)
 }
 
+// probe is the ping-evict policy's liveness check: single-shot on its own
+// ProbeTimeout, bypassing the retry policy.
+func (n *Node) probe(to Contact, cb func(error)) {
+	n.startRequestOpt(to, Message{Kind: KindPing}, rpcCallback{fn: func(_ Message, err error) { cb(err) }}, n.cfg.ProbeTimeout, false)
+}
+
 // settle matches a response to its pending request.
 func (n *Node) settle(msg Message) {
 	n.mu.Lock()
-	p, ok := n.pending[msg.RPCID]
+	p, found := n.pending[msg.RPCID]
+	ok := found
 	if ok && p.to != msg.From.ID {
 		ok = false // response forged or misrouted; keep waiting
 	}
@@ -389,6 +530,17 @@ func (n *Node) settle(msg Message) {
 	if ok {
 		delete(n.pending, msg.RPCID)
 		cb, timer = p.cb, p.timer
+		if p.attempt > 1 || p.waiting {
+			// Answered after a re-send, or mid-backoff after the first
+			// deadline: without the retry policy holding the slot open this
+			// RPC would already have failed with ErrTimeout.
+			n.resilience.Recovered++
+		}
+	}
+	if !found {
+		// No pending slot at all: a late or fault-duplicated response
+		// (its RPC already settled or timed out), dropped here.
+		n.resilience.Duplicates++
 	}
 	n.mu.Unlock()
 	if !ok {
@@ -409,13 +561,20 @@ func (n *Node) Ping(to Contact, cb func(error)) {
 }
 
 // SendApp delivers an opaque application payload directly to a known
-// contact (fire-and-forget, like all DHT datagrams).
+// contact. Fire-and-forget, like all DHT datagrams — unless the node runs a
+// retry policy, in which case the payload travels as an acknowledged
+// request: the receiver replies KindAppAck (and dedups re-sent copies), and
+// an unacknowledged send is re-sent per the policy.
 func (n *Node) SendApp(to Contact, payload []byte) error {
 	n.mu.Lock()
 	closed := n.closed
 	n.mu.Unlock()
 	if closed {
 		return ErrClosed
+	}
+	if n.cfg.Retry.enabled() {
+		n.startRequest(to, Message{Kind: KindApp, App: payload}, rpcCallback{argFn: appAckDone, arg: nil})
+		return nil
 	}
 	m := Message{Kind: KindApp, From: n.Contact(), App: payload}
 	buf := wireBufs.Get().(*[]byte)
@@ -429,6 +588,11 @@ func (n *Node) SendApp(to Contact, payload []byte) error {
 	wireBufs.Put(buf)
 	return sendErr
 }
+
+// appAckDone consumes the ack (or final timeout) of a retried app send:
+// the send interface stays fire-and-forget, so there is nobody to tell —
+// the value of the exchange is the re-sends it drove.
+func appAckDone(any, Message, error) {}
 
 // Bootstrap seeds the routing table and performs a self-lookup to populate
 // nearby buckets. done (optional) receives the number of contacts known

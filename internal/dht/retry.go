@@ -1,0 +1,97 @@
+package dht
+
+import (
+	"encoding/binary"
+	"time"
+
+	"selfemerge/internal/stats"
+)
+
+// RetryPolicy configures re-sending of timed-out requests. The zero value
+// is single-shot — the historical behavior: one send, one RPCTimeout, one
+// ErrTimeout. With Attempts > 1 a timed-out request holds its pending slot
+// through a deterministic exponential backoff gap and is re-sent verbatim
+// (same RPCID), up to Attempts sends total; the callback sees ErrTimeout
+// only after the last attempt times out. Responses to any attempt settle
+// the RPC — a late answer to the first send arriving during a backoff gap
+// still counts.
+type RetryPolicy struct {
+	// Attempts is the total number of sends per request (0 or 1:
+	// single-shot, no retry machinery at all).
+	Attempts int
+	// Backoff is the base gap between a timeout and the re-send; it
+	// doubles per attempt (default 300ms when retrying).
+	Backoff time.Duration
+	// MaxBackoff caps the doubled gap (default 3s when retrying).
+	MaxBackoff time.Duration
+}
+
+// enabled reports whether the policy re-sends at all.
+func (p RetryPolicy) enabled() bool { return p.Attempts > 1 }
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if !p.enabled() {
+		return p
+	}
+	if p.Backoff == 0 {
+		p.Backoff = 300 * time.Millisecond
+	}
+	if p.MaxBackoff == 0 {
+		p.MaxBackoff = 3 * time.Second
+	}
+	return p
+}
+
+// backoff returns the jittered gap before re-send number attempt+1, where
+// attempt counts sends already made (>= 1). The gap is exponential with a
+// deterministic half-width jitter — uniform in [base/2, base] — drawn from
+// the node's seeded retry stream, so two nodes with distinct IDs desynchronize
+// their re-sends while a re-run of the same configuration reproduces every
+// gap exactly.
+func (p RetryPolicy) backoff(attempt int, rng *stats.RNG) time.Duration {
+	base := p.MaxBackoff
+	if attempt-1 < 16 {
+		if d := p.Backoff << (attempt - 1); d > 0 && d < base {
+			base = d
+		}
+	}
+	half := base / 2
+	return half + time.Duration(rng.Uint64n(uint64(half)+1))
+}
+
+// retryStream labels the per-node retry-jitter substream, derived from the
+// node ID so no extra seed plumbing is needed and no draw is shared with
+// any other stream.
+const retryStream = 0x7e7291
+
+// retrySeed derives the node's retry-jitter RNG seed from its identifier.
+func retrySeed(id ID) uint64 {
+	return stats.Mix64(binary.BigEndian.Uint64(id[:8]), retryStream)
+}
+
+// Resilience counts a node's fault-recovery activity.
+type Resilience struct {
+	// Retries is the number of request re-sends (beyond first attempts).
+	Retries uint64
+	// Recovered is the number of RPCs that settled successfully only
+	// because the retry policy held them open past their first timeout.
+	Recovered uint64
+	// Duplicates is the number of duplicate deliveries suppressed: repeated
+	// acked app payloads deduplicated at the receiver, plus late or
+	// duplicated responses that no longer matched a pending request.
+	Duplicates uint64
+}
+
+// Add accumulates other into r.
+func (r *Resilience) Add(other Resilience) {
+	r.Retries += other.Retries
+	r.Recovered += other.Recovered
+	r.Duplicates += other.Duplicates
+}
+
+// Resilience reports the node's fault-recovery counters.
+func (n *Node) Resilience() Resilience {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.resilience
+}

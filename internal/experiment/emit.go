@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"selfemerge/internal/adversary"
+	"selfemerge/internal/fault"
 )
 
 // csvHeader is the stable column set of WriteCSV. Wall-clock fields are
@@ -20,6 +21,25 @@ var csvHeader = []string{
 	"samples", "released", "delivered", "succeeded",
 	"rr", "rd", "r", "min_r", "cost", "pred_rr", "pred_rd",
 	"ref_rr", "ref_rd", "agree_release", "agree_deliver", "deaths", "joins",
+}
+
+// faultHeader extends csvHeader for result sets that exercise the fault or
+// retry knobs. Conditional so every recorded fault-free sweep keeps its
+// historical bytes.
+var faultHeader = []string{
+	"fault", "fault_sev", "retry", "retries", "recovered", "dup_deliveries",
+}
+
+// hasFaultArm reports whether any point of the set turns a fault or retry
+// knob, which is what switches the emitters onto the extended column set.
+func (rs *ResultSet) hasFaultArm() bool {
+	for _, res := range rs.Results {
+		pt := res.Point
+		if pt.Fault != fault.ProfileNone || pt.FaultSev != 0 || pt.Retry != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 func fnum(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
@@ -39,7 +59,12 @@ func attackLabel(pt Point) string {
 
 // WriteCSV renders one row per point, in grid order.
 func (rs *ResultSet) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, strings.Join(csvHeader, ",")); err != nil {
+	header := csvHeader
+	faultArm := rs.hasFaultArm()
+	if faultArm {
+		header = append(append([]string(nil), csvHeader...), faultHeader...)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
 		return err
 	}
 	for _, res := range rs.Results {
@@ -65,6 +90,13 @@ func (rs *ResultSet) WriteCSV(w io.Writer) error {
 			row = append(row, "", "", "", "")
 		}
 		row = append(row, strconv.Itoa(res.Deaths), strconv.Itoa(res.Joins))
+		if faultArm {
+			row = append(row,
+				pt.Fault.String(), fnum(pt.FaultSev), strconv.Itoa(pt.Retry),
+				strconv.FormatUint(res.Retries, 10), strconv.FormatUint(res.Recovered, 10),
+				strconv.FormatUint(res.Duplicates, 10),
+			)
+		}
 		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
 			return err
 		}
@@ -126,6 +158,16 @@ type resultJSON struct {
 	AgreeDeliver *bool    `json:"agree_deliver,omitempty"`
 	Deaths       int      `json:"deaths"`
 	Joins        int      `json:"joins"`
+
+	// Fault-injection / retry-hardening fields, all omitempty: absent on the
+	// historical fault-free single-shot points, so recorded sweep JSON keeps
+	// its exact bytes.
+	Fault      string  `json:"fault,omitempty"`
+	FaultSev   float64 `json:"fault_sev,omitempty"`
+	Retry      int     `json:"retry,omitempty"`
+	Retries    uint64  `json:"retries,omitempty"`
+	Recovered  uint64  `json:"recovered,omitempty"`
+	Duplicates uint64  `json:"dup_deliveries,omitempty"`
 }
 
 // WriteJSON renders the whole result set as one indented JSON document.
@@ -158,6 +200,14 @@ func (rs *ResultSet) WriteJSON(w io.Writer) error {
 			agreeRel, agreeDel := res.AgreeRelease, res.AgreeDeliver
 			rj.RefRr, rj.RefRd = &refRr, &refRd
 			rj.AgreeRelease, rj.AgreeDeliver = &agreeRel, &agreeDel
+		}
+		if pt.Fault != fault.ProfileNone || pt.FaultSev != 0 || pt.Retry != 0 {
+			// Only points with a turned knob name their profile: "none" is a
+			// real label on fault arms but must stay absent (omitempty) on the
+			// historical points.
+			rj.Fault = pt.Fault.String()
+			rj.FaultSev, rj.Retry = pt.FaultSev, pt.Retry
+			rj.Retries, rj.Recovered, rj.Duplicates = res.Retries, res.Recovered, res.Duplicates
 		}
 		doc.Results = append(doc.Results, rj)
 	}

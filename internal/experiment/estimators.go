@@ -8,6 +8,7 @@ import (
 	"selfemerge/internal/analytic"
 	"selfemerge/internal/core"
 	"selfemerge/internal/dht"
+	"selfemerge/internal/fault"
 	"selfemerge/internal/mc"
 )
 
@@ -33,6 +34,12 @@ func rejectLiveOnly(pt Point, estimator string) error {
 	}
 	if pt.Partition > 0 {
 		return fmt.Errorf("experiment: the %s estimator has no event loops to partition; the partition axis applies to the live estimator only", estimator)
+	}
+	if pt.Fault != fault.ProfileNone && pt.FaultSev > 0 {
+		return fmt.Errorf("experiment: the %s estimator has no network fabric to perturb; the fault axes apply to the live estimator only", estimator)
+	}
+	if pt.Retry > 1 {
+		return fmt.Errorf("experiment: the %s estimator has no RPCs to retry; the retry axis applies to the live estimator only", estimator)
 	}
 	return nil
 }

@@ -28,6 +28,7 @@ import (
 	"selfemerge/internal/analytic"
 	"selfemerge/internal/core"
 	"selfemerge/internal/dht"
+	"selfemerge/internal/fault"
 	"selfemerge/internal/mc"
 )
 
@@ -70,6 +71,17 @@ type Point struct {
 	// parallel event loops (the partition engine; 0 = the estimator's
 	// default, usually the classic single loop). Live estimation only.
 	Partition int
+	// Fault selects the deterministic fault-injection profile of the live
+	// point's simnet fabric (none, burst, partition, flap); FaultSev scales
+	// it in [0,1]. A none profile with nonzero severity — or vice versa — is
+	// a valid no-op point, so severity and profile axes can cross freely.
+	// Live estimation only; the abstract models are fault-blind.
+	Fault    fault.Profile
+	FaultSev float64
+	// Retry is the live point's total send attempts per DHT RPC (0 or 1 =
+	// the historical single-shot behaviour; above 1 enables the retry
+	// hardening). Live estimation only.
+	Retry int
 
 	// Seed is the point's private base seed, assigned by the sweep
 	// expansion: points sharing an X value share seeds, so series differ
@@ -140,6 +152,12 @@ func (pt Point) Validate() error {
 	if pt.Partition < 0 {
 		return fmt.Errorf("experiment: partition %d must be >= 0", pt.Partition)
 	}
+	if err := (fault.Config{Profile: pt.Fault, Severity: pt.FaultSev}).Validate(); err != nil {
+		return fmt.Errorf("experiment: %w", err)
+	}
+	if pt.Retry < 0 {
+		return fmt.Errorf("experiment: retry %d must be >= 0", pt.Retry)
+	}
 	return nil
 }
 
@@ -188,6 +206,11 @@ type Result struct {
 	AgreeDeliver bool
 	// Deaths and Joins are the churn totals a live run observed.
 	Deaths, Joins int
+	// Retries, Recovered and Duplicates are the retry-hardening counters a
+	// live run observed: RPC re-sends, RPCs that settled after a re-send,
+	// and receiver-suppressed duplicate deliveries. All zero for single-shot
+	// points and the abstract estimators.
+	Retries, Recovered, Duplicates uint64
 
 	// Elapsed is the wall-clock cost of the point. It is excluded from the
 	// deterministic emitters.

@@ -9,6 +9,7 @@ import (
 	"selfemerge/internal/adversary"
 	"selfemerge/internal/core"
 	"selfemerge/internal/dht"
+	"selfemerge/internal/fault"
 )
 
 // seedStride decorrelates per-point seeds along the X axis; it is the same
@@ -32,7 +33,8 @@ type Sweep struct {
 
 // Axis is one swept dimension: a parameter name from the fixed vocabulary
 // (p, alpha, network, budget, k, l, sharen, replicas, forge, partition,
-// scheme, drop, strategy, table) and the values it takes.
+// faultsev, retry, scheme, drop, strategy, table, fault) and the values it
+// takes.
 type Axis struct {
 	Name string
 	vals []axisValue
@@ -44,6 +46,7 @@ type axisValue struct {
 	flag     bool
 	strategy adversary.Strategy
 	table    dht.TablePolicy
+	fault    fault.Profile
 	label    string
 }
 
@@ -141,6 +144,18 @@ func TableAxis(policies ...dht.TablePolicy) Axis {
 	return ax
 }
 
+// FaultAxis declares the fault-injection-profile axis (none, burst,
+// partition, flap) — the fault arm selector of the resilience sweeps. The
+// companion numeric axes faultsev and retry scale the profile and harden the
+// RPC layer against it.
+func FaultAxis(profiles ...fault.Profile) Axis {
+	ax := Axis{Name: "fault"}
+	for _, p := range profiles {
+		ax.vals = append(ax.vals, axisValue{fault: p, label: p.String()})
+	}
+	return ax
+}
+
 // ParseAxis parses a command-line axis spec: "name=v1,v2,..." or, for
 // numeric axes, a range "name=start:stop:step". Scheme values are the figure
 // labels (central, disjoint, joint, share); drop values are spy/drop (or
@@ -198,7 +213,17 @@ func ParseAxis(spec string) (Axis, error) {
 			policies = append(policies, p)
 		}
 		return TableAxis(policies...), nil
-	case "p", "alpha", "network", "budget", "k", "l", "sharen", "replicas", "forge", "partition":
+	case "fault":
+		var profiles []fault.Profile
+		for _, part := range strings.Split(rest, ",") {
+			p, err := fault.ParseProfile(strings.ToLower(strings.TrimSpace(part)))
+			if err != nil {
+				return Axis{}, fmt.Errorf("experiment: axis %q: %w", spec, err)
+			}
+			profiles = append(profiles, p)
+		}
+		return FaultAxis(profiles...), nil
+	case "p", "alpha", "network", "budget", "k", "l", "sharen", "replicas", "forge", "partition", "faultsev", "retry":
 		if start, stop, step, ok, err := parseRange(rest); err != nil {
 			return Axis{}, fmt.Errorf("experiment: axis %q: %w", spec, err)
 		} else if ok {
@@ -274,6 +299,12 @@ func (a Axis) apply(pt *Point, v axisValue) error {
 		pt.Forge = v.num
 	case "partition":
 		pt.Partition, err = integral()
+	case "faultsev":
+		pt.FaultSev = v.num
+	case "retry":
+		pt.Retry, err = integral()
+	case "fault":
+		pt.Fault = v.fault
 	case "scheme":
 		pt.Scheme = v.scheme
 	case "drop":
@@ -333,7 +364,7 @@ func (s Sweep) Points() ([]Point, error) {
 	// axes (scheme, drop, strategy, table) carry no X coordinate, so every
 	// row would plot at x=0 under an indistinguishable label.
 	switch s.Axes[0].Name {
-	case "scheme", "drop", "strategy", "table":
+	case "scheme", "drop", "strategy", "table", "fault":
 		return nil, fmt.Errorf("experiment: first axis %q is categorical; lead with a numeric axis (p, alpha, network, ...)", s.Axes[0].Name)
 	}
 	seen := map[string]bool{}

@@ -23,6 +23,7 @@ var deterministicPkgs = map[string]bool{
 	"simnet":     true,
 	"experiment": true,
 	"churn":      true,
+	"fault":      true,
 	"onion":      true, // crypto/* seeded paths
 	"seal":       true,
 	"shamir":     true,

@@ -48,6 +48,13 @@ type HostConfig struct {
 	// re-granted to same-zone replacement custodians once per holding
 	// period (scheduleShareRefresh).
 	Repair bool
+	// Retry hardens the repair pushes against message loss: every grant or
+	// share re-push tick fires a second identical push half a refresh
+	// margin later (still inside the period it repairs). The pushes are
+	// idempotent — receivers dedup by mission coordinates — so the second
+	// copy only matters when the first was eaten by a fault. Wired from the
+	// network-level retry knob alongside the DHT RetryPolicy.
+	Retry bool
 }
 
 // Host is the holder-side protocol engine attached to one DHT node. It
@@ -281,11 +288,7 @@ func (h *Host) scheduleGrantRefresh(pkt Packet) {
 	if pkt.X != 0 {
 		deadline = pkt.HoldUntil
 	}
-	var tick func()
-	tick = func() {
-		if h.cfg.Clock.Now().UnixNano() >= deadline {
-			return
-		}
+	push := func() {
 		if pkt.X == keyGrantSlot {
 			// Slot keys are per-carrier: only this slot can be repaired. The
 			// share scheme's direct column-1 SK grants arrive with repair
@@ -300,6 +303,20 @@ func (h *Host) scheduleGrantRefresh(pkt Packet) {
 				sendPacket(h.node, SlotID(pkt.Mission, int(pkt.Column), s),
 					p, h.replicas())
 			}
+		}
+	}
+	var tick func()
+	tick = func() {
+		if h.cfg.Clock.Now().UnixNano() >= deadline {
+			return
+		}
+		push()
+		if h.cfg.Retry {
+			// Retry-hardened repair: one identical backup push half a margin
+			// later — still half a margin before the boundary, so the
+			// exposure stays inside the period — covering a first push eaten
+			// whole by a burst or partition window.
+			sim.Schedule(h.cfg.Clock, margin/2, push)
 		}
 		sim.Schedule(h.cfg.Clock, time.Duration(pkt.Step), tick)
 	}
@@ -454,6 +471,13 @@ func (h *Host) scheduleShareRefresh(pkt Packet) {
 	// packet does not pin the recycled delivery buffer.
 	pkt.Data = nil
 	sim.Schedule(h.cfg.Clock, delay, func() { h.regrantShares(pkt) })
+	if h.cfg.Retry {
+		// Retry-hardened repair: a second regrant half a margin later (still
+		// before the forward deadline). regrantShares re-reads the held share
+		// collection each time, so the backup tick is idempotent — it only
+		// changes anything when the first tick's pushes were lost.
+		sim.Schedule(h.cfg.Clock, delay+margin/2, func() { h.regrantShares(pkt) })
+	}
 }
 
 // regrantShares is one share-repair tick: re-push the currently-held shares

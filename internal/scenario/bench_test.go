@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"selfemerge/internal/core"
+	"selfemerge/internal/fault"
 	"selfemerge/internal/scenario"
 )
 
@@ -93,6 +94,29 @@ func BenchmarkScenarioMissionsPartitioned(b *testing.B) {
 			b.ReportMetric(float64(s), "loops")
 		})
 	}
+}
+
+// BenchmarkScenarioMissionsFaulty is the serial benchmark under the burst
+// fault profile with retry hardening: the Gilbert–Elliott injector judges
+// every datagram and the retry machinery re-sends through the drops, so this
+// measures the fault path's full cost — injection draws, duplicate
+// deliveries, two-phase retry timers, wire retention — against the clean
+// BenchmarkScenarioMissions number. Named inside the ScenarioMissions CI
+// smoke pattern deliberately: the race-detector smoke iteration covers the
+// injector and retry concurrency. Baselined in BENCH_scenario.json.
+func BenchmarkScenarioMissionsFaulty(b *testing.B) {
+	const missions = 30
+	cfg := benchCfg(missions, 1)
+	cfg.Fault = fault.ProfileBurst
+	cfg.FaultSeverity = 0.5
+	cfg.Retry = 3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(missions*b.N)/b.Elapsed().Seconds(), "missions/sec")
 }
 
 // BenchmarkPartitionSmoke100k is the 100k-node partitioned live point: one

@@ -128,6 +128,9 @@ func (e *Estimator) config(pt experiment.Point) (Config, error) {
 		Budget:           e.sharedBudget(),
 		Partition:        partition,
 		PartitionWorkers: e.PartitionWorkers,
+		Fault:            pt.Fault,
+		FaultSeverity:    pt.FaultSev,
+		Retry:            pt.Retry,
 		Seed:             pt.Seed,
 	}, nil
 }
@@ -190,6 +193,9 @@ func (e *Estimator) Estimate(pt experiment.Point) (experiment.Result, error) {
 		AgreeDeliver: agreeDel,
 		Deaths:       report.Deaths,
 		Joins:        report.Joins,
+		Retries:      report.Retries,
+		Recovered:    report.Recovered,
+		Duplicates:   report.Duplicates,
 		Elapsed:      report.Elapsed,
 	}, nil
 }

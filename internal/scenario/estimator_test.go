@@ -8,6 +8,7 @@ import (
 
 	"selfemerge/internal/core"
 	"selfemerge/internal/experiment"
+	"selfemerge/internal/fault"
 	"selfemerge/internal/scenario"
 )
 
@@ -79,7 +80,10 @@ func TestLiveSweepAgreesWithMC(t *testing.T) {
 // through cloned custody of recycled delivery buffers — and its matched
 // live-model references under all shapes; Shards=2 on the estimator makes
 // every point fan out inside the worker pool through the shared concurrency
-// budget.
+// budget. The fault axis adds a burst-loss arm with retry hardening on top
+// of the clean arm: the fault engine's Gilbert–Elliott draws, the two-phase
+// retry timers and the conditional fault columns of the emitters must all be
+// byte-stable across the same execution shapes.
 func TestLiveSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("live sweeps are slow")
@@ -91,10 +95,12 @@ func TestLiveSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 		Base: experiment.Point{
 			Network: 120, Alpha: 1, Drop: true,
 			K: 2, L: 2, ShareN: 4, ShareM: []int{2}, Scheme: core.SchemeJoint,
+			FaultSev: 0.5, Retry: 3,
 		},
 		Axes: []experiment.Axis{
 			experiment.RangeAxis("p", 0, 0.2, 0.2),
 			experiment.SchemeAxis(core.SchemeJoint, core.SchemeKeyShare),
+			experiment.FaultAxis(fault.ProfileNone, fault.ProfileBurst),
 		},
 	}
 	type shape struct{ gomaxprocs, parallel int }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"selfemerge/internal/analytic"
+	"selfemerge/internal/fault"
 )
 
 // WriteTable renders the report as an aligned ASCII table: the live
@@ -26,6 +27,13 @@ func (r *Report) WriteTable(w io.Writer) error {
 		"churn: %d deaths, %d joins; fabric: %d sent, %d delivered, %d dropped; wall %s\n",
 		r.Deaths, r.Joins, r.Sent, r.Recv, r.Dropped, r.Elapsed.Round(1e6)); err != nil {
 		return err
+	}
+	if cfg.Fault != fault.ProfileNone || cfg.Retry > 1 {
+		if _, err := fmt.Fprintf(w,
+			"fault: profile=%s severity=%.2f retry=%d; rpc: %d retries, %d recovered, %d duplicate deliveries\n",
+			cfg.Fault, cfg.FaultSeverity, cfg.Retry, r.Retries, r.Recovered, r.Duplicates); err != nil {
+			return err
+		}
 	}
 	if _, err := fmt.Fprintf(w, "%-22s %-28s %s\n", "", "Rr (release resilience)", "Rd (delivery resilience)"); err != nil {
 		return err

@@ -31,6 +31,7 @@ import (
 	"selfemerge/internal/analytic"
 	"selfemerge/internal/core"
 	"selfemerge/internal/dht"
+	"selfemerge/internal/fault"
 	"selfemerge/internal/mc"
 	"selfemerge/internal/protocol"
 	"selfemerge/internal/stats"
@@ -116,6 +117,22 @@ type Config struct {
 	Replicas int
 	// Latency is the one-way simnet latency (default 5ms).
 	Latency time.Duration
+	// Fault selects the deterministic fault-injection profile the simnet
+	// fabric runs under: none (default), burst (Gilbert–Elliott loss with
+	// latency spikes and duplication), partition (timed bisections), or flap
+	// (crash-restart windows). See fault.Profile. Requires the single event
+	// loop — the cross-shard handoff of Partition mode bypasses the injector.
+	Fault fault.Profile
+	// FaultSeverity scales the chosen profile in [0,1]; zero disables
+	// injection even with a profile set, so sweep axes can cross severity
+	// through zero.
+	FaultSeverity float64
+	// Retry is the total send attempts per DHT RPC (0 or 1 = single-shot,
+	// the historical behaviour). Values above 1 enable the retry/backoff
+	// hardening: per-RPC re-sends with deterministic jittered exponential
+	// backoff, acked app delivery with receiver-side dedup, lookup re-query
+	// of timed-out contacts, and doubled grant/share refresh pushes.
+	Retry int
 	// MCTrials sizes the Monte Carlo reference estimate (default 2000).
 	MCTrials int
 	// ShareModel pins the key-share churn-loss and release-exposure model of
@@ -178,6 +195,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Replicas == 0 {
 		c.Replicas = 1
 	}
+	if c.Latency < 0 {
+		return c, fmt.Errorf("scenario: latency %v must be positive", c.Latency)
+	}
 	if c.Latency == 0 {
 		c.Latency = 5 * time.Millisecond
 	}
@@ -206,6 +226,15 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Partition > 0 && c.Forge > 0 {
 		return c, fmt.Errorf("scenario: the eclipse forger requires the single event loop, not partition")
+	}
+	if err := (fault.Config{Profile: c.Fault, Severity: c.FaultSeverity}).Validate(); err != nil {
+		return c, fmt.Errorf("scenario: %w", err)
+	}
+	if c.Partition > 0 && c.Fault != fault.ProfileNone && c.FaultSeverity > 0 {
+		return c, fmt.Errorf("scenario: fault profiles require the single event loop, not partition")
+	}
+	if c.Retry < 0 {
+		return c, fmt.Errorf("scenario: retry %d must be >= 0", c.Retry)
 	}
 	if err := c.Plan.Validate(); err != nil {
 		return c, fmt.Errorf("scenario: %w", err)
@@ -301,7 +330,11 @@ type Report struct {
 	// Churn and transport volume observed during the run.
 	Deaths, Joins       int
 	Sent, Recv, Dropped int
-	Elapsed             time.Duration // wall-clock time of the live run
+	// Resilience counters from the retry-hardened RPC layer: re-sends,
+	// RPCs recovered by a re-send, and receiver-suppressed duplicate
+	// deliveries. All zero on single-shot (Retry <= 1) runs.
+	Retries, Recovered, Duplicates uint64
+	Elapsed                        time.Duration // wall-clock time of the live run
 }
 
 // AgreesWithMC reports whether the live release and delivery rates fall
@@ -357,6 +390,9 @@ func boot(cfg Config) (Config, *selfemerge.Network, error) {
 		Latency:          cfg.Latency,
 		Partition:        cfg.Partition,
 		PartitionWorkers: cfg.PartitionWorkers,
+		Fault:            cfg.Fault,
+		FaultSeverity:    cfg.FaultSeverity,
+		Retry:            cfg.Retry,
 		Seed:             cfg.Seed,
 	})
 	if err != nil {
@@ -474,15 +510,29 @@ type Reference struct {
 	// partitioned point samples decorrelated per-shard churn substreams, so
 	// it never shares a cached reference entry with the classic run.
 	Partition int
+	// Fault, FaultSev and Retry are the live point's fault-injection and
+	// retry-hardening knobs. The Monte Carlo model is fault-blind — Estimate
+	// ignores all three and returns the clean-network estimate (see
+	// ROADMAP.md) — but they are part of the point descriptor, so they key
+	// the cache like Shards and Partition do.
+	Fault    fault.Profile
+	FaultSev float64
+	Retry    int
 }
 
 // Key returns a canonical cache key: two references with the same key
 // produce byte-identical estimates.
 func (r Reference) Key() string {
-	return fmt.Sprintf("%v/%d/%d/%d/%v|N%d m%d a%g sm%v|t%d s%d S%d P%d",
+	key := fmt.Sprintf("%v/%d/%d/%d/%v|N%d m%d a%g sm%v|t%d s%d S%d P%d",
 		r.Plan.Scheme, r.Plan.K, r.Plan.L, r.Plan.ShareN, r.Plan.ShareM,
 		r.Env.Population, r.Env.Malicious, r.Env.Alpha, r.Env.ShareModel,
 		r.Trials, r.Seed, r.Shards, r.Partition)
+	// Keep the historical key bytes for fault-free single-shot points; only
+	// the new arms grow a suffix.
+	if r.Fault != fault.ProfileNone || r.FaultSev != 0 || r.Retry != 0 {
+		key += fmt.Sprintf(" F%v fs%g r%d", r.Fault, r.FaultSev, r.Retry)
+	}
+	return key
 }
 
 // Estimate runs the reference on a single trial worker, so equal keys yield
@@ -508,12 +558,14 @@ func (c Config) References() (release, deliver Reference) {
 	if shards < 1 {
 		shards = 1 // un-defaulted config: the descriptor's canonical form
 	}
-	release = Reference{Plan: c.Plan, Env: env, Trials: c.MCTrials, Seed: c.Seed + 101, Shards: shards, Partition: c.Partition}
+	release = Reference{Plan: c.Plan, Env: env, Trials: c.MCTrials, Seed: c.Seed + 101, Shards: shards, Partition: c.Partition,
+		Fault: c.Fault, FaultSev: c.FaultSeverity, Retry: c.Retry}
 	if c.Drop {
 		return release, release
 	}
 	env.Malicious = 0
-	deliver = Reference{Plan: c.Plan, Env: env, Trials: c.MCTrials, Seed: c.Seed + 103, Shards: shards, Partition: c.Partition}
+	deliver = Reference{Plan: c.Plan, Env: env, Trials: c.MCTrials, Seed: c.Seed + 103, Shards: shards, Partition: c.Partition,
+		Fault: c.Fault, FaultSev: c.FaultSeverity, Retry: c.Retry}
 	return release, deliver
 }
 

@@ -72,10 +72,11 @@ func (c Config) shardConfigs() []Config {
 
 // shardOutcome is one shard's complete contribution to the merged report.
 type shardOutcome struct {
-	res                 Result
-	deaths, joins       int
-	sent, recv, dropped int
-	err                 error
+	res                  Result
+	deaths, joins        int
+	sent, recv, dropped  int
+	retries, recov, dups uint64
+	err                  error
 }
 
 // runShard executes the three live phases for one single-network shard
@@ -92,6 +93,8 @@ func runShard(cfg Config) shardOutcome {
 	out := shardOutcome{res: Score(cfg, net, msgs)}
 	out.deaths, out.joins = net.ChurnEvents()
 	out.sent, out.recv, out.dropped = net.FabricStats()
+	rs := net.ResilienceStats()
+	out.retries, out.recov, out.dups = rs.Retries, rs.Recovered, rs.Duplicates
 	return out
 }
 
@@ -155,6 +158,9 @@ func measureShards(cfg Config, report *Report) error {
 		report.Sent += out.sent
 		report.Recv += out.recv
 		report.Dropped += out.dropped
+		report.Retries += out.retries
+		report.Recovered += out.recov
+		report.Duplicates += out.dups
 	}
 	return nil
 }

@@ -67,16 +67,23 @@ type handoff struct {
 // delivering its local traffic on clocks[i]. Shard 0 keeps cfg.Seed for its
 // loss/jitter RNG — a one-shard partition is byte-identical to the plain
 // Network — and higher shards draw decorrelated SplitMix64 substreams. The
-// base latency (after defaults) must be positive: it is the lookahead that
-// makes barrier-drained hand-offs conservative.
+// base latency must be explicitly positive: it is the lookahead that makes
+// barrier-drained hand-offs conservative, so the plain fabric's
+// zero-means-default rule does not apply here — a zero would previously be
+// papered over by the 10ms default, silently changing the lookahead the
+// caller thought it configured, and a negative one would make epoch-barrier
+// delivery unsound outright.
 func NewPartition(clocks []sim.Clock, cfg Config) (*Partition, error) {
-	cfg = cfg.withDefaults()
 	if len(clocks) < 1 {
 		return nil, fmt.Errorf("simnet: partition needs at least one shard clock")
 	}
 	if cfg.BaseLatency <= 0 {
-		return nil, fmt.Errorf("simnet: partition needs a positive base latency (the lookahead), got %v", cfg.BaseLatency)
+		return nil, fmt.Errorf("simnet: partition needs an explicit positive base latency (the lockstep lookahead), got %v", cfg.BaseLatency)
 	}
+	if cfg.Inject != nil {
+		return nil, fmt.Errorf("simnet: fault injection requires the single fabric; the partition hand-off path bypasses the injector")
+	}
+	cfg = cfg.withDefaults()
 	p := &Partition{
 		subs:      make([]*Network, len(clocks)),
 		owner:     make(map[transport.Addr]int),

@@ -26,6 +26,34 @@ type Config struct {
 	LossRate float64
 	// Seed seeds the network's private RNG (jitter and loss decisions).
 	Seed uint64
+	// Inject, when non-nil, rules on every datagram that survives the
+	// uniform loss/jitter model: correlated drops, extra delay, duplication
+	// (see internal/fault). Judge calls are serialized under the network's
+	// RNG lock, in the same order as the loss/jitter draws, so a
+	// deterministic injector keeps the fabric byte-deterministic. Not
+	// supported by the partition engine (NewPartition rejects it): the
+	// cross-shard hand-off path bypasses the local send path, so an
+	// injector would see only a shard-dependent subset of traffic.
+	Inject Injector
+}
+
+// Verdict is an injector's ruling on one in-flight datagram.
+type Verdict struct {
+	// Drop discards the datagram (counted in the fabric's dropped stat).
+	Drop bool
+	// Extra is added to the delivery delay.
+	Extra time.Duration
+	// DupExtra, when positive, delivers a second copy DupExtra after the
+	// first — duplication with reordering.
+	DupExtra time.Duration
+}
+
+// Injector perturbs deliveries beyond the uniform loss/jitter model. Judge
+// receives the fabric clock's current time and the endpoints of the
+// datagram; implementations may keep internal state (calls are serialized
+// by the fabric).
+type Injector interface {
+	Judge(now time.Time, from, to transport.Addr) Verdict
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +178,19 @@ func (n *Network) send(from transport.Addr, to transport.Addr, payload []byte) {
 	if n.cfg.Jitter > 0 {
 		delay += time.Duration(n.rng.Uint64n(uint64(n.cfg.Jitter)))
 	}
+	var dup time.Duration
+	if n.cfg.Inject != nil {
+		v := n.cfg.Inject.Judge(n.clock.Now(), from, to)
+		if v.Drop {
+			n.rngMu.Unlock()
+			n.mu.Lock()
+			n.dropped++
+			n.mu.Unlock()
+			return
+		}
+		delay += v.Extra
+		dup = v.DupExtra
+	}
 	n.rngMu.Unlock()
 
 	// Copy the payload into a pooled delivery record: the sender may reuse
@@ -162,6 +203,14 @@ func (n *Network) send(from transport.Addr, to transport.Addr, payload []byte) {
 	d.net, d.from, d.to = n, from, to
 	d.msg = append(d.msg[:0], payload...)
 	sim.ScheduleArg(n.clock, delay, deliver, d)
+	if dup > 0 {
+		// An injector-duplicated datagram: a second pooled record trailing
+		// the first, each releasing independently after its own handler call.
+		d2 := deliveries.Get().(*delivery)
+		d2.net, d2.from, d2.to = n, from, to
+		d2.msg = append(d2.msg[:0], payload...)
+		sim.ScheduleArg(n.clock, delay+dup, deliver, d2)
+	}
 }
 
 // delivery is one in-flight datagram: a pooled record carrying its own

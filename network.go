@@ -13,6 +13,7 @@ import (
 	"selfemerge/internal/cloud"
 	"selfemerge/internal/core"
 	"selfemerge/internal/dht"
+	"selfemerge/internal/fault"
 	"selfemerge/internal/protocol"
 	"selfemerge/internal/sim"
 	"selfemerge/internal/stats"
@@ -42,6 +43,23 @@ const (
 	AttackDrop    = adversary.StrategyDrop
 	AttackEclipse = adversary.StrategyEclipse
 )
+
+// FaultProfile selects a correlated-fault regime for the simulated fabric
+// (see internal/fault).
+type FaultProfile = fault.Profile
+
+// The fault regimes: none, Gilbert–Elliott burst loss, timed bisection
+// partitions, and crash-restart flapping.
+const (
+	FaultNone      = fault.ProfileNone
+	FaultBurst     = fault.ProfileBurst
+	FaultPartition = fault.ProfilePartition
+	FaultFlap      = fault.ProfileFlap
+)
+
+// Resilience is the retry-hardening counter set ResilienceStats reports
+// (see dht.Resilience).
+type Resilience = dht.Resilience
 
 // TablePolicy selects the DHT routing-table bucket admission policy.
 type TablePolicy = dht.TablePolicy
@@ -106,6 +124,23 @@ type NetworkConfig struct {
 	// Repair enables protocol-level churn repair: surviving key custodians
 	// re-grant layer keys to churn replacements once per holding period.
 	Repair bool
+	// Fault selects a correlated-fault regime for the fabric: Gilbert–
+	// Elliott burst loss, timed bisection partitions, or crash-restart
+	// flapping (see internal/fault). FaultNone (the default) constructs no
+	// engine at all, so default runs keep their historical byte-exact event
+	// sequences. Fault profiles require the single event loop: the
+	// partition engine's cross-shard hand-off path bypasses the fabric
+	// injector.
+	Fault fault.Profile
+	// FaultSeverity in [0,1] scales the fault regime's intensity; zero
+	// makes any profile a no-op (and constructs no engine).
+	FaultSeverity float64
+	// Retry is the total number of send attempts per DHT RPC (0 or 1:
+	// single-shot, the historical behavior). Values above 1 enable the
+	// full retry-hardened arm: dht.RetryPolicy exponential backoff on every
+	// RPC, acknowledged app sends with receiver dedup, lookup re-query of
+	// timed-out contacts, and doubled repair pushes at the protocol layer.
+	Retry int
 	// Partition splits the one population across this many parallel event
 	// loops (shards), each with its own simulator and simnet fabric slice,
 	// advancing in conservative lockstep epochs with cross-shard sends
@@ -146,6 +181,12 @@ func (c NetworkConfig) withDefaults() (NetworkConfig, error) {
 	if c.MaliciousRate < 0 || c.MaliciousRate > 1 {
 		return c, fmt.Errorf("selfemerge: malicious rate %v outside [0,1]", c.MaliciousRate)
 	}
+	if c.Latency < 0 {
+		// A negative latency would schedule deliveries into the past on the
+		// single loop and corrupt the partition engine's lookahead; zero is
+		// a defaulting request, negative is always a caller bug.
+		return c, fmt.Errorf("selfemerge: negative latency %v", c.Latency)
+	}
 	if c.Latency == 0 {
 		c.Latency = 5 * time.Millisecond
 	}
@@ -176,6 +217,20 @@ func (c NetworkConfig) withDefaults() (NetworkConfig, error) {
 		// would shift its observations. Eclipse measurements stay on the
 		// single loop (or replicate-mode sharding).
 		return c, errors.New("selfemerge: ForgeRate requires the single event loop, not Partition")
+	}
+	if err := (fault.Config{Profile: c.Fault, Severity: c.FaultSeverity}).Validate(); err != nil {
+		return c, err
+	}
+	if c.Partition > 0 && c.Fault != fault.ProfileNone && c.FaultSeverity > 0 {
+		// The fault injector hooks the single fabric's send path; the
+		// partition engine's cross-shard hand-offs bypass it, so a sharded
+		// run would inject faults on a shard-dependent subset of traffic.
+		// Fault measurements stay on the single loop (or replicate-mode
+		// sharding, where each replica network carries its own engine).
+		return c, errors.New("selfemerge: fault profiles require the single event loop, not Partition")
+	}
+	if c.Retry < 0 {
+		return c, fmt.Errorf("selfemerge: negative retry attempts %d", c.Retry)
 	}
 	return c, nil
 }
@@ -213,6 +268,10 @@ type Network struct {
 	cryptoSrc io.Reader
 	sender    *protocol.Sender
 	forger    *adversary.Forger
+	// faultEng drives correlated faults on the single fabric; nil unless an
+	// active fault profile is configured (the Forger pattern: constructed
+	// only when enabled, so default runs add no RNG draws and no events).
+	faultEng *fault.Engine
 
 	nodes    []*dht.Node
 	receiver *dht.Node
@@ -221,6 +280,9 @@ type Network struct {
 	deliveries map[protocol.MissionID]delivery
 	deaths     int
 	joins      int
+	// retired accumulates the resilience counters of churn-replaced nodes
+	// at death, so ResilienceStats never loses a dead node's activity.
+	retired dht.Resilience
 }
 
 type delivery struct {
@@ -297,7 +359,25 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 		}
 	} else {
 		n.simulator = sim.NewSimulator()
-		n.fabric = simnet.New(n.simulator, simnet.Config{BaseLatency: cfg.Latency, Seed: cfg.Seed + 1})
+		fabCfg := simnet.Config{BaseLatency: cfg.Latency, Seed: cfg.Seed + 1}
+		if cfg.Fault != fault.ProfileNone && cfg.FaultSeverity > 0 {
+			// Only active fault runs construct the engine (the Forger
+			// pattern): a constructed-but-idle engine would still be consulted
+			// per datagram and could shift allocation behavior. The seed is a
+			// decorrelated substream of the point seed, so the fault schedule
+			// never re-samples fabric or churn draws.
+			eng, err := fault.New(fault.Config{
+				Profile:  cfg.Fault,
+				Severity: cfg.FaultSeverity,
+				Seed:     stats.Mix64(cfg.Seed, 0xfa177),
+			})
+			if err != nil {
+				return nil, err
+			}
+			n.faultEng = eng
+			fabCfg.Inject = eng
+		}
+		n.fabric = simnet.New(n.simulator, fabCfg)
 		if churnEnabled {
 			n.churnProc = churn.New(n.simulator, churnCfg)
 		}
@@ -500,12 +580,14 @@ func (n *Network) spawn(addr transport.Addr, id dht.ID, idx int, malicious bool)
 		OnSecret:  onSecret,
 		Replicas:  n.cfg.Replicas,
 		Repair:    n.cfg.Repair,
+		Retry:     n.cfg.Retry > 1,
 	})
 	node, err := dht.NewNode(dht.Config{
 		ID:       id,
 		Endpoint: ep,
 		Clock:    clock,
 		Table:    n.cfg.Table,
+		Retry:    dht.RetryPolicy{Attempts: n.cfg.Retry},
 		OnApp:    host.HandleApp,
 	})
 	if err != nil {
@@ -534,7 +616,20 @@ func (n *Network) spawn(addr transport.Addr, id dht.ID, idx int, malicious bool)
 	// launch missions and observe outcomes — the model's honest, stable
 	// endpoints.
 	proc := n.churnOf(shard)
-	if proc == nil || idx <= 2 {
+	if idx <= 2 {
+		return nil
+	}
+	// Crash-restart windows (ProfileFlap): the endpoint goes transport-down
+	// for a sojourn and comes back with routing table, stored values and
+	// held custody intact — unlike a churn death, which closes the node and
+	// spawns a wiped replacement. The schedule is a pure function of
+	// (fault seed, address). Fault profiles run on the single loop only, so
+	// n.fabric is always the live fabric here.
+	stopCrash := func() {}
+	if n.faultEng != nil {
+		stopCrash = n.faultEng.ManageCrashes(clock, addr, func(down bool) { n.fabric.SetDown(addr, down) })
+	}
+	if proc == nil {
 		return nil
 	}
 	var stopFlap func()
@@ -545,6 +640,16 @@ func (n *Network) spawn(addr transport.Addr, id dht.ID, idx int, malicious bool)
 	}
 	proc.ScheduleDeath(func() {
 		stopFlap()
+		stopCrash()
+		// Harvest the dying node's resilience counters before its slot is
+		// reused; without Replace the closed node stays in the population
+		// slice and keeps reporting its own totals.
+		if n.cfg.Replace {
+			r := node.Resilience()
+			n.mu.Lock()
+			n.retired.Add(r)
+			n.mu.Unlock()
+		}
 		_ = node.Close()
 		n.mu.Lock()
 		n.deaths++
@@ -619,6 +724,20 @@ func (n *Network) RouteAudit() (live, poisoned int) {
 		})
 	}
 	return live, poisoned
+}
+
+// ResilienceStats sums the population's fault-recovery counters — retries,
+// recovered RPCs, suppressed duplicate deliveries — over the live nodes
+// plus every churn-replaced node's final counts.
+func (n *Network) ResilienceStats() dht.Resilience {
+	n.mu.Lock()
+	nodes := append([]*dht.Node(nil), n.nodes...)
+	total := n.retired
+	n.mu.Unlock()
+	for _, node := range nodes {
+		total.Add(node.Resilience())
+	}
+	return total
 }
 
 // FabricStats reports transport-level (sent, delivered, dropped) datagram
