@@ -143,6 +143,7 @@ func runSweep(args []string) {
 		mcTrials  = fs.Int("mc-trials", 0, "live reference trials (0 = missions)")
 		shareMod  = fs.String("share-model", "default", "key-share loss model: default|quota|binomial|live (mc points, live references)")
 		workers   = fs.Int("workers", 0, "concurrent sweep points (0 = GOMAXPROCS)")
+		loopStats = fs.Bool("loopstats", false, "print per-point event-loop stats (epochs, idle skips, merge allocs) to stderr (live estimator, partition mode)")
 		format    = fs.String("format", "table", "output format: table|csv|json")
 		seed      = fs.Uint64("seed", 2017, "base RNG seed")
 		name      = fs.String("name", "sweep", "sweep name for the report header")
@@ -160,8 +161,8 @@ func runSweep(args []string) {
 	setFlags := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 	irrelevant := map[string][]string{
-		"analytic": {"trials", "missions", "shards", "partition", "partition-workers", "emerging", "mc-trials", "share-model", "strategy", "forge", "table", "fault", "faultsev", "retry"},
-		"mc":       {"missions", "shards", "partition", "partition-workers", "emerging", "mc-trials", "strategy", "forge", "table", "fault", "faultsev", "retry"},
+		"analytic": {"trials", "missions", "shards", "partition", "partition-workers", "loopstats", "emerging", "mc-trials", "share-model", "strategy", "forge", "table", "fault", "faultsev", "retry"},
+		"mc":       {"missions", "shards", "partition", "partition-workers", "loopstats", "emerging", "mc-trials", "strategy", "forge", "table", "fault", "faultsev", "retry"},
 		"live":     {"trials"},
 	}
 	for _, name := range irrelevant[*estimator] {
@@ -258,6 +259,15 @@ func runSweep(args []string) {
 	if err := emit(rs); err != nil {
 		fatalf(1, "%v", err)
 	}
+	// Loop stats go to stderr so the emitted sweep stays byte-deterministic
+	// on stdout regardless of the flag.
+	if *loopStats {
+		for _, res := range rs.Results {
+			fmt.Fprintf(os.Stderr, "emergesim: loopstats point=%d series=%s x=%g partition=%d epochs=%d idle_skips=%d merge_allocs=%d\n",
+				res.Point.Index, res.Point.Series, res.Point.X, res.Point.Partition,
+				res.Epochs, res.IdleSkips, res.MergeAllocs)
+		}
+	}
 	// The heap profile is written after the results are out: a sweep's
 	// output must never be lost to a profiling side-channel failure.
 	if *memprof != "" {
@@ -297,6 +307,7 @@ func runScenario(args []string) {
 		emerging  = fs.Duration("emerging", 2*time.Hour, "emerging period T")
 		replicas  = fs.Int("replicas", 1, "packet replica count (1 = model-faithful)")
 		mcTrials  = fs.Int("mc-trials", 2000, "Monte Carlo reference trials")
+		loopStats = fs.Bool("loopstats", false, "print event-loop stats (epochs, idle skips, merge allocs) to stderr (partition mode)")
 		seed      = fs.Uint64("seed", 2017, "RNG seed")
 	)
 	spec := planFlags(fs)
@@ -350,6 +361,10 @@ func runScenario(args []string) {
 	}
 	if err := report.WriteTable(os.Stdout); err != nil {
 		fatalf(1, "%v", err)
+	}
+	if *loopStats {
+		fmt.Fprintf(os.Stderr, "emergesim: loopstats partition=%d epochs=%d idle_skips=%d merge_allocs=%d\n",
+			*partition, report.Epochs, report.IdleSkips, report.MergeAllocs)
 	}
 }
 

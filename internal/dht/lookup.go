@@ -11,10 +11,16 @@ import (
 // up-to-K closest contacts found. cb runs on the clock's dispatch context.
 // The contact slice is only valid for the duration of the callback (it
 // aliases a recycled lookup buffer), so copy to retain.
+//
+// The adapter rides through newLookup's arg slot: func values are
+// pointer-shaped, so boxing cb allocates nothing and the lookup machinery
+// stays closure-free.
 func (n *Node) Lookup(target ID, cb func([]Contact)) {
-	n.newLookup(target, false, func(contacts []Contact, _ []byte, _ bool) {
-		cb(contacts)
-	})
+	n.newLookup(target, false, lookupFinishContacts, cb)
+}
+
+func lookupFinishContacts(arg any, contacts []Contact, _ []byte, _ bool) {
+	arg.(func([]Contact))(contacts)
 }
 
 // Get performs an iterative FIND_VALUE for key. cb receives the value if
@@ -22,9 +28,11 @@ func (n *Node) Lookup(target ID, cb func([]Contact)) {
 // the callback (they may alias a recycled delivery buffer), so copy to
 // retain.
 func (n *Node) Get(key ID, cb func(value []byte, ok bool)) {
-	n.newLookup(key, true, func(_ []Contact, value []byte, found bool) {
-		cb(value, found)
-	})
+	n.newLookup(key, true, lookupFinishValue, cb)
+}
+
+func lookupFinishValue(arg any, _ []Contact, value []byte, found bool) {
+	arg.(func([]byte, bool))(value, found)
 }
 
 // Store replicates value at the cfg.Replicate closest nodes to key. The
@@ -99,47 +107,84 @@ func (n *Node) SendToOwner(key ID, payload []byte, done func(Contact, error)) {
 // its neighbor instead of keeping it. done (optional) receives the closest
 // owner.
 func (n *Node) SendToOwners(key ID, payload []byte, replicas int, done func(Contact, error)) {
+	n.SendToOwnersArg(key, payload, replicas, sendOwnersAdapter, done)
+}
+
+func sendOwnersAdapter(arg any, c Contact, err error) {
+	if cb, _ := arg.(func(Contact, error)); cb != nil {
+		cb(c, err)
+	}
+}
+
+// ownersSend is the pooled carrier for one SendToOwnersArg call: with the
+// package-level ownersFinish it replaces the per-send completion closures
+// on the mission hot path.
+type ownersSend struct {
+	node     *Node
+	key      ID
+	payload  []byte
+	replicas int
+	done     func(any, Contact, error)
+	arg      any
+}
+
+var ownersSends = sync.Pool{New: func() any { return new(ownersSend) }}
+
+// SendToOwnersArg is SendToOwners with an arg-threaded completion callback:
+// done should be a package-level (non-capturing) function and arg rides
+// along through the lookup machinery, so a steady mission send path
+// allocates no per-call closures. done may be nil.
+func (n *Node) SendToOwnersArg(key ID, payload []byte, replicas int, done func(any, Contact, error), arg any) {
 	if replicas < 1 {
 		replicas = 1
 	}
-	n.Lookup(key, func(closest []Contact) {
-		if len(closest) == 0 {
-			// Not even one peer responded: the node is isolated (or the
-			// network is empty), so keeping the payload locally would just
-			// strand it invisibly.
-			if done != nil {
-				done(Contact{}, ErrLookupFailed)
-			}
-			return
-		}
-		self := n.Contact()
-		pos := len(closest)
-		for i, c := range closest {
-			if key.CloserTo(self.ID, c.ID) {
-				pos = i
-				break
-			}
-		}
-		closest = insertContact(closest, pos, self)
-		if len(closest) > replicas {
-			closest = closest[:replicas]
-		}
-		var err error
-		for i, c := range closest {
-			var sendErr error
-			if c.ID == self.ID {
-				sendErr = n.deliverLocal(payload)
-			} else {
-				sendErr = n.SendApp(c, payload)
-			}
-			if i == 0 {
-				err = sendErr
-			}
-		}
+	s := ownersSends.Get().(*ownersSend)
+	*s = ownersSend{node: n, key: key, payload: payload, replicas: replicas, done: done, arg: arg}
+	n.newLookup(key, false, ownersFinish, s)
+}
+
+func ownersFinish(v any, closest []Contact, _ []byte, _ bool) {
+	s := v.(*ownersSend)
+	n, key, payload, replicas := s.node, s.key, s.payload, s.replicas
+	done, arg := s.done, s.arg
+	*s = ownersSend{}
+	ownersSends.Put(s)
+	if len(closest) == 0 {
+		// Not even one peer responded: the node is isolated (or the
+		// network is empty), so keeping the payload locally would just
+		// strand it invisibly.
 		if done != nil {
-			done(closest[0], err)
+			done(arg, Contact{}, ErrLookupFailed)
 		}
-	})
+		return
+	}
+	self := n.Contact()
+	pos := len(closest)
+	for i, c := range closest {
+		if key.CloserTo(self.ID, c.ID) {
+			pos = i
+			break
+		}
+	}
+	closest = insertContact(closest, pos, self)
+	if len(closest) > replicas {
+		closest = closest[:replicas]
+	}
+	var err error
+	for i, c := range closest {
+		var sendErr error
+		if c.ID == self.ID {
+			sendErr = n.deliverLocal(payload)
+		} else {
+			sendErr = n.SendApp(c, payload)
+		}
+		if i == 0 {
+			err = sendErr
+		}
+	}
+	if done != nil {
+		done(arg, closest[0], err)
+	}
 }
 
 // insertContact inserts c at position pos, shifting the tail in place: the
@@ -188,61 +233,195 @@ func (e lookupError) Error() string { return string(e) }
 // slices survive between lookups (cleared, capacity kept), so a steady
 // mission workload runs its lookups allocation-free.
 type lookupState struct {
-	node     *Node
-	target   ID
-	wantVal  bool
-	finishCb func([]Contact, []byte, bool)
+	node      *Node
+	target    ID
+	wantVal   bool
+	finishCb  func(any, []Contact, []byte, bool)
+	finishArg any
 
 	mu        sync.Mutex
-	shortlist []Contact
+	shortlist []ranked
+	// sorted is the length of the shortlist prefix known to be in ascending
+	// distance order: appends land past it, removals keep it, and
+	// sortShortlist only has to insert the tail.
+	sorted    int
 	result    []Contact
-	seen      map[ID]bool
-	queried   map[ID]bool
+	seen      distSet
+	queried   distSet
 	requeried map[ID]bool
 	inflight  int
 	finished  bool
 }
 
-var lookupStates = sync.Pool{New: func() any {
-	return &lookupState{
-		seen:      make(map[ID]bool, 32),
-		queried:   make(map[ID]bool, 16),
-		requeried: make(map[ID]bool, 4),
-	}
-}}
-
-// release returns a drained state (finished, no queries in flight) to the
-// pool. The maps and slices keep their capacity for the next lookup.
+// release returns a drained state (finished, no queries in flight) to its
+// node's freelist. The sets and slices keep their capacity for the node's
+// next lookup — unlike a global sync.Pool, whose GC eviction made every
+// lookup after a collection re-grow its shortlist and sets from scratch,
+// feeding the next collection in turn.
 func (ls *lookupState) release() {
-	clear(ls.seen)
-	clear(ls.queried)
+	n := ls.node
+	ls.seen.reset()
+	ls.queried.reset()
 	clear(ls.requeried)
 	ls.shortlist = ls.shortlist[:0]
+	ls.sorted = 0
 	ls.result = ls.result[:0]
 	ls.node = nil
 	ls.finishCb = nil
+	ls.finishArg = nil
 	ls.finished = false
-	lookupStates.Put(ls)
+	n.mu.Lock()
+	n.lsFree = append(n.lsFree, ls)
+	n.mu.Unlock()
 }
 
-func (n *Node) newLookup(target ID, wantValue bool, cb func([]Contact, []byte, bool)) {
+// distSet is an open-addressing membership set over packed XOR-distance
+// lanes. For a fixed lookup target, ID ↔ distance is a bijection, so
+// distance membership is exactly ID membership — and because IDs are
+// uniformly distributed, d0 doubles as a ready-made hash: each operation is
+// a mask and a short probe, with none of the per-call key hashing a
+// map[ID]bool pays. Deletion backward-shifts the probe cluster, so the set
+// needs no tombstones.
+type distSet struct {
+	slots []distSlot // power-of-two length
+	used  int
+}
+
+type distSlot struct {
+	d0, d1 uint64
+	d2     uint32
+	full   bool
+}
+
+func (s *distSet) reset() {
+	clear(s.slots)
+	s.used = 0
+}
+
+func (s *distSet) grow() {
+	old := s.slots
+	size := 2 * len(old)
+	if size == 0 {
+		size = 64
+	}
+	s.slots = make([]distSlot, size)
+	mask := size - 1
+	for i := range old {
+		if !old[i].full {
+			continue
+		}
+		j := int(old[i].d0) & mask
+		for s.slots[j].full {
+			j = (j + 1) & mask
+		}
+		s.slots[j] = old[i]
+	}
+}
+
+// add inserts the distance and reports whether it was newly added.
+func (s *distSet) add(d0, d1 uint64, d2 uint32) bool {
+	if 4*(s.used+1) > 3*len(s.slots) {
+		s.grow()
+	}
+	mask := len(s.slots) - 1
+	i := int(d0) & mask
+	for {
+		sl := &s.slots[i]
+		if !sl.full {
+			*sl = distSlot{d0: d0, d1: d1, d2: d2, full: true}
+			s.used++
+			return true
+		}
+		if sl.d0 == d0 && sl.d1 == d1 && sl.d2 == d2 {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (s *distSet) has(d0, d1 uint64, d2 uint32) bool {
+	if s.used == 0 {
+		return false
+	}
+	mask := len(s.slots) - 1
+	i := int(d0) & mask
+	for {
+		sl := &s.slots[i]
+		if !sl.full {
+			return false
+		}
+		if sl.d0 == d0 && sl.d1 == d1 && sl.d2 == d2 {
+			return true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// del removes the distance if present, closing the hole by backward-shifting
+// any cluster successor that can still be found from its home slot.
+func (s *distSet) del(d0, d1 uint64, d2 uint32) {
+	if s.used == 0 {
+		return
+	}
+	mask := len(s.slots) - 1
+	i := int(d0) & mask
+	for {
+		sl := &s.slots[i]
+		if !sl.full {
+			return
+		}
+		if sl.d0 == d0 && sl.d1 == d1 && sl.d2 == d2 {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	s.used--
+	for j := (i + 1) & mask; s.slots[j].full; j = (j + 1) & mask {
+		// Shift slot j into the hole unless its home lies in (i, j] —
+		// moving it there would strand it before its home.
+		home := int(s.slots[j].d0) & mask
+		if (j-home)&mask >= (j-i)&mask {
+			s.slots[i] = s.slots[j]
+			i = j
+		}
+	}
+	s.slots[i] = distSlot{}
+}
+
+func (n *Node) newLookup(target ID, wantValue bool, cb func(any, []Contact, []byte, bool), arg any) {
 	// Local value short-circuit.
 	if wantValue {
 		if v, ok := n.loadLocal(target); ok {
-			sim.Schedule(n.cfg.Clock, 0, func() { cb(nil, v, true) })
+			sim.Schedule(n.cfg.Clock, 0, func() { cb(arg, nil, v, true) })
 			return
 		}
 	}
-	ls := lookupStates.Get().(*lookupState) //lint:allow poolpair step() assumes ownership: the state releases itself when the lookup drains
+	n.mu.Lock()
+	var ls *lookupState
+	if k := len(n.lsFree); k > 0 {
+		ls = n.lsFree[k-1]
+		n.lsFree[k-1] = nil
+		n.lsFree = n.lsFree[:k-1]
+	}
+	n.mu.Unlock()
+	if ls == nil {
+		ls = &lookupState{requeried: make(map[ID]bool, 4)}
+	}
 	ls.node = n
 	ls.target = target
 	ls.wantVal = wantValue
 	ls.finishCb = cb
-	ls.seen[n.cfg.ID] = true
-	ls.queried[n.cfg.ID] = true
-	ls.shortlist = n.table.AppendClosest(ls.shortlist, target, n.cfg.K)
-	for _, c := range ls.shortlist {
-		ls.seen[c.ID] = true
+	ls.finishArg = arg
+	self := rankContact(target, Contact{ID: n.cfg.ID})
+	ls.seen.add(self.d0, self.d1, self.d2)
+	ls.queried.add(self.d0, self.d1, self.d2)
+	// The bootstrap selection arrives nearest-first: the whole list starts
+	// sorted.
+	ls.shortlist = n.table.appendClosestRanked(ls.shortlist, target, n.cfg.K)
+	ls.sorted = len(ls.shortlist)
+	for i := range ls.shortlist {
+		r := &ls.shortlist[i]
+		ls.seen.add(r.d0, r.d1, r.d2)
 	}
 	ls.step()
 }
@@ -258,34 +437,35 @@ func (ls *lookupState) step() {
 	// Collect the next batch of unqueried candidates within the K closest
 	// known (the standard Kademlia termination window), up to the alpha
 	// parallelism limit. The batch lives on the stack for the usual alpha.
-	var batch [8]Contact
+	var batch [8]ranked
 	toQuery := batch[:0]
 	if a := ls.node.cfg.Alpha; a > len(batch) {
-		toQuery = make([]Contact, 0, a)
+		toQuery = make([]ranked, 0, a)
 	}
 	window := ls.shortlist
 	if len(window) > ls.node.cfg.K {
 		window = window[:ls.node.cfg.K]
 	}
-	for _, c := range window {
+	for i := range window {
 		if ls.inflight+len(toQuery) >= ls.node.cfg.Alpha {
 			break
 		}
-		if !ls.queried[c.ID] {
-			toQuery = append(toQuery, c)
+		if r := &window[i]; !ls.queried.has(r.d0, r.d1, r.d2) {
+			toQuery = append(toQuery, *r)
 		}
 	}
 	if len(toQuery) == 0 && ls.inflight == 0 {
 		ls.finished = true
 		result := ls.closestK()
-		cb := ls.finishCb
+		cb, arg := ls.finishCb, ls.finishArg
 		ls.mu.Unlock()
-		cb(result, nil, false)
+		cb(arg, result, nil, false)
 		ls.release()
 		return
 	}
-	for _, c := range toQuery {
-		ls.queried[c.ID] = true
+	for i := range toQuery {
+		r := &toQuery[i]
+		ls.queried.add(r.d0, r.d1, r.d2)
 		ls.inflight++
 	}
 	ls.mu.Unlock()
@@ -294,10 +474,10 @@ func (ls *lookupState) step() {
 	if ls.wantVal {
 		kind = KindFindValue
 	}
-	for _, c := range toQuery {
+	for i := range toQuery {
 		q := lookupQueries.Get().(*lookupQuery)
-		q.ls, q.contact = ls, c
-		ls.node.requestArg(c, Message{Kind: kind, Target: ls.target, Key: ls.target}, lookupQueryDone, q)
+		q.ls, q.contact = ls, toQuery[i].c
+		ls.node.requestArg(toQuery[i].c, Message{Kind: kind, Target: ls.target, Key: ls.target}, lookupQueryDone, q)
 	}
 }
 
@@ -341,16 +521,21 @@ func (ls *lookupState) onResponse(from Contact, resp Message, err error) {
 			// the queried mark puts the contact back in step's candidate
 			// window; the requeried mark makes the second failure final.
 			ls.requeried[from.ID] = true
-			delete(ls.queried, from.ID)
+			r := rankContact(ls.target, from)
+			ls.queried.del(r.d0, r.d1, r.d2)
 		} else {
 			// Failover: an unresponsive contact (dead, churned out, or down)
 			// is dropped from the shortlist so the final owner set never
 			// includes it — the lookup routes around the failure to the
 			// next-closest live node. The routing table penalty happens in
 			// request's timeout path.
-			for i, c := range ls.shortlist {
-				if c.ID == from.ID {
+			for i := range ls.shortlist {
+				if ls.shortlist[i].c.ID == from.ID {
 					ls.shortlist = append(ls.shortlist[:i], ls.shortlist[i+1:]...)
+					if i < ls.sorted {
+						// Removing from a sorted prefix keeps it sorted.
+						ls.sorted--
+					}
 					break
 				}
 			}
@@ -360,19 +545,18 @@ func (ls *lookupState) onResponse(from Contact, resp Message, err error) {
 		if ls.wantVal && resp.Found {
 			ls.finished = true
 			value := resp.Value
-			cb := ls.finishCb
+			cb, arg := ls.finishCb, ls.finishArg
 			idle := ls.inflight == 0
 			ls.mu.Unlock()
-			cb(nil, value, true)
+			cb(arg, nil, value, true)
 			if idle {
 				ls.release()
 			}
 			return
 		}
 		for _, c := range resp.Contacts {
-			if !ls.seen[c.ID] {
-				ls.seen[c.ID] = true
-				ls.shortlist = append(ls.shortlist, c)
+			if r := rankContact(ls.target, c); ls.seen.add(r.d0, r.d1, r.d2) {
+				ls.shortlist = append(ls.shortlist, r)
 			}
 		}
 	}
@@ -384,28 +568,42 @@ func (ls *lookupState) onResponse(from Contact, resp Message, err error) {
 // — valid until the state is released, i.e. for the duration of the finish
 // callback. Callers hold ls.mu.
 func (ls *lookupState) closestK() []Contact {
-	out := append(ls.result[:0], ls.shortlist...)
-	if len(out) > ls.node.cfg.K {
-		out = out[:ls.node.cfg.K]
+	sl := ls.shortlist
+	if len(sl) > ls.node.cfg.K {
+		// Truncate before copying: the shortlist holds every contact ever
+		// seen, and copying hundreds of entries to keep K showed up in the
+		// 100k-node profiles.
+		sl = sl[:ls.node.cfg.K]
+	}
+	out := ls.result[:0]
+	for i := range sl {
+		out = append(out, sl[i].c)
 	}
 	ls.result = out
 	return out
 }
 
 func (ls *lookupState) sortShortlist() {
-	// Re-sorted on every lookup step over a mostly-sorted list: insertion
-	// sort with the word-wise distance comparator is O(n + inversions)
-	// here and, unlike slices.SortFunc, allocates no comparator closure.
-	// IDs are unique in the shortlist, so the (stable) result matches any
-	// correct sort exactly.
+	// Only the tail appended since the last sort is out of place (removals
+	// keep the sorted prefix sorted), so insertion starts there: each new
+	// entry walks to its slot and the — much longer — settled prefix is
+	// never rescanned. Entries carry their packed distance lanes, so each
+	// comparison is at most three integer compares instead of re-decoding
+	// IDs. Distances are unique in the shortlist (distinct IDs), so the
+	// result matches a full stable sort exactly.
 	sl := ls.shortlist
-	for i := 1; i < len(sl); i++ {
+	start := ls.sorted
+	if start < 1 {
+		start = 1
+	}
+	for i := start; i < len(sl); i++ {
 		c := sl[i]
 		j := i - 1
-		for j >= 0 && ls.target.DistanceCompare(sl[j].ID, c.ID) > 0 {
+		for j >= 0 && sl[j].farther(c) {
 			sl[j+1] = sl[j]
 			j--
 		}
 		sl[j+1] = c
 	}
+	ls.sorted = len(sl)
 }

@@ -100,7 +100,7 @@ type Node struct {
 	// plain allocation instead of growing it without limit.
 	rx         Message
 	rxContacts []Contact
-	addrIntern map[string]transport.Addr
+	addrIntern addrTable
 	internFn   func([]byte) transport.Addr
 
 	// appSeen dedups acked app payloads by (sender, RPCID): a retrying or
@@ -114,7 +114,14 @@ type Node struct {
 	// Guarded by mu (the timeout path draws from it).
 	retryRng *stats.RNG
 
-	mu         sync.Mutex
+	mu sync.Mutex
+	// lsFree and rpcFree are per-node freelists for lookup states and
+	// in-flight RPC records (guarded by mu). Node-owned recycling keeps the
+	// records' grown buffers across the node's whole life; the global
+	// sync.Pools they replace were emptied at every GC, and on large runs
+	// the post-eviction re-allocations fed the next collection.
+	lsFree     []*lookupState
+	rpcFree    []*pendingRPC
 	pending    map[uint64]*pendingRPC
 	rpcSeq     uint64
 	values     map[ID]storedValue
@@ -185,12 +192,11 @@ func (c rpcCallback) deliver(m Message, err error) {
 	c.argFn(c.arg, m, err)
 }
 
-// pendingRPCs pools in-flight request records.
-var pendingRPCs = sync.Pool{New: func() any { return new(pendingRPC) }}
-
-// releasePending returns a settled record to the pool. The wire buffer
-// keeps its capacity for the record's next life.
+// releasePending returns a settled record to its node's freelist. The wire
+// buffer keeps its capacity for the record's next life. Callers must NOT
+// hold n.mu.
 func releasePending(p *pendingRPC) {
+	n := p.node
 	p.node = nil
 	p.cb = rpcCallback{}
 	p.timer = sim.ArgTimer{}
@@ -199,7 +205,9 @@ func releasePending(p *pendingRPC) {
 	p.attempt = 0
 	p.waiting = false
 	p.retry = false
-	pendingRPCs.Put(p)
+	n.mu.Lock()
+	n.rpcFree = append(n.rpcFree, p)
+	n.mu.Unlock()
 }
 
 // rpcTimeout is the package-level timeout callback: fires when the peer did
@@ -278,11 +286,10 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	cfg = cfg.withDefaults()
 	n := &Node{
-		cfg:        cfg,
-		table:      NewTable(cfg.ID, cfg.K, cfg.StaleAfter, func() time.Time { return cfg.Clock.Now() }),
-		pending:    make(map[uint64]*pendingRPC),
-		values:     make(map[ID]storedValue),
-		addrIntern: make(map[string]transport.Addr),
+		cfg:     cfg,
+		table:   NewTable(cfg.ID, cfg.K, cfg.StaleAfter, func() time.Time { return cfg.Clock.Now() }),
+		pending: make(map[uint64]*pendingRPC),
+		values:  make(map[ID]storedValue),
 	}
 	n.internFn = n.internAddr
 	if cfg.Retry.enabled() {
@@ -301,17 +308,83 @@ func NewNode(cfg Config) (*Node, error) {
 // maxInternedAddrs bounds the receive-path address intern table.
 const maxInternedAddrs = 1 << 16
 
+// addrTable is the receive path's open-addressing address interner: raw
+// address bytes hash (FNV-1a) to their canonical string. A contact decode is
+// one short hash and usually one slot probe — measurably cheaper than a
+// map[string]Addr lookup, which pays full map machinery per contact on the
+// hottest path in the simulator. Entries are never deleted.
+type addrTable struct {
+	slots []addrSlot // power-of-two length
+	used  int
+}
+
+type addrSlot struct {
+	hash uint64 // 0 = empty (occupied hashes are forced nonzero)
+	addr transport.Addr
+}
+
+func hashAddr(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
 // internAddr returns the canonical Addr for raw address bytes, remembering
 // it for future datagrams. Only the handle path uses it, which runs
-// serially, so the map needs no lock.
+// serially, so the table needs no lock.
 func (n *Node) internAddr(b []byte) transport.Addr {
-	if a, ok := n.addrIntern[string(b)]; ok {
-		return a
+	t := &n.addrIntern
+	h := hashAddr(b)
+	if t.used > 0 {
+		mask := len(t.slots) - 1
+		for i := int(h) & mask; ; i = (i + 1) & mask {
+			sl := &t.slots[i]
+			if sl.hash == 0 {
+				break
+			}
+			if sl.hash == h && string(sl.addr) == string(b) {
+				return sl.addr
+			}
+		}
 	}
 	a := transport.Addr(b)
-	if len(n.addrIntern) < maxInternedAddrs {
-		n.addrIntern[string(b)] = a
+	if t.used >= maxInternedAddrs {
+		// Bounded: a flood of unique addresses degrades to plain
+		// allocation instead of growing the table without limit.
+		return a
 	}
+	if 4*(t.used+1) > 3*len(t.slots) {
+		old := t.slots
+		size := 2 * len(old)
+		if size == 0 {
+			size = 32
+		}
+		t.slots = make([]addrSlot, size)
+		mask := size - 1
+		for i := range old {
+			if old[i].hash == 0 {
+				continue
+			}
+			j := int(old[i].hash) & mask
+			for t.slots[j].hash != 0 {
+				j = (j + 1) & mask
+			}
+			t.slots[j] = old[i]
+		}
+	}
+	mask := len(t.slots) - 1
+	i := int(h) & mask
+	for t.slots[i].hash != 0 {
+		i = (i + 1) & mask
+	}
+	t.slots[i] = addrSlot{hash: h, addr: a}
+	t.used++
 	return a
 }
 
@@ -475,7 +548,14 @@ func (n *Node) startRequestOpt(to Contact, m Message, cb rpcCallback, timeout ti
 	n.rpcSeq++
 	id := n.rpcSeq
 	m.RPCID = id
-	p := pendingRPCs.Get().(*pendingRPC)
+	var p *pendingRPC
+	if k := len(n.rpcFree); k > 0 {
+		p = n.rpcFree[k-1]
+		n.rpcFree[k-1] = nil
+		n.rpcFree = n.rpcFree[:k-1]
+	} else {
+		p = new(pendingRPC)
+	}
 	p.node, p.cb, p.to, p.id = n, cb, to.ID, id
 	p.addr, p.timeout, p.attempt, p.retry = to.Addr, timeout, 1, retry
 	p.timer = sim.AfterFuncArg(n.cfg.Clock, timeout, rpcTimeout, p)

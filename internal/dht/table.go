@@ -3,7 +3,7 @@ package dht
 import (
 	"encoding/binary"
 	"fmt"
-	"slices"
+	"math/bits"
 	"sync"
 	"time"
 
@@ -16,10 +16,19 @@ type Contact struct {
 	Addr transport.Addr
 }
 
-// bucketEntry tracks liveness metadata alongside the contact.
+// bucketEntry tracks liveness metadata alongside the contact. The ID is
+// carried twice: as bytes (inside Contact, for identity compares and
+// copy-out) and pre-packed into big-endian lanes, so the selection scan
+// XORs lanes against the target directly instead of byte-swapping every
+// entry's ID on every Closest call. lastSeen is UnixNano on the table
+// clock rather than a time.Time: with millions of live entries the
+// time.Time location pointer alone was a measurable garbage-collector
+// scan cost, and the staleness test only ever needs a subtraction.
 type bucketEntry struct {
 	Contact
-	lastSeen time.Time
+	l0, l1   uint64
+	l2       uint32
+	lastSeen int64
 }
 
 // bucket is one k-bucket: live entries least-recently-seen first, plus a
@@ -90,6 +99,21 @@ type Table struct {
 	policy  TablePolicy
 	pinger  func(Contact, func(alive bool))
 	buckets [IDBits]bucket
+	// occupied is a bitmap of buckets with live entries (bit i ↔ buckets[i]),
+	// so the selection scan walks the ~log2(N) populated buckets directly
+	// instead of testing all IDBits lengths per call. Guarded by mu.
+	occupied [(IDBits + 63) / 64]uint64
+}
+
+// setOccupied resyncs bucket idx's occupancy bit. Callers hold t.mu and call
+// it after any mutation that can change len(entries) across zero.
+func (t *Table) setOccupied(idx int) {
+	bit := uint64(1) << (idx & 63)
+	if len(t.buckets[idx].entries) != 0 {
+		t.occupied[idx>>6] |= bit
+	} else {
+		t.occupied[idx>>6] &^= bit
+	}
 }
 
 // NewTable creates a routing table for the given node. A standalone table
@@ -156,7 +180,7 @@ func (t *Table) observe(c Contact, verified bool) {
 			if verified {
 				entries[i].Addr = c.Addr
 			}
-			entries[i].lastSeen = t.now()
+			entries[i].lastSeen = t.now().UnixNano()
 			// Move to tail (most recently seen).
 			entry := entries[i]
 			copy(entries[i:], entries[i+1:])
@@ -165,9 +189,23 @@ func (t *Table) observe(c Contact, verified bool) {
 			return
 		}
 	}
-	entry := bucketEntry{Contact: c, lastSeen: t.now()}
+	entry := bucketEntry{Contact: c, lastSeen: t.now().UnixNano()}
+	entry.l0 = binary.BigEndian.Uint64(c.ID[:])
+	entry.l1 = binary.BigEndian.Uint64(c.ID[8:])
+	entry.l2 = binary.BigEndian.Uint32(c.ID[16:])
 	if len(entries) < t.k {
+		if cap(entries) == 0 {
+			// First insert: skip the smallest growth steps without paying a
+			// full K×entry zeroed allocation for the many buckets that stay
+			// nearly empty (the far tail of every node's table).
+			n := 8
+			if n > t.k {
+				n = t.k
+			}
+			entries = make([]bucketEntry, 0, n)
+		}
 		b.entries = append(entries, entry)
+		t.setOccupied(idx)
 		t.mu.Unlock()
 		return
 	}
@@ -176,7 +214,7 @@ func (t *Table) observe(c Contact, verified bool) {
 		// Naive: replace the least-recently-seen entry if it looks stale on
 		// the local clock — no liveness check, so a forged-contact flood can
 		// displace live peers (the measured weakness of this policy).
-		if t.staleAfter > 0 && t.now().Sub(entries[0].lastSeen) > t.staleAfter {
+		if t.staleAfter > 0 && t.now().UnixNano()-entries[0].lastSeen > int64(t.staleAfter) {
 			copy(entries, entries[1:])
 			entries[len(entries)-1] = entry
 		}
@@ -187,7 +225,7 @@ func (t *Table) observe(c Contact, verified bool) {
 	// Ping-evict: the newcomer waits in the replacement cache while the
 	// least-recently-seen live entry is probed. Nothing is evicted on the
 	// newcomer's word alone.
-	t.upsertSpare(b, c, entry.lastSeen, verified)
+	t.upsertSpare(b, entry, verified)
 	var probe Contact
 	start := !b.probing && t.pinger != nil
 	if start {
@@ -207,13 +245,13 @@ func (t *Table) observe(c Contact, verified bool) {
 
 // upsertSpare inserts or refreshes a replacement-cache record, newest last,
 // capped at k (oldest dropped first). Callers hold t.mu.
-func (t *Table) upsertSpare(b *bucket, c Contact, seen time.Time, verified bool) {
+func (t *Table) upsertSpare(b *bucket, e bucketEntry, verified bool) {
 	for i := range b.spare {
-		if b.spare[i].ID == c.ID {
+		if b.spare[i].ID == e.ID {
 			if verified {
-				b.spare[i].Addr = c.Addr
+				b.spare[i].Addr = e.Addr
 			}
-			b.spare[i].lastSeen = seen
+			b.spare[i].lastSeen = e.lastSeen
 			entry := b.spare[i]
 			copy(b.spare[i:], b.spare[i+1:])
 			b.spare[len(b.spare)-1] = entry
@@ -224,7 +262,7 @@ func (t *Table) upsertSpare(b *bucket, c Contact, seen time.Time, verified bool)
 		copy(b.spare, b.spare[1:])
 		b.spare = b.spare[:len(b.spare)-1]
 	}
-	b.spare = append(b.spare, bucketEntry{Contact: c, lastSeen: seen})
+	b.spare = append(b.spare, e)
 }
 
 // probeDone finishes a liveness probe: the probing slot reopens, and if the
@@ -240,6 +278,7 @@ func (t *Table) probeDone(id ID, _ bool) {
 	b := &t.buckets[idx]
 	b.probing = false
 	t.promoteSpares(b)
+	t.setOccupied(idx)
 }
 
 // promoteSpares moves replacement-cache records (newest first) into free
@@ -267,6 +306,7 @@ func (t *Table) Remove(id ID) {
 		if b.entries[i].ID == id {
 			b.entries = append(b.entries[:i], b.entries[i+1:]...)
 			t.promoteSpares(b)
+			t.setOccupied(idx)
 			return
 		}
 	}
@@ -300,6 +340,28 @@ func (a ranked) farther(b ranked) bool {
 	return a.d2 > b.d2
 }
 
+// beyond reports whether the candidate lies strictly beyond the distance
+// given as packed lanes.
+func (a ranked) beyond(b0, b1 uint64, b2 uint32) bool {
+	if a.d0 != b0 {
+		return a.d0 > b0
+	}
+	if a.d1 != b1 {
+		return a.d1 > b1
+	}
+	return a.d2 > b2
+}
+
+// rankContact packs c with its XOR distance lanes from target.
+func rankContact(target ID, c Contact) ranked {
+	return ranked{
+		d0: binary.BigEndian.Uint64(c.ID[:]) ^ binary.BigEndian.Uint64(target[:]),
+		d1: binary.BigEndian.Uint64(c.ID[8:]) ^ binary.BigEndian.Uint64(target[8:]),
+		d2: binary.BigEndian.Uint32(c.ID[16:]) ^ binary.BigEndian.Uint32(target[16:]),
+		c:  c,
+	}
+}
+
 // rankedScratch pools the selection heaps Closest runs on, so the per-call
 // cost is the selection itself, not its buffers.
 var rankedScratch = sync.Pool{New: func() any { return new([]ranked) }}
@@ -313,33 +375,121 @@ func (t *Table) Closest(target ID, count int) []Contact {
 // AppendClosest appends up to count contacts closest to target under XOR
 // distance to dst, nearest first — the allocation-free form for receive
 // paths that recycle a result buffer. This is the per-message hot path
-// (every FIND_NODE handler and every lookup bootstrap runs it), so instead
-// of sorting the whole table it runs an exact bounded selection: a
-// count-sized max-heap on word-packed precomputed distances — most contacts
-// fall to one integer comparison against the heap root — followed by a
-// final sort of just the survivors. Distances are unique (distinct IDs), so
-// the selected set and its order match a full sort exactly.
+// (every FIND_NODE handler and every lookup bootstrap runs it); the
+// selection itself lives in appendClosestRanked.
 func (t *Table) AppendClosest(dst []Contact, target ID, count int) []Contact {
+	if count <= 0 {
+		return dst
+	}
+	hp := rankedScratch.Get().(*[]ranked)
+	heap := t.appendClosestRanked((*hp)[:0], target, count)
+	if dst == nil {
+		dst = make([]Contact, 0, len(heap))
+	}
+	for i := range heap {
+		dst = append(dst, heap[i].c)
+	}
+	*hp = heap[:0]
+	rankedScratch.Put(hp)
+	return dst
+}
+
+// bucketBound is one non-empty bucket in the pruned scan order: its index
+// plus the packed lower bound on the XOR distance from the target that any
+// of its entries can achieve.
+type bucketBound struct {
+	l0, l1 uint64
+	l2     uint32
+	idx    int
+}
+
+// above orders bounds by floor, larger first.
+func (a bucketBound) above(b bucketBound) bool {
+	if a.l0 != b.l0 {
+		return a.l0 > b.l0
+	}
+	if a.l1 != b.l1 {
+		return a.l1 > b.l1
+	}
+	return a.l2 > b.l2
+}
+
+// appendClosestRanked is the selection core behind AppendClosest and the
+// lookup shortlist bootstrap: it appends the count contacts closest to
+// target to dst as ranked entries (distance lanes included), nearest first.
+//
+// It runs an exact bounded selection — a count-sized max-heap on
+// word-packed distances, so most candidates fall to one integer comparison
+// against the heap root — over a bucket scan pruned by per-bucket distance
+// floors. Every entry of bucket b differs from self first at bit b, so its
+// distance from target equals self XOR target on the bits above b, the
+// flipped bit of that distance at b, and arbitrary bits below: an exact
+// floor. Buckets are visited floor-ascending, and once the heap is full
+// with its farthest member at or under the next floor no unscanned entry
+// can displace anything, so the scan stops — near a populated table's
+// target neighbourhood that leaves one or two buckets of the ~log2(N)
+// non-empty ones. Distances are unique (distinct IDs), so the pruned
+// selection and its nearest-first order match a full sort exactly.
+func (t *Table) appendClosestRanked(dst []ranked, target ID, count int) []ranked {
 	if count <= 0 {
 		return dst
 	}
 	t0 := binary.BigEndian.Uint64(target[:])
 	t1 := binary.BigEndian.Uint64(target[8:])
 	t2 := binary.BigEndian.Uint32(target[16:])
-	hp := rankedScratch.Get().(*[]ranked)
-	heap := (*hp)[:0]
+	// The self-to-target distance lanes the per-bucket floors are carved
+	// from.
+	s0 := binary.BigEndian.Uint64(t.self[:]) ^ t0
+	s1 := binary.BigEndian.Uint64(t.self[8:]) ^ t1
+	s2 := binary.BigEndian.Uint32(t.self[16:]) ^ t2
+	heap := dst
 	t.mu.Lock()
-	for i := range t.buckets {
-		for _, e := range t.buckets[i].entries {
-			r := ranked{
-				d0: binary.BigEndian.Uint64(e.ID[:]) ^ t0,
-				d1: binary.BigEndian.Uint64(e.ID[8:]) ^ t1,
-				d2: binary.BigEndian.Uint32(e.ID[16:]) ^ t2,
-				c:  e.Contact,
+	var order [IDBits]bucketBound
+	nb := 0
+	for w, word := range t.occupied {
+		for word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			b := bucketBound{idx: i}
+			switch {
+			case i < 64:
+				b.l0 = s0&^(^uint64(0)>>i) | ^s0&(1<<(63-i))
+			case i < 128:
+				b.l0 = s0
+				b.l1 = s1&^(^uint64(0)>>(i-64)) | ^s1&(1<<(127-i))
+			default:
+				b.l0, b.l1 = s0, s1
+				b.l2 = s2&^(^uint32(0)>>(i-128)) | ^s2&(1<<(159-i))
 			}
+			// Floor-ascending insertion sort; only ~log2(N) buckets are
+			// non-empty.
+			j := nb - 1
+			for j >= 0 && order[j].above(b) {
+				order[j+1] = order[j]
+				j--
+			}
+			order[j+1] = b
+			nb++
+		}
+	}
+	for bi := 0; bi < nb; bi++ {
+		ob := &order[bi]
+		if len(heap) == count && !heap[0].beyond(ob.l0, ob.l1, ob.l2) {
+			// The farthest kept contact is at or under this bucket's floor,
+			// and floors only rise from here: nothing left can improve.
+			break
+		}
+		entries := t.buckets[ob.idx].entries
+		for ei := range entries {
+			// By pointer: a by-value range would copy the whole entry
+			// per candidate just to read half of it.
+			e := &entries[ei]
+			d0 := e.l0 ^ t0
+			d1 := e.l1 ^ t1
+			d2 := e.l2 ^ t2
 			if len(heap) < count {
 				// Grow phase: sift the newcomer up the max-heap.
-				heap = append(heap, r)
+				heap = append(heap, ranked{d0: d0, d1: d1, d2: d2, c: e.Contact})
 				for j := len(heap) - 1; j > 0; {
 					parent := (j - 1) / 2
 					if !heap[j].farther(heap[parent]) {
@@ -348,9 +498,12 @@ func (t *Table) AppendClosest(dst []Contact, target ID, count int) []Contact {
 					heap[j], heap[parent] = heap[parent], heap[j]
 					j = parent
 				}
-			} else if heap[0].farther(r) {
-				// Replacement phase: evict the farthest kept contact.
-				heap[0] = r
+			} else if heap[0].beyond(d0, d1, d2) {
+				// Replacement phase: evict the farthest kept contact. The
+				// common case once the heap is full is rejection after the
+				// lane compare above — candidates that lose never pay the
+				// contact copy into a ranked record.
+				heap[0] = ranked{d0: d0, d1: d1, d2: d2, c: e.Contact}
 				for j := 0; ; {
 					l, rgt := 2*j+1, 2*j+2
 					largest := j
@@ -370,24 +523,30 @@ func (t *Table) AppendClosest(dst []Contact, target ID, count int) []Contact {
 		}
 	}
 	t.mu.Unlock()
-	slices.SortFunc(heap, func(a, b ranked) int {
-		if a.farther(b) {
-			return 1
+	// In-place heapsort of the survivors: repeatedly retire the farthest to
+	// the end — ascending by distance, nearest first, identical to a
+	// comparator sort because distances are unique. Reuses the max-heap the
+	// selection already built instead of paying an indirect-comparator sort.
+	for end := len(heap) - 1; end > 0; end-- {
+		heap[0], heap[end] = heap[end], heap[0]
+		h := heap[:end]
+		for j := 0; ; {
+			l, rgt := 2*j+1, 2*j+2
+			largest := j
+			if l < len(h) && h[l].farther(h[largest]) {
+				largest = l
+			}
+			if rgt < len(h) && h[rgt].farther(h[largest]) {
+				largest = rgt
+			}
+			if largest == j {
+				break
+			}
+			h[j], h[largest] = h[largest], h[j]
+			j = largest
 		}
-		if b.farther(a) {
-			return -1
-		}
-		return 0
-	})
-	if dst == nil {
-		dst = make([]Contact, 0, len(heap))
 	}
-	for _, r := range heap {
-		dst = append(dst, r.c)
-	}
-	*hp = heap[:0]
-	rankedScratch.Put(hp)
-	return dst
+	return heap
 }
 
 // Len returns the number of tracked contacts.

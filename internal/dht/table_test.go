@@ -248,17 +248,17 @@ func (m *modelTable) observe(c Contact) {
 	for i := range b {
 		if b[i].ID == c.ID {
 			e := b[i]
-			e.lastSeen = m.now()
+			e.lastSeen = m.now().UnixNano()
 			m.buckets[idx] = append(append(append([]bucketEntry{}, b[:i]...), b[i+1:]...), e)
 			return
 		}
 	}
-	e := bucketEntry{Contact: c, lastSeen: m.now()}
+	e := bucketEntry{Contact: c, lastSeen: m.now().UnixNano()}
 	if len(b) < m.k {
 		m.buckets[idx] = append(b, e)
 		return
 	}
-	if m.now().Sub(b[0].lastSeen) > m.staleAfter {
+	if m.now().UnixNano()-b[0].lastSeen > int64(m.staleAfter) {
 		m.buckets[idx] = append(append([]bucketEntry{}, b[1:]...), e)
 	}
 }

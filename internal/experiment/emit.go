@@ -42,6 +42,26 @@ func (rs *ResultSet) hasFaultArm() bool {
 	return false
 }
 
+// loopHeader extends csvHeader for result sets measured on the partition
+// engine, carrying its event-loop counters. Conditional like faultHeader so
+// recorded non-partitioned sweeps keep their historical bytes.
+var loopHeader = []string{
+	"epochs", "idle_skips", "merge_allocs",
+}
+
+// hasLoopStats reports whether any result ran on the partition engine. The
+// test is on the measured counters, not the point's Partition axis: an
+// estimator-level Partition setting leaves the points untouched but still
+// produces epochs.
+func (rs *ResultSet) hasLoopStats() bool {
+	for _, res := range rs.Results {
+		if res.Epochs > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 func fnum(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
 
 // attackLabel names the point's adversary for the emitters: the strategy
@@ -61,8 +81,15 @@ func attackLabel(pt Point) string {
 func (rs *ResultSet) WriteCSV(w io.Writer) error {
 	header := csvHeader
 	faultArm := rs.hasFaultArm()
+	loopArm := rs.hasLoopStats()
+	if faultArm || loopArm {
+		header = append([]string(nil), csvHeader...)
+	}
 	if faultArm {
-		header = append(append([]string(nil), csvHeader...), faultHeader...)
+		header = append(header, faultHeader...)
+	}
+	if loopArm {
+		header = append(header, loopHeader...)
 	}
 	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
 		return err
@@ -95,6 +122,12 @@ func (rs *ResultSet) WriteCSV(w io.Writer) error {
 				pt.Fault.String(), fnum(pt.FaultSev), strconv.Itoa(pt.Retry),
 				strconv.FormatUint(res.Retries, 10), strconv.FormatUint(res.Recovered, 10),
 				strconv.FormatUint(res.Duplicates, 10),
+			)
+		}
+		if loopArm {
+			row = append(row,
+				strconv.FormatUint(res.Epochs, 10), strconv.FormatUint(res.IdleSkips, 10),
+				strconv.FormatUint(res.MergeAllocs, 10),
 			)
 		}
 		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
@@ -168,6 +201,15 @@ type resultJSON struct {
 	Retries    uint64  `json:"retries,omitempty"`
 	Recovered  uint64  `json:"recovered,omitempty"`
 	Duplicates uint64  `json:"dup_deliveries,omitempty"`
+
+	// Partition event-loop counters, omitempty: absent on every point not
+	// measured through the partition engine, so recorded sweep JSON keeps
+	// its exact bytes. IdleSkips and MergeAllocs piggyback on Epochs > 0
+	// (an engine run always executes at least one epoch) so a measured zero
+	// still emits on partitioned points.
+	Epochs      uint64  `json:"epochs,omitempty"`
+	IdleSkips   *uint64 `json:"idle_skips,omitempty"`
+	MergeAllocs *uint64 `json:"merge_allocs,omitempty"`
 }
 
 // WriteJSON renders the whole result set as one indented JSON document.
@@ -208,6 +250,11 @@ func (rs *ResultSet) WriteJSON(w io.Writer) error {
 			rj.Fault = pt.Fault.String()
 			rj.FaultSev, rj.Retry = pt.FaultSev, pt.Retry
 			rj.Retries, rj.Recovered, rj.Duplicates = res.Retries, res.Recovered, res.Duplicates
+		}
+		if res.Epochs > 0 {
+			idle, mallocs := res.IdleSkips, res.MergeAllocs
+			rj.Epochs = res.Epochs
+			rj.IdleSkips, rj.MergeAllocs = &idle, &mallocs
 		}
 		doc.Results = append(doc.Results, rj)
 	}

@@ -212,6 +212,13 @@ type Result struct {
 	// points and the abstract estimators.
 	Retries, Recovered, Duplicates uint64
 
+	// Epochs, IdleSkips and MergeAllocs are the partition engine's
+	// event-loop counters: lockstep epoch barriers executed, epochs with at
+	// most one busy shard, and hand-off outbox capacity growths. Pure
+	// functions of the point (independent of GOMAXPROCS and worker counts);
+	// all zero for non-partitioned points and the abstract estimators.
+	Epochs, IdleSkips, MergeAllocs uint64
+
 	// Elapsed is the wall-clock cost of the point. It is excluded from the
 	// deterministic emitters.
 	Elapsed time.Duration

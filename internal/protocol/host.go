@@ -137,10 +137,41 @@ type heldPackage struct {
 	due    bool
 	done   bool
 	timer  sim.Timer
+	// buf is the pooled custody clone backing pkt.Data; it goes back to
+	// custodyBufs once the sealed bytes are dead (see releaseBuf).
+	buf *[]byte
 	// triedShares memoizes the size of the share collection the last failed
 	// recovery attempt ran against, so advance() re-enumerates candidate
 	// keys only after new share material arrives.
 	triedShares int
+}
+
+// custodyBufs pools package-custody clones: a packet's delivery buffer is
+// recycled when the handler returns, so taking custody copies the bytes.
+// The copy is dead the moment the package peels (the peeled layer owns
+// fresh plaintext from the decrypt) or a central hold fires its send, and
+// returns to the pool there — a steady mission workload re-uses a small
+// set of clone buffers instead of allocating one per custody.
+var custodyBufs = sync.Pool{New: func() any { return new([]byte) }}
+
+// cloneCustody copies data into a pooled custody buffer.
+func cloneCustody(data []byte) *[]byte {
+	buf := custodyBufs.Get().(*[]byte)
+	*buf = append((*buf)[:0], data...)
+	return buf
+}
+
+// releaseBuf returns the custody clone to the pool once the sealed bytes
+// are dead: after a successful peel the layer owns fresh plaintext, and a
+// fired central hold has already encoded its send. Callers hold the host
+// lock (hp is mu-guarded state).
+func (hp *heldPackage) releaseBuf() {
+	if hp.buf == nil {
+		return
+	}
+	hp.pkt.Data = nil
+	custodyBufs.Put(hp.buf)
+	hp.buf = nil
 }
 
 // NewHost creates a host; call Attach to bind it to its node after the
@@ -208,8 +239,9 @@ func (h *Host) onCentral(pkt Packet) {
 		h.mu.Unlock()
 		return // replica already in custody: no clone for routine duplicates
 	}
-	pkt.Data = append([]byte(nil), pkt.Data...) // custody outlives the delivery buffer
-	hp := &heldPackage{pkt: pkt}
+	buf := cloneCustody(pkt.Data) // custody outlives the delivery buffer
+	pkt.Data = *buf
+	hp := &heldPackage{pkt: pkt, buf: buf}
 	ms.central = hp
 	h.mu.Unlock()
 	h.scheduleHold(hp, func() {
@@ -218,6 +250,10 @@ func (h *Host) onCentral(pkt Packet) {
 			Kind:    PkSecret,
 			Data:    pkt.Data,
 		}, 1)
+		// sendPacket encodes synchronously; the custody bytes are dead.
+		h.mu.Lock()
+		hp.releaseBuf()
+		h.mu.Unlock()
 	})
 }
 
@@ -341,8 +377,9 @@ func (h *Host) onOnion(pkt Packet, main bool) {
 			h.mu.Unlock()
 			return // replica already in custody (joint fan-in), no clone paid
 		}
-		pkt.Data = append([]byte(nil), pkt.Data...) // custody outlives the delivery buffer
-		hp = &heldPackage{pkt: pkt}
+		buf := cloneCustody(pkt.Data) // custody outlives the delivery buffer
+		pkt.Data = *buf
+		hp = &heldPackage{pkt: pkt, buf: buf}
 		if ms.mainSealed == nil {
 			ms.mainSealed = make(map[int]*heldPackage, 2)
 		}
@@ -353,8 +390,9 @@ func (h *Host) onOnion(pkt Packet, main bool) {
 			h.mu.Unlock()
 			return
 		}
-		pkt.Data = append([]byte(nil), pkt.Data...)
-		hp = &heldPackage{pkt: pkt}
+		buf := cloneCustody(pkt.Data)
+		pkt.Data = *buf
+		hp = &heldPackage{pkt: pkt, buf: buf}
 		if ms.slotSealed == nil {
 			ms.slotSealed = make(map[slotRef]*heldPackage, 2)
 		}
@@ -645,6 +683,7 @@ func (ms *missionState) peelLocked(hp *heldPackage, key seal.Key, direct bool, s
 		if s := ms.sealerFor(key); s != nil {
 			if layer, err := onion.PeelSealer(s, hp.pkt.Data); err == nil {
 				hp.peeled = &layer
+				hp.releaseBuf() // the layer owns fresh plaintext; the sealed clone is dead
 			}
 		}
 		return seal.Key{}, false
@@ -660,6 +699,7 @@ func (ms *missionState) peelLocked(hp *heldPackage, key seal.Key, direct bool, s
 		}
 		if layer, err := onion.PeelSealer(s, hp.pkt.Data); err == nil {
 			hp.peeled = &layer
+			hp.releaseBuf()
 			ms.cacheSealer(cand, s)
 			return cand, true
 		}

@@ -161,13 +161,16 @@ var pktBufs = sync.Pool{New: func() any { return new([]byte) }}
 
 // sendPacket encodes p into a pooled buffer and routes it to the current
 // owners of slot, reclaiming the buffer once the lookup-and-send completes.
+// The arg-threaded completion keeps the steady send path closure-free.
 func sendPacket(node *dht.Node, slot dht.ID, p Packet, replicas int) {
 	buf := pktBufs.Get().(*[]byte)
 	data := p.AppendEncode((*buf)[:0])
 	*buf = data
-	node.SendToOwners(slot, data, replicas, func(dht.Contact, error) {
-		pktBufs.Put(buf)
-	})
+	node.SendToOwnersArg(slot, data, replicas, sendPacketDone, buf)
+}
+
+func sendPacketDone(v any, _ dht.Contact, _ error) {
+	pktBufs.Put(v.(*[]byte))
 }
 
 // send routes one packet to the owners of the given slot identifier.

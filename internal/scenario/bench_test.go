@@ -76,22 +76,40 @@ func BenchmarkScenarioMissionsParallel(b *testing.B) {
 // is compared against (the >1.5x multi-core target recorded in
 // BENCH_scenario.json). For a fixed S, results are byte-identical at any
 // GOMAXPROCS or worker count; only the wall clock moves.
+//
+// The S=2 arm is fixed-shape on every machine, and its epochs/idle_skips/
+// merge_allocs metrics are pure functions of the workload (not of core or
+// worker counts) — that arm's epoch count is what CI gates, so a lookahead
+// or barrier regression that multiplies the epoch count fails the build
+// even when the wall clock hides it.
 func BenchmarkScenarioMissionsPartitioned(b *testing.B) {
-	for _, s := range []int{1, runtime.GOMAXPROCS(0)} {
+	shapes := []int{1, 2}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 {
+		shapes = append(shapes, g)
+	}
+	for _, s := range shapes {
 		b.Run(fmt.Sprintf("S=%d", s), func(b *testing.B) {
 			const missions = 20
 			cfg := benchCfg(missions, 1)
 			cfg.Shards = 0
 			cfg.Nodes = 600
 			cfg.Partition = s
+			var epochs, idleSkips, mergeAllocs uint64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := scenario.Run(cfg); err != nil {
+				report, err := scenario.Run(cfg)
+				if err != nil {
 					b.Fatal(err)
 				}
+				epochs += report.Epochs
+				idleSkips += report.IdleSkips
+				mergeAllocs += report.MergeAllocs
 			}
 			b.ReportMetric(float64(missions*b.N)/b.Elapsed().Seconds(), "missions/sec")
 			b.ReportMetric(float64(s), "loops")
+			b.ReportMetric(float64(epochs)/float64(b.N), "epochs")
+			b.ReportMetric(float64(idleSkips)/float64(b.N), "idle_skips")
+			b.ReportMetric(float64(mergeAllocs)/float64(b.N), "merge_allocs")
 		})
 	}
 }

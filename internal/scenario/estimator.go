@@ -196,6 +196,9 @@ func (e *Estimator) Estimate(pt experiment.Point) (experiment.Result, error) {
 		Retries:      report.Retries,
 		Recovered:    report.Recovered,
 		Duplicates:   report.Duplicates,
+		Epochs:       report.Epochs,
+		IdleSkips:    report.IdleSkips,
+		MergeAllocs:  report.MergeAllocs,
 		Elapsed:      report.Elapsed,
 	}, nil
 }

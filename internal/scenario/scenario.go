@@ -334,6 +334,11 @@ type Report struct {
 	// RPCs recovered by a re-send, and receiver-suppressed duplicate
 	// deliveries. All zero on single-shot (Retry <= 1) runs.
 	Retries, Recovered, Duplicates uint64
+	// Partition event-loop counters: epoch barriers executed, epochs with
+	// at most one busy shard, and hand-off outbox capacity growths. Pure
+	// functions of configuration and seed (never of GOMAXPROCS or worker
+	// counts), zero outside partition mode.
+	Epochs, IdleSkips, MergeAllocs uint64
 	Elapsed                        time.Duration // wall-clock time of the live run
 }
 

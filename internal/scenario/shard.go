@@ -72,11 +72,12 @@ func (c Config) shardConfigs() []Config {
 
 // shardOutcome is one shard's complete contribution to the merged report.
 type shardOutcome struct {
-	res                  Result
-	deaths, joins        int
-	sent, recv, dropped  int
-	retries, recov, dups uint64
-	err                  error
+	res                        Result
+	deaths, joins              int
+	sent, recv, dropped        int
+	retries, recov, dups       uint64
+	epochs, idleSkips, mallocs uint64
+	err                        error
 }
 
 // runShard executes the three live phases for one single-network shard
@@ -95,6 +96,7 @@ func runShard(cfg Config) shardOutcome {
 	out.sent, out.recv, out.dropped = net.FabricStats()
 	rs := net.ResilienceStats()
 	out.retries, out.recov, out.dups = rs.Retries, rs.Recovered, rs.Duplicates
+	out.epochs, out.idleSkips, out.mallocs = net.LoopStats()
 	return out
 }
 
@@ -161,6 +163,9 @@ func measureShards(cfg Config, report *Report) error {
 		report.Retries += out.retries
 		report.Recovered += out.recov
 		report.Duplicates += out.dups
+		report.Epochs += out.epochs
+		report.IdleSkips += out.idleSkips
+		report.MergeAllocs += out.mallocs
 	}
 	return nil
 }

@@ -1,10 +1,12 @@
 // Package sim provides the discrete-event simulation engine the in-process
-// DHT experiments run on: a virtual clock with an event heap, deterministic
-// ordering, and a Clock abstraction that lets the same DHT and protocol code
-// run on either simulated or wall-clock time.
+// DHT experiments run on: a virtual clock with a hierarchical timer wheel,
+// deterministic ordering, and a Clock abstraction that lets the same DHT and
+// protocol code run on either simulated or wall-clock time.
 package sim
 
 import (
+	"math/bits"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -136,22 +138,46 @@ func (rt realTimer) Stop() bool { return rt.t.Stop() }
 // recycled through a pool with generation-checked timer handles instead of
 // allocating per schedule, and cancellation is a single compare-and-swap on
 // the event's packed state word rather than a per-event mutex.
+//
+// The pending queue is a hierarchical timer wheel (Varghese–Lauck), not a
+// binary heap: schedule and cancel are O(1) amortized regardless of how many
+// far-future timers are parked (per-node refresh loops, hold timers), where
+// a heap charges every near-horizon RPC timeout and delivery event O(log n)
+// against the whole standing population. Events that share a wheel tick are
+// sorted by (at, seq) once when their slot is drained, so dispatch order is
+// the exact (at, seq) total order the heap produced.
 type Simulator struct {
 	now  atomic.Int64 // virtual time, Unix nanoseconds
 	live atomic.Int64 // queued events that have not run and are not cancelled
 
-	mu    sync.Mutex // guards seq and queue
+	mu    sync.Mutex // guards seq, wheel and the NextAt cache
 	seq   uint64
-	queue eventHeap
+	wheel timerWheel
 
-	pool sync.Pool // recycled *event records
+	// NextAt cache: the earliest pending event as of the last full scan.
+	// Self-invalidating — dispatch, cancellation and recycling all change the
+	// event's packed state word, so cacheValid() detects staleness without
+	// any bookkeeping on those paths; schedule keeps the cache exact by
+	// min-updating it. This is what keeps the Lockstep barrier's per-epoch
+	// probe O(1) on idle shards.
+	cachedEv  *event
+	cachedGen uint64
+
+	// Recycled *event records, guarded by their own leaf mutex. A
+	// per-simulator freelist (rather than a sync.Pool) keeps the records
+	// across garbage collections: on multi-gigabyte runs pool eviction made
+	// every post-GC schedule allocate, feeding the next collection.
+	freeMu sync.Mutex
+	free   []*event
 }
 
 // NewSimulator returns a simulator starting at the Unix epoch plus one hour
 // (so negative offsets in tests stay valid).
 func NewSimulator() *Simulator {
 	s := &Simulator{}
-	s.now.Store(time.Unix(0, 0).Add(time.Hour).UnixNano())
+	start := time.Unix(0, 0).Add(time.Hour).UnixNano()
+	s.now.Store(start)
+	s.wheel.wtime = start >> wheelShift
 	return s
 }
 
@@ -192,9 +218,14 @@ func (s *Simulator) schedule(d time.Duration, fn func(), argFn func(any), arg an
 		d = 0
 	}
 	var ev *event
-	if v := s.pool.Get(); v != nil {
-		ev = v.(*event)
-	} else {
+	s.freeMu.Lock()
+	if k := len(s.free); k > 0 {
+		ev = s.free[k-1]
+		s.free[k-1] = nil
+		s.free = s.free[:k-1]
+	}
+	s.freeMu.Unlock()
+	if ev == nil {
 		ev = &event{sim: s}
 	}
 	// Re-arm under the generation the release bumped: handles to the
@@ -209,9 +240,26 @@ func (s *Simulator) schedule(d time.Duration, fn func(), argFn func(any), arg an
 	s.mu.Lock()
 	ev.seq = s.seq
 	s.seq++
-	s.queue.push(ev)
+	s.wheel.insert(ev)
+	// Keep a valid NextAt cache exact: a new event can only lower the
+	// minimum. A stale cache stays stale (the new event need not be the
+	// minimum of the whole wheel) and the next NextAt recomputes.
+	if s.cachedAt() != 1<<63-1 && ev.at < s.cachedEv.at {
+		s.cachedEv, s.cachedGen = ev, gen
+	}
 	s.mu.Unlock()
 	return ev, gen
+}
+
+// cachedAt returns the cached earliest pending timestamp, or maxInt64 when
+// the cache is stale (its event dispatched, cancelled or recycled — all of
+// which move the packed state word off the cached generation's pending
+// value). Callers hold s.mu.
+func (s *Simulator) cachedAt() int64 {
+	if s.cachedEv != nil && s.cachedEv.state.Load() == s.cachedGen<<stateGenShift|statusPending {
+		return s.cachedEv.at
+	}
+	return 1<<63 - 1
 }
 
 // Step executes the next pending event, advancing the clock to its
@@ -234,7 +282,7 @@ func (s *Simulator) step(bound int64) bool {
 	}
 	s.mu.Unlock()
 	fn, argFn, arg := ev.fn, ev.argFn, ev.arg
-	// Release before dispatch: the record is out of the heap and marked done,
+	// Release before dispatch: the record is out of the wheel and marked done,
 	// so fn (and any concurrent scheduler) may reuse it immediately; stale
 	// timer handles fail their generation check.
 	s.release(ev)
@@ -273,32 +321,34 @@ func (s *Simulator) RunFor(d time.Duration) {
 
 // Pending returns the number of queued events (cancelled ones excluded) in
 // O(1): the counter moves on schedule, cancel and dispatch, so lazily
-// deleted cancelled records still in the heap never distort it.
+// deleted cancelled records still in the wheel never distort it.
 func (s *Simulator) Pending() int {
 	return int(s.live.Load())
 }
 
-// NextAt returns the timestamp of the earliest pending event, discarding
-// lazily cancelled heap heads along the way; ok is false when nothing is
-// pending. It is the lookahead probe of the Lockstep epoch barrier: the
-// barrier sizes each epoch from the earliest event across all member
-// simulators. A concurrent Stop between the peek and the epoch merely
-// shrinks the epoch — never past a runnable event — so the probe stays
-// conservative.
+// NextAt returns the timestamp of the earliest pending event, purging lazily
+// cancelled records it scans past; ok is false when nothing is pending. It
+// is the lookahead probe of the Lockstep epoch barrier: the barrier sizes
+// each epoch from the earliest event across all member simulators. The
+// result is cached on the event itself (see cachedAt), so back-to-back
+// barrier probes of an idle shard cost one atomic load; a concurrent Stop
+// between the peek and the epoch merely shrinks the epoch — never past a
+// runnable event — and the purge on the next recompute keeps a stale
+// cancelled minimum from pinning the epoch size, so the probe stays
+// conservative and live.
 func (s *Simulator) NextAt() (at time.Time, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for {
-		ev := s.queue.peek()
-		if ev == nil {
-			return time.Time{}, false
-		}
-		if ev.state.Load()&stateStatusMask == statusPending {
-			return time.Unix(0, ev.at), true
-		}
-		s.queue.pop()
-		s.release(ev)
+	if t := s.cachedAt(); t != 1<<63-1 {
+		return time.Unix(0, t), true
 	}
+	ev := s.wheel.minPending(s)
+	if ev == nil {
+		s.cachedEv = nil
+		return time.Time{}, false
+	}
+	s.cachedEv, s.cachedGen = ev, ev.state.Load()>>stateGenShift
+	return time.Unix(0, ev.at), true
 }
 
 // release returns a finished (run or cancelled) event record to the pool,
@@ -309,7 +359,9 @@ func (s *Simulator) release(ev *event) {
 	ev.argFn = nil
 	ev.arg = nil
 	ev.state.Store((gen + 1) << stateGenShift) // next life, pending
-	s.pool.Put(ev)
+	s.freeMu.Lock()
+	s.free = append(s.free, ev)
+	s.freeMu.Unlock()
 }
 
 // Event state is a packed word: the low two bits hold the status, the rest a
@@ -336,6 +388,22 @@ type event struct {
 	state atomic.Uint64
 }
 
+// cmpEvent is the dispatch total order: (at, seq). seq is unique per
+// simulator, so the order is strict.
+func cmpEvent(a, b *event) int {
+	switch {
+	case a.at < b.at:
+		return -1
+	case a.at > b.at:
+		return 1
+	case a.seq < b.seq:
+		return -1
+	case a.seq > b.seq:
+		return 1
+	}
+	return 0
+}
+
 // timerHandle is the Timer for one generation of a pooled event record.
 type timerHandle struct {
 	ev  *event
@@ -345,6 +413,8 @@ type timerHandle struct {
 // Stop cancels the event; it reports true if the call prevented the callback
 // from running. A handle whose record was dispatched and recycled observes a
 // generation mismatch and reports false without touching the new occupant.
+// Cancellation is lazy: the record stays in its wheel slot and is discarded
+// when a drain or scan reaches it.
 func (h timerHandle) Stop() bool {
 	for {
 		st := h.ev.state.Load()
@@ -361,90 +431,377 @@ func (h timerHandle) Stop() bool {
 // popRunnable pops the earliest pending event with at <= bound, discarding
 // lazily cancelled records along the way. The caller must hold s.mu.
 func (s *Simulator) popRunnable(bound int64) *event {
+	w := &s.wheel
 	for {
-		ev := s.queue.peek()
-		if ev == nil || ev.at > bound {
+		// Fast path: the current-tick run queue, already in (at, seq) order.
+		for w.runIdx < len(w.runQ) {
+			ev := w.runQ[w.runIdx]
+			if ev.at > bound {
+				return nil
+			}
+			w.runQ[w.runIdx] = nil
+			w.runIdx++
+			st := ev.state.Load()
+			if st&stateStatusMask == statusPending &&
+				ev.state.CompareAndSwap(st, st&^uint64(stateStatusMask)|statusDone) {
+				s.live.Add(-1)
+				return ev
+			}
+			// Lost the race to a concurrent Stop (which already decremented the
+			// live counter): drop the cancelled record and keep looking.
+			s.release(ev)
+		}
+		w.runQ = w.runQ[:0]
+		w.runIdx = 0
+		if !w.advance(bound) {
 			return nil
 		}
-		s.queue.pop()
-		st := ev.state.Load()
-		if st&stateStatusMask == statusPending &&
-			ev.state.CompareAndSwap(st, st&^uint64(stateStatusMask)|statusDone) {
-			s.live.Add(-1)
-			return ev
+	}
+}
+
+// Timer wheel geometry. A tick is 2^wheelShift nanoseconds (~1.05ms — a
+// fifth of the default simnet latency, so delivery events spread over a few
+// slots). Four levels of 256 slots cover relative horizons of ~268ms, ~68.7s,
+// ~4.9h and ~52 days from the wheel's current time; anything farther parks in
+// an unsorted overflow list and is re-binned when the horizon reaches it (no
+// simulated experiment runs close to that long, so the overflow is a
+// correctness backstop, not a hot path).
+const (
+	wheelShift  = 20
+	wheelBits   = 8
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 4
+)
+
+// timerWheel is the hierarchical pending-event structure. All operations run
+// under the owning Simulator's mu.
+//
+// Invariants: every queued event's tick (at >> wheelShift) is >= wtime
+// (events scheduled into the past are clamped into the run queue); runQ
+// holds the events of tick wtime sorted by (at, seq) with runQ[:runIdx]
+// consumed; a level-L slot holds events whose tick was wtime+[2^(8L),
+// 2^(8(L+1))) away when inserted, and advance never moves wtime past the
+// cascade boundary of an occupied slot, so no slot is ever stranded behind
+// the wheel's current time.
+type timerWheel struct {
+	wtime  int64 // current wheel time, in ticks
+	runQ   []*event
+	runIdx int
+
+	slots [wheelLevels][wheelSlots][]*event
+	occ   [wheelLevels][wheelSlots / 64]uint64
+	// slotMin caches a lower bound on each occupied slot's earliest pending
+	// timestamp: exact after inserts (O(1) min-update), stale-low after lazy
+	// cancellations, meaningless while the occupancy bit is clear. minPending
+	// consults these instead of scanning buckets, verifying only the winning
+	// slot — without this, every barrier probe would rescan the thousands of
+	// parked far-horizon timers in the first level-2/3 buckets.
+	slotMin [wheelLevels][wheelSlots]int64
+
+	overflow []*event
+	// overflowMin is a lower bound on the overflow entries' ticks (exact on
+	// insert, stale-early after cancellations), so advance knows when a
+	// re-bin could matter without scanning.
+	overflowMin int64
+}
+
+// insert files ev by its distance from the wheel's current time.
+func (w *timerWheel) insert(ev *event) {
+	tick := ev.at >> wheelShift
+	r := tick - w.wtime
+	switch {
+	case r <= 0:
+		// Current tick (or a concurrent schedule racing a bound advance):
+		// keep the run queue sorted so dispatch order stays (at, seq).
+		w.insertRun(ev)
+	case r < 1<<wheelBits:
+		w.put(0, int(tick&wheelMask), ev)
+	case r < 1<<(2*wheelBits):
+		w.put(1, int((tick>>wheelBits)&wheelMask), ev)
+	case r < 1<<(3*wheelBits):
+		w.put(2, int((tick>>(2*wheelBits))&wheelMask), ev)
+	case r < 1<<(4*wheelBits):
+		w.put(3, int((tick>>(3*wheelBits))&wheelMask), ev)
+	default:
+		if len(w.overflow) == 0 || tick < w.overflowMin {
+			w.overflowMin = tick
 		}
-		// Lost the race to a concurrent Stop (which already decremented the
-		// live counter): drop the cancelled record and keep looking.
-		s.release(ev)
+		w.overflow = append(w.overflow, ev)
 	}
 }
 
-// eventHeap is a binary min-heap ordered by (at, seq).
-type eventHeap struct {
-	items []*event
-}
-
-func (h *eventHeap) less(i, j int) bool {
-	a, b := h.items[i], h.items[j]
-	if a.at == b.at {
-		return a.seq < b.seq
+func (w *timerWheel) put(level, slot int, ev *event) {
+	if w.occ[level][slot>>6]&(1<<(slot&63)) == 0 {
+		w.occ[level][slot>>6] |= 1 << (slot & 63)
+		w.slotMin[level][slot] = ev.at
+	} else if ev.at < w.slotMin[level][slot] {
+		w.slotMin[level][slot] = ev.at
 	}
-	return a.at < b.at
+	w.slots[level][slot] = append(w.slots[level][slot], ev)
 }
 
-func (h *eventHeap) peek() *event {
-	if len(h.items) == 0 {
-		return nil
+// insertRun places ev into the live run queue at its (at, seq) position
+// among the not-yet-consumed entries — the mid-drain schedule path, so an
+// event scheduled at the current instant from a running callback dispatches
+// in the same pass, in order, exactly like the heap did.
+func (w *timerWheel) insertRun(ev *event) {
+	i, _ := slices.BinarySearchFunc(w.runQ[w.runIdx:], ev, cmpEvent)
+	i += w.runIdx
+	w.runQ = append(w.runQ, nil)
+	copy(w.runQ[i+1:], w.runQ[i:])
+	w.runQ[i] = ev
+}
+
+// nextOcc returns the cyclic distance (1..wheelSlots) from slot `from` to
+// the next occupied slot at the given level, or 0 when the level is empty.
+// Distance wheelSlots means the only occupied slot is `from` itself, a full
+// lap away.
+func (w *timerWheel) nextOcc(level, from int) int {
+	occ := &w.occ[level]
+	// Bits strictly after `from` in its word, then the following words, then
+	// wrap around up to and including `from`.
+	word, bit := from>>6, from&63
+	if v := occ[word] &^ (1<<(bit+1) - 1); v != 0 {
+		return bits.TrailingZeros64(v) + word<<6 - from
 	}
-	return h.items[0]
-}
-
-func (h *eventHeap) push(ev *event) {
-	h.items = append(h.items, ev)
-	h.up(len(h.items) - 1)
-}
-
-func (h *eventHeap) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
-			break
+	for i := 1; i <= wheelSlots/64; i++ {
+		j := (word + i) % (wheelSlots / 64)
+		v := occ[j]
+		if i == wheelSlots/64 {
+			v &= 1<<(bit+1) - 1 // final partial word: slots up to `from`
 		}
-		h.items[i], h.items[parent] = h.items[parent], h.items[i]
-		i = parent
+		if v != 0 {
+			d := bits.TrailingZeros64(v) + j<<6 - from
+			if d <= 0 {
+				d += wheelSlots
+			}
+			return d
+		}
 	}
+	return 0
 }
 
-func (h *eventHeap) down(i int) {
-	n := len(h.items)
+// advance moves the wheel forward to the next occupied tick at or before
+// bound (nanoseconds), draining that tick's slot into the run queue in
+// (at, seq) order, cascading higher-level slots whose windows open along the
+// way. It reports whether the run queue gained entries; false means nothing
+// is pending at or before the bound (the wheel time then rests at the bound
+// tick, so later inserts keep their level maths tight).
+func (w *timerWheel) advance(bound int64) bool {
+	boundTick := bound >> wheelShift
 	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && h.less(l, smallest) {
-			smallest = l
+		jump := int64(1<<63 - 1)
+		// Earliest occupied level-0 slot: its tick is wtime + distance.
+		if d := w.nextOcc(0, int(w.wtime&wheelMask)); d != 0 && d < wheelSlots {
+			jump = w.wtime + int64(d)
 		}
-		if r < n && h.less(r, smallest) {
-			smallest = r
+		// Earliest cascade boundary per higher level: the d-th crossing of a
+		// 2^(8L)-tick block opens slot cur+d, so an occupied slot at cyclic
+		// distance d cascades at block_start(wtime) + d blocks.
+		for level := 1; level < wheelLevels; level++ {
+			shift := uint(level * wheelBits)
+			cur := int((w.wtime >> shift) & wheelMask)
+			if d := w.nextOcc(level, cur); d != 0 {
+				t := (w.wtime>>shift + int64(d)) << shift
+				if t < jump {
+					jump = t
+				}
+			}
 		}
-		if smallest == i {
+		if len(w.overflow) > 0 {
+			// The overflow's nearest entry enters the top level's horizon at
+			// this tick; re-binning any later would strand it.
+			if t := w.overflowMin - (1<<(wheelLevels*wheelBits) - 1); t > w.wtime && t < jump {
+				jump = t
+			} else if t <= w.wtime {
+				jump = w.wtime // re-bin immediately
+			}
+		}
+		if jump > boundTick {
+			if boundTick > w.wtime {
+				w.wtime = boundTick
+			}
+			return false
+		}
+		w.wtime = jump
+		if len(w.overflow) > 0 && w.overflowMin-(1<<(wheelLevels*wheelBits)-1) <= w.wtime {
+			w.rebinOverflow()
+		}
+		// Cascade outside-in: a top-level slot re-bins into the levels below,
+		// which may include the lower-level slot that opens at this same tick.
+		for level := wheelLevels - 1; level >= 1; level-- {
+			shift := uint(level * wheelBits)
+			if jump&(1<<shift-1) != 0 {
+				continue
+			}
+			slot := int((jump >> shift) & wheelMask)
+			w.drainSlot(level, slot)
+		}
+		// The level-0 slot of the new current tick becomes the run queue.
+		w.drainSlot(0, int(w.wtime&wheelMask))
+		if len(w.runQ) > 0 {
+			slices.SortFunc(w.runQ, cmpEvent)
+			return true
+		}
+	}
+}
+
+// drainSlot empties one slot: level 0 into the run queue (all entries share
+// the current tick), higher levels re-binned by their now-smaller distance.
+func (w *timerWheel) drainSlot(level, slot int) {
+	evs := w.slots[level][slot]
+	if len(evs) == 0 {
+		return
+	}
+	w.occ[level][slot>>6] &^= 1 << (slot & 63)
+	if level == 0 {
+		if len(w.runQ) == 0 {
+			// Steal the slot's backing array for the run queue and donate the
+			// (consumed, capacity-bearing) old run queue to the slot, so the
+			// steady state recycles two arrays instead of growing either.
+			w.runQ, w.slots[level][slot] = evs, w.runQ[:0]
 			return
 		}
-		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
-		i = smallest
+		w.runQ = append(w.runQ, evs...)
+		w.slots[level][slot] = evs[:0]
+		return
+	}
+	w.slots[level][slot] = evs[:0]
+	for i, ev := range evs {
+		w.insert(ev)
+		evs[i] = nil
 	}
 }
 
-func (h *eventHeap) pop() *event {
-	if len(h.items) == 0 {
-		return nil
+// rebinOverflow re-files every overflow entry; those still beyond the top
+// horizon return to the overflow with an exact new minimum.
+func (w *timerWheel) rebinOverflow() {
+	// Detach the list before re-inserting: entries still beyond the horizon
+	// re-append to w.overflow, which must not alias the array being walked.
+	evs := w.overflow
+	w.overflow = nil
+	w.overflowMin = 1<<63 - 1
+	for _, ev := range evs {
+		w.insert(ev)
 	}
-	top := h.items[0]
-	last := len(h.items) - 1
-	h.items[0] = h.items[last]
-	h.items[last] = nil
-	h.items = h.items[:last]
-	if last > 0 {
-		h.down(0)
+}
+
+// minPending returns the earliest pending event without advancing the wheel
+// — the pure peek behind NextAt. Candidates must be compared across levels:
+// after the wheel time drifts within a block, an un-cascaded higher-level
+// slot's window can overlap level 0's, so the earliest occupied slot of
+// every level is consulted (within one level the earliest-cascading slot
+// provably holds that level's minimum — slots' tick windows are disjoint
+// blocks in cascade order). Selection runs over the cached slotMin bounds;
+// only the winning slot is scanned, which both verifies the bound (a lazily
+// cancelled minimum may have left it stale-low — left uncorrected it would
+// pin the epoch barrier's probe early forever, the livelock this loop
+// guards against) and purges the cancelled records it finds. A slot proven
+// exact that wins re-selection is the answer.
+func (w *timerWheel) minPending(sim *Simulator) *event {
+	// Run-queue head first: its tick is wtime, below every slotted tick, so
+	// a pending head short-circuits the whole selection.
+	for w.runIdx < len(w.runQ) {
+		ev := w.runQ[w.runIdx]
+		if ev.state.Load()&stateStatusMask == statusPending {
+			return ev
+		}
+		w.runQ[w.runIdx] = nil
+		w.runIdx++
+		sim.release(ev)
 	}
-	return top
+	const inf = int64(1<<63 - 1)
+	exactLevel, exactSlot := -1, -1
+	exactOverflow := false
+	var exactEv *event
+	for {
+		bestAt := inf
+		bestLevel, bestSlot := -1, -1
+		if d := w.nextOcc(0, int(w.wtime&wheelMask)); d != 0 && d < wheelSlots {
+			slot := int((w.wtime + int64(d)) & wheelMask)
+			bestAt, bestLevel, bestSlot = w.slotMin[0][slot], 0, slot
+		}
+		for level := 1; level < wheelLevels; level++ {
+			cur := int((w.wtime >> uint(level*wheelBits)) & wheelMask)
+			if d := w.nextOcc(level, cur); d != 0 {
+				slot := (cur + d) & wheelMask
+				if m := w.slotMin[level][slot]; m < bestAt {
+					bestAt, bestLevel, bestSlot = m, level, slot
+				}
+			}
+		}
+		if len(w.overflow) > 0 && w.overflowMin<<wheelShift < bestAt {
+			if exactOverflow {
+				return exactEv
+			}
+			exactEv = w.scanOverflow(sim)
+			exactOverflow, exactLevel = true, -1
+			continue
+		}
+		if bestLevel == -1 {
+			return nil
+		}
+		if bestLevel == exactLevel && bestSlot == exactSlot {
+			return exactEv
+		}
+		exactEv = w.scanSlot(sim, bestLevel, bestSlot)
+		exactLevel, exactSlot, exactOverflow = bestLevel, bestSlot, false
+	}
+}
+
+// scanSlot computes one slot's exact minimum pending event, swap-removing
+// cancelled records (slot order is insertion order, rebuilt at drain time,
+// so removal order is irrelevant), refreshing slotMin and clearing the
+// occupancy bit if the slot empties.
+func (w *timerWheel) scanSlot(sim *Simulator, level, slot int) *event {
+	evs := w.slots[level][slot]
+	var best *event
+	for i := 0; i < len(evs); {
+		ev := evs[i]
+		if ev.state.Load()&stateStatusMask != statusPending {
+			last := len(evs) - 1
+			evs[i] = evs[last]
+			evs[last] = nil
+			evs = evs[:last]
+			sim.release(ev)
+			continue
+		}
+		if best == nil || cmpEvent(ev, best) < 0 {
+			best = ev
+		}
+		i++
+	}
+	w.slots[level][slot] = evs
+	if best == nil {
+		w.occ[level][slot>>6] &^= 1 << (slot & 63)
+	} else {
+		w.slotMin[level][slot] = best.at
+	}
+	return best
+}
+
+// scanOverflow computes the overflow list's exact minimum pending event,
+// purging cancelled records and tightening overflowMin.
+func (w *timerWheel) scanOverflow(sim *Simulator) *event {
+	var best *event
+	for i := 0; i < len(w.overflow); {
+		ev := w.overflow[i]
+		if ev.state.Load()&stateStatusMask != statusPending {
+			last := len(w.overflow) - 1
+			w.overflow[i] = w.overflow[last]
+			w.overflow[last] = nil
+			w.overflow = w.overflow[:last]
+			sim.release(ev)
+			continue
+		}
+		if best == nil || cmpEvent(ev, best) < 0 {
+			best = ev
+		}
+		i++
+	}
+	if best != nil {
+		w.overflowMin = best.at >> wheelShift
+	}
+	return best
 }

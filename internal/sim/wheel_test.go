@@ -1,0 +1,318 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"selfemerge/internal/stats"
+)
+
+// This file pins the timer wheel to the binary heap it replaced: the heap
+// implementation below is the historical eventHeap retained verbatim (over a
+// plain oracle record instead of the pooled *event) as the ordering oracle.
+// The property test drives a live Simulator through randomized
+// schedule/cancel/run/chain interleavings and requires the wheel's dispatch
+// sequence, NextAt probe and Pending counter to agree with the heap's
+// prediction byte for byte.
+
+// oracleEvent is the oracle's view of one scheduled callback.
+type oracleEvent struct {
+	at  int64
+	seq uint64
+	id  uint64
+
+	cancelled bool
+	fired     bool
+
+	// chainDelay >= 0 arms a child event (childID) scheduled from inside the
+	// callback — the mid-drain insert path of the wheel.
+	chainDelay int64
+	childID    uint64
+}
+
+// oracleHeap is the pre-wheel eventHeap, retained as the test oracle.
+type oracleHeap struct {
+	items []*oracleEvent
+}
+
+func (h *oracleHeap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.at == b.at {
+		return a.seq < b.seq
+	}
+	return a.at < b.at
+}
+
+func (h *oracleHeap) peek() *oracleEvent {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+func (h *oracleHeap) push(ev *oracleEvent) {
+	h.items = append(h.items, ev)
+	h.up(len(h.items) - 1)
+}
+
+func (h *oracleHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *oracleHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}
+
+func (h *oracleHeap) pop() *oracleEvent {
+	if len(h.items) == 0 {
+		return nil
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items[last] = nil
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// minPending returns the earliest live entry without popping, discarding
+// cancelled and fired records from the top — the oracle's NextAt.
+func (h *oracleHeap) minPending() *oracleEvent {
+	for {
+		top := h.peek()
+		if top == nil {
+			return nil
+		}
+		if top.cancelled || top.fired {
+			h.pop()
+			continue
+		}
+		return top
+	}
+}
+
+// TestWheelMatchesHeapOracle is the determinism property test for the wheel:
+// randomized interleavings of schedules across every level of the wheel
+// (same-tick, level 0 through level 3, and the overflow list), cancellations
+// (live, already-fired and double-stops), mid-callback chained schedules,
+// and run bounds landing on arbitrary ticks must dispatch in exactly the
+// (at, seq) order the retained heap predicts, with NextAt and Pending
+// agreeing at every quiescent point.
+func TestWheelMatchesHeapOracle(t *testing.T) {
+	// Delay ranges chosen so inserts land in each wheel level: a tick is
+	// 2^20ns, level 0 covers ~268ms, then ~68.7s, ~4.9h, ~52 days, and
+	// beyond that the overflow list.
+	delayRanges := []int64{
+		int64(2 * time.Millisecond),
+		int64(300 * time.Millisecond),
+		int64(100 * time.Second),
+		int64(11 * time.Hour),
+		int64(100 * 24 * time.Hour),
+	}
+	for _, seed := range []uint64{1, 7, 29, 4242} {
+		rng := stats.NewRNG(seed)
+		s := NewSimulator()
+		oracle := &oracleHeap{}
+
+		var got, want []uint64
+		var nextID, seq uint64
+		var live []*oracleEvent // every armed record, for cancel targeting
+		stops := make(map[uint64]Timer)
+
+		// schedule arms one event on both the simulator and the oracle,
+		// mirroring the simulator's internal seq assignment (single
+		// goroutine, so arming order is assignment order).
+		schedule := func() {
+			id := nextID
+			nextID++
+			d := int64(rng.Uint64n(uint64(delayRanges[rng.Intn(len(delayRanges))])))
+			if rng.Intn(20) == 0 {
+				d = -d // negative delays clamp to "now"
+			}
+			at := s.Now().UnixNano() + d
+			if d < 0 {
+				at = s.Now().UnixNano()
+			}
+			oe := &oracleEvent{at: at, seq: seq, id: id, chainDelay: -1}
+			seq++
+			switch rng.Intn(4) {
+			case 0: // cancellable Timer
+				stops[id] = s.AfterFunc(time.Duration(d), func() { got = append(got, id) })
+			case 1: // cancellable value handle
+				h := s.AfterFuncArg(time.Duration(d), func(a any) { got = append(got, a.(uint64)) }, id)
+				stops[id] = h
+			case 2: // fire-and-forget
+				s.Schedule(time.Duration(d), func() { got = append(got, id) })
+			case 3: // chained: the callback schedules a child mid-drain
+				child := nextID
+				nextID++
+				cd := int64(rng.Uint64n(uint64(4 * time.Millisecond)))
+				if rng.Intn(3) == 0 {
+					cd = 0 // same-instant child, dispatched in the same pass
+				}
+				oe.chainDelay, oe.childID = cd, child
+				s.Schedule(time.Duration(d), func() {
+					got = append(got, id)
+					s.Schedule(time.Duration(cd), func() { got = append(got, child) })
+				})
+			}
+			oracle.push(oe)
+			live = append(live, oe)
+		}
+
+		// expect pops the oracle up to bound, mirroring chained schedules
+		// (their seq is assigned at parent dispatch time).
+		expect := func(bound int64, limit int) {
+			for limit != 0 {
+				top := oracle.minPending()
+				if top == nil || top.at > bound {
+					return
+				}
+				oracle.pop()
+				top.fired = true
+				want = append(want, top.id)
+				limit--
+				if top.chainDelay >= 0 {
+					child := &oracleEvent{at: top.at + top.chainDelay, seq: seq, id: top.childID, chainDelay: -1}
+					seq++
+					oracle.push(child)
+					live = append(live, child)
+				}
+			}
+		}
+
+		check := func(round int) {
+			if len(got) != len(want) {
+				t.Fatalf("seed %d round %d: dispatched %d events, oracle predicts %d", seed, round, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d round %d: dispatch[%d] = id %d, oracle predicts id %d", seed, round, i, got[i], want[i])
+				}
+			}
+			at, ok := s.NextAt()
+			top := oracle.minPending()
+			if ok != (top != nil) {
+				t.Fatalf("seed %d round %d: NextAt ok=%v, oracle pending=%v", seed, round, ok, top != nil)
+			}
+			if ok && at.UnixNano() != top.at {
+				t.Fatalf("seed %d round %d: NextAt=%d, oracle min=%d", seed, round, at.UnixNano(), top.at)
+			}
+			pending := 0
+			for _, oe := range live {
+				if !oe.cancelled && !oe.fired {
+					pending++
+				}
+			}
+			if s.Pending() != pending {
+				t.Fatalf("seed %d round %d: Pending()=%d, oracle count=%d", seed, round, s.Pending(), pending)
+			}
+		}
+
+		for round := 0; round < 2500; round++ {
+			switch op := rng.Intn(100); {
+			case op < 45:
+				schedule()
+			case op < 65: // cancel a random armed record (possibly stale)
+				if len(live) == 0 {
+					continue
+				}
+				oe := live[rng.Intn(len(live))]
+				tm, cancellable := stops[oe.id]
+				if !cancellable {
+					continue
+				}
+				stopped := tm.Stop()
+				if wantStop := !oe.cancelled && !oe.fired; stopped != wantStop {
+					t.Fatalf("seed %d round %d: Stop(id %d)=%v, oracle expects %v", seed, round, oe.id, stopped, wantStop)
+				}
+				if stopped {
+					oe.cancelled = true
+				}
+			case op < 90: // run to a randomized bound
+				d := int64(rng.Uint64n(uint64(delayRanges[rng.Intn(len(delayRanges))])))
+				bound := s.Now().UnixNano() + d
+				expect(bound, -1)
+				s.RunUntil(time.Unix(0, bound))
+				if now := s.Now().UnixNano(); now != bound {
+					t.Fatalf("seed %d round %d: clock at %d after RunUntil(%d)", seed, round, now, bound)
+				}
+			default: // single step
+				top := oracle.minPending()
+				expect(1<<63-1, 1)
+				if stepped := s.Step(); stepped != (top != nil) {
+					t.Fatalf("seed %d round %d: Step()=%v, oracle pending=%v", seed, round, stepped, top != nil)
+				}
+			}
+			check(round)
+		}
+		// Drain everything, including the far-overflow tail.
+		expect(1<<63-1, -1)
+		s.Run()
+		check(-1)
+	}
+}
+
+// TestWheelCascadeBoundaries pins the cascade edges directly: events placed
+// exactly on level-block boundaries (multiples of 2^28, 2^36, 2^44 ns from
+// the epoch-aligned wheel time) and one past the 52-day overflow horizon
+// must fire in timestamp order with the clock advancing through multi-level
+// cascades in one RunUntil.
+func TestWheelCascadeBoundaries(t *testing.T) {
+	s := NewSimulator()
+	base := s.Now()
+	var got []int
+	delays := []time.Duration{
+		0,
+		1 << wheelShift,                       // one tick
+		(1 << (wheelShift + wheelBits)) - 1,   // last tick of level 0's window
+		1 << (wheelShift + wheelBits),         // first tick of level 1's window
+		1 << (wheelShift + 2*wheelBits),       // level 2 boundary
+		1 << (wheelShift + 3*wheelBits),       // level 3 boundary
+		(1 << (wheelShift + 4*wheelBits)) * 2, // beyond the horizon: overflow
+	}
+	for i, d := range delays {
+		i := i
+		s.Schedule(d, func() { got = append(got, i) })
+	}
+	if at, ok := s.NextAt(); !ok || !at.Equal(base) {
+		t.Fatalf("NextAt = %v, %v; want %v", at, ok, base)
+	}
+	s.RunUntil(base.Add(delays[len(delays)-1]))
+	if len(got) != len(delays) {
+		t.Fatalf("dispatched %d of %d events", len(got), len(delays))
+	}
+	for i, id := range got {
+		if id != i {
+			t.Fatalf("dispatch order %v not ascending", got)
+		}
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after full drain", s.Pending())
+	}
+}

@@ -8,7 +8,7 @@ package simnet
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"selfemerge/internal/churn"
@@ -40,8 +40,11 @@ type Partition struct {
 	subs      []*Network
 	owner     map[transport.Addr]int
 	outboxes  []outbox
-	scratch   []handoff
+	heads     []int   // per-outbox merge cursor, reused across barriers
+	nows      []int64 // per-shard barrier clock, captured once per Flush
 	lookahead time.Duration
+
+	mergeAllocs uint64 // outbox capacity growths: the drain's only allocations
 }
 
 // outbox is one source shard's pending cross-shard records. It is written
@@ -49,8 +52,9 @@ type Partition struct {
 // loops are paused at a barrier), and drained only at barriers, so it needs
 // no lock.
 type outbox struct {
-	recs []handoff
-	seq  uint64
+	recs  []handoff
+	seq   uint64
+	grows uint64 // capacity growths, kept per-box: boxes are written concurrently
 }
 
 // handoff is one cross-shard datagram: the pooled delivery record (payload
@@ -88,6 +92,8 @@ func NewPartition(clocks []sim.Clock, cfg Config) (*Partition, error) {
 		subs:      make([]*Network, len(clocks)),
 		owner:     make(map[transport.Addr]int),
 		outboxes:  make([]outbox, len(clocks)),
+		heads:     make([]int, len(clocks)),
+		nows:      make([]int64, len(clocks)),
 		lookahead: cfg.BaseLatency,
 	}
 	for i, clock := range clocks {
@@ -107,6 +113,36 @@ func (p *Partition) Shards() int { return len(p.subs) }
 // Lookahead returns the minimum cross-shard latency: the sim.Lockstep
 // lookahead this fabric supports.
 func (p *Partition) Lookahead() time.Duration { return p.lookahead }
+
+// CheckLookahead validates a lookahead a sim.Lockstep intends to drive this
+// fabric with: it must be positive and no larger than the fabric's minimum
+// cross-shard latency (the base latency — jitter only adds delay). A wider
+// lookahead would let an epoch overrun arrivals, silently voiding the
+// conservative-delivery argument, so mis-wired callers fail loudly here.
+func (p *Partition) CheckLookahead(w time.Duration) error {
+	if w <= 0 {
+		return fmt.Errorf("simnet: lockstep lookahead must be positive, got %v", w)
+	}
+	if w > p.lookahead {
+		return fmt.Errorf("simnet: lockstep lookahead %v exceeds the fabric's minimum cross-shard latency %v; epochs would overrun arrivals", w, p.lookahead)
+	}
+	return nil
+}
+
+// MergeAllocs returns how many times an outbox had to grow its backing
+// array — the hand-off drain's only allocation source. In steady state the
+// boxes reach their high-water capacity and the counter stops moving; the
+// partitioned benchmark emits it so a regression that re-introduces
+// per-record or per-barrier allocation is visible and gateable. Counted
+// per box (boxes are written concurrently) and summed here; call it from
+// the driving goroutine, like Flush.
+func (p *Partition) MergeAllocs() uint64 {
+	n := p.mergeAllocs
+	for i := range p.outboxes {
+		n += p.outboxes[i].grows
+	}
+	return n
+}
 
 // Endpoint attaches (or, for a churn replacement, re-attaches) an endpoint
 // with the given address on its owning shard. The first attachment
@@ -169,7 +205,7 @@ func (p *Partition) Stats() (sent, delivered, dropped int) {
 func (p *Partition) handoff(src *Network, dst int, from, to transport.Addr, payload []byte) {
 	src.mu.Lock()
 	src.sent++
-	if src.down[from] {
+	if fsl := src.nodes.find(from); fsl != nil && fsl.down {
 		src.dropped++
 		src.mu.Unlock()
 		return
@@ -190,10 +226,13 @@ func (p *Partition) handoff(src *Network, dst int, from, to transport.Addr, payl
 	}
 	src.rngMu.Unlock()
 
-	d := deliveries.Get().(*delivery)
+	d := src.getDelivery()
 	d.net, d.from, d.to = p.subs[dst], from, to
 	d.msg = append(d.msg[:0], payload...)
 	box := &p.outboxes[src.shard]
+	if len(box.recs) == cap(box.recs) {
+		box.grows++ // steady state keeps the high-water array; see MergeAllocs
+	}
 	box.recs = append(box.recs, handoff{
 		at:  src.clock.Now().UnixNano() + int64(delay),
 		src: src.shard,
@@ -203,38 +242,80 @@ func (p *Partition) handoff(src *Network, dst int, from, to transport.Addr, payl
 	box.seq++
 }
 
+// cmpHandoff orders one outbox's records: (at, seq). The source shard is
+// constant within a box, so this is the global (at, src, seq) order
+// restricted to the box.
+func cmpHandoff(a, b handoff) int {
+	switch {
+	case a.at < b.at:
+		return -1
+	case a.at > b.at:
+		return 1
+	case a.seq < b.seq:
+		return -1
+	case a.seq > b.seq:
+		return 1
+	}
+	return 0
+}
+
 // Flush drains every outbox and injects the records into their destination
 // simulators in fixed (deliver-time, source shard, sequence) order: the
 // sim.Lockstep Exchange hook. It must run while every shard loop is paused
 // at a common barrier; the lookahead guarantees every queued record's
 // delivery time is at or after that barrier, so nothing is scheduled in the
-// past. Destination-side state (endpoint attached, down, handler) is
-// checked at delivery time by the ordinary deliver path.
+// past (asserted per record — a violation means a lookahead/epoch-bound bug
+// upstream, not recoverable data). Destination-side state (endpoint
+// attached, down, handler) is checked at delivery time by the ordinary
+// deliver path.
+//
+// The drain is a k-way merge over the boxes rather than a concat-and-sort:
+// each box is sorted in place by (at, seq) — jitter makes send order differ
+// from delivery order within a box — and the merge repeatedly takes the
+// earliest (at, src) head, which with per-box seq monotonicity reproduces
+// the exact global (at, src, seq) order the old scratch sort produced,
+// without copying records into a scratch slab or allocating a comparator.
 func (p *Partition) Flush() {
-	p.scratch = p.scratch[:0]
+	total := 0
 	for i := range p.outboxes {
-		box := &p.outboxes[i]
-		p.scratch = append(p.scratch, box.recs...)
-		box.recs = box.recs[:0]
+		recs := p.outboxes[i].recs
+		if len(recs) > 1 {
+			slices.SortFunc(recs, cmpHandoff)
+		}
+		total += len(recs)
+		p.heads[i] = 0
 	}
-	if len(p.scratch) == 0 {
+	if total == 0 {
 		return
 	}
-	sort.Slice(p.scratch, func(i, j int) bool {
-		a, b := p.scratch[i], p.scratch[j]
-		if a.at != b.at {
-			return a.at < b.at
-		}
-		if a.src != b.src {
-			return a.src < b.src
-		}
-		return a.seq < b.seq
-	})
-	for _, h := range p.scratch {
-		dst := h.d.net
-		sim.ScheduleArg(dst.clock, time.Duration(h.at-dst.clock.Now().UnixNano()), deliver, h.d)
+	for i, sub := range p.subs {
+		p.nows[i] = sub.clock.Now().UnixNano()
 	}
-	for i := range p.scratch {
-		p.scratch[i].d = nil // do not pin pooled records past injection
+	for n := 0; n < total; n++ {
+		best := -1
+		var bestAt int64
+		for i := range p.outboxes {
+			j := p.heads[i]
+			if j == len(p.outboxes[i].recs) {
+				continue
+			}
+			// Strict < keeps the lowest source shard on delivery-time ties.
+			if at := p.outboxes[i].recs[j].at; best == -1 || at < bestAt {
+				best, bestAt = i, at
+			}
+		}
+		box := &p.outboxes[best]
+		h := box.recs[p.heads[best]]
+		box.recs[p.heads[best]].d = nil // do not pin pooled records past injection
+		p.heads[best]++
+		dst := h.d.net
+		now := p.nows[dst.shard]
+		if h.at < now {
+			panic(fmt.Sprintf("simnet: cross-shard record for shard %d timestamped %dns before its clock; lookahead/epoch-bound violation", dst.shard, now-h.at))
+		}
+		sim.ScheduleArg(dst.clock, time.Duration(h.at-now), deliver, h.d)
+	}
+	for i := range p.outboxes {
+		p.outboxes[i].recs = p.outboxes[i].recs[:0]
 	}
 }

@@ -306,3 +306,25 @@ func TestPartitionDownAndClose(t *testing.T) {
 		t.Fatalf("stats sent=%d delivered=%d dropped=%d, want 3/1/2", sent, delivered, dropped)
 	}
 }
+
+// TestPartitionCheckLookahead pins the lookahead validation: a lockstep
+// window must be positive and no wider than the fabric's minimum
+// cross-shard latency, or epochs would overrun in-flight arrivals.
+func TestPartitionCheckLookahead(t *testing.T) {
+	_, p, _ := newTestPartition(t, 2, Config{BaseLatency: 3 * time.Millisecond})
+	if err := p.CheckLookahead(p.Lookahead()); err != nil {
+		t.Fatalf("fabric's own lookahead rejected: %v", err)
+	}
+	if err := p.CheckLookahead(time.Millisecond); err != nil {
+		t.Fatalf("narrower-than-latency lookahead rejected: %v", err)
+	}
+	if err := p.CheckLookahead(0); err == nil {
+		t.Fatal("zero lookahead accepted")
+	}
+	if err := p.CheckLookahead(-time.Millisecond); err == nil {
+		t.Fatal("negative lookahead accepted")
+	}
+	if err := p.CheckLookahead(p.Lookahead() + time.Nanosecond); err == nil {
+		t.Fatal("lookahead wider than the minimum cross-shard latency accepted")
+	}
+}

@@ -74,9 +74,9 @@ type Network struct {
 	part  *Partition
 	shard int
 
-	mu        sync.Mutex
-	endpoints map[transport.Addr]*endpoint
-	down      map[transport.Addr]bool
+	mu      sync.Mutex
+	nodes   nodeTable
+	dlvFree []*delivery
 
 	// The loss/jitter RNG serializes on its own lock so concurrent senders
 	// drawing randomness do not contend on the endpoint-map critical section.
@@ -92,12 +92,102 @@ type Network struct {
 func New(clock sim.Clock, cfg Config) *Network {
 	cfg = cfg.withDefaults()
 	return &Network{
-		clock:     clock,
-		cfg:       cfg,
-		rng:       stats.NewRNG(cfg.Seed),
-		endpoints: make(map[transport.Addr]*endpoint),
-		down:      make(map[transport.Addr]bool),
+		clock: clock,
+		cfg:   cfg,
+		rng:   stats.NewRNG(cfg.Seed),
 	}
+}
+
+// nodeTable is the fabric's per-address state: one open-addressing slot per
+// address seen, carrying the attached endpoint, the transient-down flag, and
+// (in partition mode) the lazily cached owning shard. The send and delivery
+// paths consult all of that per datagram, so folding the former endpoint,
+// down and owner map lookups into a single FNV probe is a measurable win on
+// the simulator's hottest path. Slots are never removed — detaching clears
+// the endpoint but keeps the record, and the address population of a run is
+// bounded by its node count.
+type nodeTable struct {
+	slots []nodeSlot // power-of-two length
+	used  int
+}
+
+type nodeSlot struct {
+	hash uint64 // 0 = empty (occupied hashes are forced nonzero)
+	addr transport.Addr
+	ep   *endpoint
+	down bool
+	// shard is the partition-mode owner cache: -1 until resolved against the
+	// partition's frozen owner map, then the owning shard. Unowned addresses
+	// stay -1 (re-checked per send; they only appear in tests).
+	shard int16
+}
+
+func hashAddr(a transport.Addr) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(a); i++ {
+		h ^= uint64(a[i])
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// find returns the slot for addr, or nil if the address was never seen.
+// Callers hold the network lock; the pointer is valid until the next insert.
+func (t *nodeTable) find(addr transport.Addr) *nodeSlot {
+	if t.used == 0 {
+		return nil
+	}
+	h := hashAddr(addr)
+	mask := len(t.slots) - 1
+	for i := int(h) & mask; ; i = (i + 1) & mask {
+		sl := &t.slots[i]
+		if sl.hash == 0 {
+			return nil
+		}
+		if sl.hash == h && sl.addr == addr {
+			return sl
+		}
+	}
+}
+
+// slotFor returns the slot for addr, inserting an empty record first if the
+// address is new. Callers hold the network lock; the pointer is valid until
+// the next insert.
+func (t *nodeTable) slotFor(addr transport.Addr) *nodeSlot {
+	if sl := t.find(addr); sl != nil {
+		return sl
+	}
+	if 4*(t.used+1) > 3*len(t.slots) {
+		old := t.slots
+		size := 2 * len(old)
+		if size == 0 {
+			size = 64
+		}
+		t.slots = make([]nodeSlot, size)
+		mask := size - 1
+		for i := range old {
+			if old[i].hash == 0 {
+				continue
+			}
+			j := int(old[i].hash) & mask
+			for t.slots[j].hash != 0 {
+				j = (j + 1) & mask
+			}
+			t.slots[j] = old[i]
+		}
+	}
+	h := hashAddr(addr)
+	mask := len(t.slots) - 1
+	i := int(h) & mask
+	for t.slots[i].hash != 0 {
+		i = (i + 1) & mask
+	}
+	t.slots[i] = nodeSlot{hash: h, addr: addr, shard: -1}
+	t.used++
+	return &t.slots[i]
 }
 
 // Endpoint attaches (or replaces) an endpoint with the given address.
@@ -105,8 +195,9 @@ func (n *Network) Endpoint(addr transport.Addr) transport.Endpoint {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	ep := &endpoint{net: n, addr: addr}
-	n.endpoints[addr] = ep
-	delete(n.down, addr)
+	sl := n.nodes.slotFor(addr)
+	sl.ep = ep
+	sl.down = false
 	return ep
 }
 
@@ -115,11 +206,7 @@ func (n *Network) Endpoint(addr transport.Addr) transport.Endpoint {
 func (n *Network) SetDown(addr transport.Addr, down bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if down {
-		n.down[addr] = true
-	} else {
-		delete(n.down, addr)
-	}
+	n.nodes.slotFor(addr).down = down
 }
 
 // ApplyChurn wires a churn process's transient availability flapping into
@@ -142,20 +229,28 @@ func (n *Network) Stats() (sent, delivered, dropped int) {
 }
 
 func (n *Network) send(from transport.Addr, to transport.Addr, payload []byte) {
+	n.mu.Lock()
+	tsl := n.nodes.slotFor(to)
 	if n.part != nil {
-		// The owner map is frozen after boot (churn replacements reuse their
-		// predecessor's address), so this lookup is safe from concurrent shard
-		// loops without a lock. An address no shard owns falls through to the
-		// local path and drops as unattached.
-		if dst, ok := n.part.owner[to]; ok && dst != n.shard {
+		if tsl.shard < 0 {
+			// Resolve the owner cache against the partition's frozen owner
+			// map (churn replacements reuse their predecessor's address, so
+			// the map never changes after boot). An address no shard owns
+			// stays unresolved and falls through to the local path, dropping
+			// as unattached.
+			if dst, ok := n.part.owner[to]; ok {
+				tsl.shard = int16(dst)
+			}
+		}
+		if dst := int(tsl.shard); dst >= 0 && dst != n.shard {
+			n.mu.Unlock()
 			n.part.handoff(n, dst, from, to, payload)
 			return
 		}
 	}
-	n.mu.Lock()
 	n.sent++
-	_, attached := n.endpoints[to]
-	if n.down[from] || n.down[to] || !attached {
+	fsl := n.nodes.find(from)
+	if (fsl != nil && fsl.down) || tsl.down || tsl.ep == nil {
 		// Immediate drop: no payload copy, no RNG draw, no delivery event.
 		// A detached destination can never receive — endpoint replacement
 		// (churn re-join) re-attaches within the same simulator event as the
@@ -199,21 +294,21 @@ func (n *Network) send(from transport.Addr, to transport.Addr, payload []byte) {
 	// per the transport contract). Scheduling through ScheduleArg with the
 	// package-level deliver function makes the steady-state per-message
 	// path allocation-free: no payload garbage, no closure, no timer box.
-	d := deliveries.Get().(*delivery)
+	d := n.getDelivery()
 	d.net, d.from, d.to = n, from, to
 	d.msg = append(d.msg[:0], payload...)
 	sim.ScheduleArg(n.clock, delay, deliver, d)
 	if dup > 0 {
 		// An injector-duplicated datagram: a second pooled record trailing
 		// the first, each releasing independently after its own handler call.
-		d2 := deliveries.Get().(*delivery)
+		d2 := n.getDelivery()
 		d2.net, d2.from, d2.to = n, from, to
 		d2.msg = append(d2.msg[:0], payload...)
 		sim.ScheduleArg(n.clock, delay+dup, deliver, d2)
 	}
 }
 
-// delivery is one in-flight datagram: a pooled record carrying its own
+// delivery is one in-flight datagram: a recycled record carrying its own
 // payload copy.
 type delivery struct {
 	net      *Network
@@ -221,8 +316,36 @@ type delivery struct {
 	msg      []byte
 }
 
-// deliveries pools in-flight datagram records.
-var deliveries = sync.Pool{New: func() any { return new(delivery) }}
+// getDelivery pops a record from this network's freelist (or allocates).
+// Records recycle per network rather than through a global sync.Pool so
+// their payload buffers survive garbage collections; cross-shard records
+// are popped from the sending shard and released to the receiving one,
+// which balances out for the roughly symmetric traffic of a DHT.
+func (n *Network) getDelivery() *delivery {
+	n.mu.Lock()
+	var d *delivery
+	if k := len(n.dlvFree); k > 0 {
+		d = n.dlvFree[k-1]
+		n.dlvFree[k-1] = nil
+		n.dlvFree = n.dlvFree[:k-1]
+	}
+	n.mu.Unlock()
+	if d == nil {
+		d = new(delivery)
+	}
+	return d
+}
+
+// putDelivery returns a finished record to this network's freelist. The cap
+// bounds the buffer memory a persistently asymmetric flow could strand.
+func (n *Network) putDelivery(d *delivery) {
+	d.net = nil
+	n.mu.Lock()
+	if len(n.dlvFree) < 1<<12 {
+		n.dlvFree = append(n.dlvFree, d)
+	}
+	n.mu.Unlock()
+}
 
 // deliver is the delivery event callback: hand the datagram to the
 // destination handler (or count the drop) and recycle the record.
@@ -230,13 +353,16 @@ func deliver(v any) {
 	d := v.(*delivery)
 	n := d.net
 	n.mu.Lock()
-	dst, ok := n.endpoints[d.to]
-	downNow := n.down[d.to] || n.down[d.from]
+	tsl := n.nodes.find(d.to)
+	fsl := n.nodes.find(d.from)
+	downNow := (tsl != nil && tsl.down) || (fsl != nil && fsl.down)
+	var dst *endpoint
 	var h transport.Handler
-	if ok {
+	if tsl != nil && tsl.ep != nil {
+		dst = tsl.ep
 		h = dst.handler
 	}
-	if !ok || downNow || h == nil || dst.closed {
+	if dst == nil || downNow || h == nil || dst.closed {
 		n.dropped++
 		n.mu.Unlock()
 	} else {
@@ -244,8 +370,7 @@ func deliver(v any) {
 		n.mu.Unlock()
 		h(d.from, d.msg)
 	}
-	d.net = nil
-	deliveries.Put(d)
+	n.putDelivery(d)
 }
 
 type endpoint struct {
@@ -284,8 +409,8 @@ func (e *endpoint) Close() error {
 		return nil
 	}
 	e.closed = true
-	if e.net.endpoints[e.addr] == e {
-		delete(e.net.endpoints, e.addr)
+	if sl := e.net.nodes.find(e.addr); sl != nil && sl.ep == e {
+		sl.ep = nil
 	}
 	return nil
 }

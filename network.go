@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 	"sync"
 	"time"
 
@@ -261,7 +260,6 @@ type Network struct {
 	shardRng   []*stats.RNG
 	shardChurn []*churn.Process
 	reports    []reportQueue
-	repScratch []reportRec
 	// cryptoSrc feeds every sender-side cryptographic draw; sender wraps it
 	// for mission construction. Seed-derived ChaCha8 by default, crypto/rand
 	// with SystemRand.
@@ -351,11 +349,15 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 				n.shardChurn[i] = churn.New(n.sims[i], sub)
 			}
 		}
+		if err := part.CheckLookahead(part.Lookahead()); err != nil {
+			return nil, err
+		}
 		n.lockstep = &sim.Lockstep{
 			Sims:      n.sims,
 			Lookahead: part.Lookahead(),
 			Workers:   cfg.PartitionWorkers,
 			Exchange:  n.exchange,
+			Release:   n.releaseReports,
 		}
 	} else {
 		n.simulator = sim.NewSimulator()
@@ -450,6 +452,7 @@ func (n *Network) rngOf(shard int) *stats.RNG {
 // barriers, so it needs no lock.
 type reportQueue struct {
 	recs []reportRec
+	head int // consumed prefix during a release merge
 	seq  uint64
 }
 
@@ -478,38 +481,68 @@ func (r shardReporter) Report(now time.Time, from dht.ID, pkt protocol.Packet) {
 	q.seq++
 }
 
-// exchange is the lockstep barrier hook: inject the cross-shard datagrams,
-// then feed the deferred adversary reports to the collector single-threaded
-// in (time, shard, seq) order. The collector's first-wins ingestion uses the
-// timestamps carried by the records, so deferring the calls to the barrier
-// never changes what the adversary is judged to have known, and the fixed
-// order makes the collector's state a pure function of the run.
+// exchange is the lockstep barrier hook: inject the queued cross-shard
+// datagrams into the destination simulators before the barrier probes them.
+// Deferred adversary reports are NOT drained here — with the adaptive epoch
+// bounds the shard clocks diverge inside an epoch, so a report from a
+// wide-bound shard may be queued before an earlier-timestamped one from a
+// narrow-bound shard exists; releaseReports holds everything back until the
+// barrier proves no earlier report can still appear.
 func (n *Network) exchange() {
 	n.partFab.Flush()
-	n.repScratch = n.repScratch[:0]
+}
+
+// releaseReports is the lockstep Release hook: feed the deferred adversary
+// reports timestamped strictly before the horizon to the collector,
+// single-threaded, in (time, shard, seq) order. The lockstep calls it with
+// the global next-event time after each barrier probe — every report any
+// shard can still produce is at or after that — so the collector ingests a
+// prefix of the global timestamp order at every call, and its first-wins
+// state stays a pure function of the run (what the adversary is judged to
+// have known never depends on epoch shapes or worker counts). Reports
+// timestamped exactly at the horizon wait for the next barrier; the final
+// call at deadline+1ns flushes them.
+//
+// Each queue is filled in nondecreasing timestamp order (a shard's clock
+// only advances), so the drain is a k-way merge over queue prefixes, like
+// the fabric's Flush: take the earliest (at, shard) head, per-queue seq
+// monotonicity supplies the rest of the order.
+func (n *Network) releaseReports(before time.Time) {
+	horizon := before.UnixNano()
+	for {
+		best := -1
+		var bestAt int64
+		for i := range n.reports {
+			q := &n.reports[i]
+			if q.head == len(q.recs) {
+				continue
+			}
+			// Queues are at-sorted: a head at or past the horizon parks the
+			// whole queue until a later release.
+			if at := q.recs[q.head].at; at < horizon && (best == -1 || at < bestAt) {
+				best, bestAt = i, at
+			}
+		}
+		if best == -1 {
+			break
+		}
+		q := &n.reports[best]
+		r := &q.recs[q.head]
+		n.collector.Report(time.Unix(0, r.at), r.from, r.pkt)
+		r.pkt.Data = nil // release the clone
+		q.head++
+	}
 	for i := range n.reports {
 		q := &n.reports[i]
-		n.repScratch = append(n.repScratch, q.recs...)
-		q.recs = q.recs[:0]
-	}
-	if len(n.repScratch) == 0 {
-		return
-	}
-	sort.Slice(n.repScratch, func(i, j int) bool {
-		a, b := n.repScratch[i], n.repScratch[j]
-		if a.at != b.at {
-			return a.at < b.at
+		if q.head == 0 {
+			continue
 		}
-		if a.shard != b.shard {
-			return a.shard < b.shard
+		rem := copy(q.recs, q.recs[q.head:])
+		for j := rem; j < len(q.recs); j++ {
+			q.recs[j].pkt.Data = nil // duplicates of the compacted records
 		}
-		return a.seq < b.seq
-	})
-	for _, r := range n.repScratch {
-		n.collector.Report(time.Unix(0, r.at), r.from, r.pkt)
-	}
-	for i := range n.repScratch {
-		n.repScratch[i].pkt.Data = nil // release the clones while the scratch persists
+		q.recs = q.recs[:rem]
+		q.head = 0
 	}
 }
 
@@ -747,6 +780,19 @@ func (n *Network) FabricStats() (sent, delivered, dropped int) {
 		return n.partFab.Stats()
 	}
 	return n.fabric.Stats()
+}
+
+// LoopStats reports the partition engine's event-loop counters: epoch
+// barriers executed, epochs with at most one busy shard (the adaptive
+// bound's inline fast-forwards), and hand-off outbox capacity growths. All
+// three are pure functions of the configuration and seed — independent of
+// GOMAXPROCS and worker counts — which is what lets CI gate them. Zero in
+// classic (non-partitioned) mode.
+func (n *Network) LoopStats() (epochs, idleSkips, mergeAllocs uint64) {
+	if n.lockstep == nil {
+		return 0, 0, 0
+	}
+	return n.lockstep.Epochs(), n.lockstep.IdleSkips(), n.partFab.MergeAllocs()
 }
 
 // Now returns the current simulated time. In partition mode this is the
